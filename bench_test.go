@@ -1,0 +1,160 @@
+package tapioca_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V). Each benchmark runs the corresponding experiment grid at the
+// reduced scale (same shapes as the paper; see EXPERIMENTS.md) and reports
+// the headline numbers as custom metrics:
+//
+//	tapioca_GBps   TAPIOCA bandwidth at the largest data size
+//	baseline_GBps  the MPI-IO (or untuned) comparison point
+//	speedup        their ratio — the paper's headline claim per figure
+//
+// Full-scale runs (the paper's node counts, up to 65,536 simulated ranks)
+// are available through cmd/tapiocabench -full.
+
+import (
+	"testing"
+
+	"tapioca/internal/expt"
+)
+
+// runFigure executes the experiment b.N times and reports the headline
+// metrics extracted by pickCols (indices into the result's series).
+func runFigure(b *testing.B, spec *expt.Spec, tapiocaCol, baselineCol int) {
+	b.Helper()
+	var res expt.Result
+	for i := 0; i < b.N; i++ {
+		res = spec.Run(false)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	tap := last.Values[tapiocaCol]
+	base := last.Values[baselineCol]
+	b.ReportMetric(tap, "tapioca_GB/s")
+	b.ReportMetric(base, "baseline_GB/s")
+	if base > 0 {
+		b.ReportMetric(tap/base, "speedup")
+	}
+}
+
+// BenchmarkFig07_IORMira regenerates Fig. 7: IOR on Mira, baseline vs
+// user-tuned MPI-IO (read and write). The "speedup" metric is
+// optimized-write over baseline-write (paper: ~3x at 4 MB).
+func BenchmarkFig07_IORMira(b *testing.B) {
+	runFigure(b, expt.ByID("fig7"), 1, 3)
+}
+
+// BenchmarkFig08_IORTheta regenerates Fig. 8: IOR on Theta, tuned vs
+// platform defaults. Speedup is optimized-write over baseline-write
+// (paper: ~50x on a log-scale figure).
+func BenchmarkFig08_IORTheta(b *testing.B) {
+	runFigure(b, expt.ByID("fig8"), 1, 3)
+}
+
+// BenchmarkFig09_MicroMira regenerates Fig. 9: the micro-benchmark on Mira
+// (paper: TAPIOCA ≈ MPI-IO).
+func BenchmarkFig09_MicroMira(b *testing.B) {
+	runFigure(b, expt.ByID("fig9"), 0, 1)
+}
+
+// BenchmarkFig10_MicroTheta regenerates Fig. 10: the micro-benchmark on
+// Theta (paper: TAPIOCA ~2x at 3.6 MB/rank).
+func BenchmarkFig10_MicroTheta(b *testing.B) {
+	runFigure(b, expt.ByID("fig10"), 0, 1)
+}
+
+// BenchmarkTable1_BufferStripeRatio regenerates Table I: the
+// aggregation-buffer:stripe-size ratio study (paper: 1:1 optimal).
+// Metrics: the 1:1 bandwidth and the worst ratio's bandwidth.
+func BenchmarkTable1_BufferStripeRatio(b *testing.B) {
+	var res expt.Result
+	for i := 0; i < b.N; i++ {
+		res = expt.Table1(false)
+	}
+	var oneToOne, worst float64
+	for _, row := range res.Rows {
+		v := row.Values[0]
+		if row.X == 1 {
+			oneToOne = v
+		}
+		if worst == 0 || v < worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(oneToOne, "ratio1to1_GB/s")
+	b.ReportMetric(worst, "worstRatio_GB/s")
+	b.ReportMetric(oneToOne/worst, "peak_over_worst")
+}
+
+// BenchmarkFig11_HACCMira1K regenerates Fig. 11: HACC-IO on Mira, 1,024
+// nodes scale. Speedup is TAPIOCA-AoS over MPI-IO-AoS (paper: up to ~12x).
+func BenchmarkFig11_HACCMira1K(b *testing.B) {
+	runFigure(b, expt.ByID("fig11"), 0, 1)
+}
+
+// BenchmarkFig12_HACCMira4K regenerates Fig. 12: HACC-IO on Mira at 4x the
+// scale (paper: same shape, ~90% of peak).
+func BenchmarkFig12_HACCMira4K(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fig12 runs 8,192 simulated ranks")
+	}
+	runFigure(b, expt.ByID("fig12"), 0, 1)
+}
+
+// BenchmarkFig13_HACCTheta1K regenerates Fig. 13: HACC-IO on Theta
+// (paper: ~7x over MPI-IO at ~1 MB/rank).
+func BenchmarkFig13_HACCTheta1K(b *testing.B) {
+	runFigure(b, expt.ByID("fig13"), 0, 1)
+}
+
+// BenchmarkFig14_HACCTheta2K regenerates Fig. 14: HACC-IO on Theta at 2,048
+// nodes scale (paper: ~4x at 3.6 MB/rank AoS).
+func BenchmarkFig14_HACCTheta2K(b *testing.B) {
+	runFigure(b, expt.ByID("fig14"), 0, 1)
+}
+
+// BenchmarkAblationPlacement quantifies the aggregator placement cost model
+// (aggregation phase isolated; speedup = topology-aware over adversarial).
+func BenchmarkAblationPlacement(b *testing.B) {
+	runFigure(b, expt.ByID("abl-placement"), 0, 3)
+}
+
+// BenchmarkAblationPipeline quantifies double buffering on Theta
+// (speedup = double over single buffer).
+func BenchmarkAblationPipeline(b *testing.B) {
+	var res expt.Result
+	for i := 0; i < b.N; i++ {
+		res = expt.AblationPipeline(false)
+	}
+	theta := res.Rows[0]
+	b.ReportMetric(theta.Values[0], "double_GB/s")
+	b.ReportMetric(theta.Values[1], "single_GB/s")
+	b.ReportMetric(theta.Values[0]/theta.Values[1], "speedup")
+}
+
+// BenchmarkAblationDeclaredIO quantifies declared I/O against per-call
+// aggregation on the HACC AoS workload (the paper's Fig. 2 argument).
+func BenchmarkAblationDeclaredIO(b *testing.B) {
+	runFigure(b, expt.ByID("abl-declared"), 0, 1)
+}
+
+// BenchmarkAblationAggregators sweeps the aggregator count (reports the
+// best observed bandwidth).
+func BenchmarkAblationAggregators(b *testing.B) {
+	var res expt.Result
+	for i := 0; i < b.N; i++ {
+		res = expt.AblationAggregators(false)
+	}
+	var best float64
+	for _, row := range res.Rows {
+		if row.Values[0] > best {
+			best = row.Values[0]
+		}
+	}
+	b.ReportMetric(best, "best_GB/s")
+}
+
+// BenchmarkAblationContention compares the per-link and endpoint-only
+// network models (storage-bound workloads should agree).
+func BenchmarkAblationContention(b *testing.B) {
+	runFigure(b, expt.ByID("abl-contention"), 0, 1)
+}

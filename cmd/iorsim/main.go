@@ -1,0 +1,88 @@
+// Command iorsim runs an IOR-style collective I/O benchmark on a simulated
+// machine, in the spirit of the paper's §V-B tuning studies.
+//
+// Usage:
+//
+//	iorsim -machine theta -nodes 128 -rpn 4 -size 1048576 \
+//	       -stripe-count 12 -stripe-size 8388608 -method tapioca -read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tapioca"
+)
+
+func main() {
+	var (
+		machine     = flag.String("machine", "theta", "theta or mira")
+		nodes       = flag.Int("nodes", 128, "compute nodes")
+		rpn         = flag.Int("rpn", 4, "ranks per node")
+		size        = flag.Int64("size", 1<<20, "bytes per rank")
+		method      = flag.String("method", "tapioca", "tapioca or mpiio")
+		aggregators = flag.Int("aggregators", 0, "aggregators / cb_nodes (0 = default)")
+		buffer      = flag.Int64("buffer", 8<<20, "aggregation buffer bytes")
+		stripeCount = flag.Int("stripe-count", 12, "Lustre stripe count (theta)")
+		stripeSize  = flag.Int64("stripe-size", 8<<20, "Lustre stripe size (theta)")
+		lockShared  = flag.Bool("lock-sharing", true, "GPFS shared locks (mira)")
+		read        = flag.Bool("read", false, "measure reads instead of writes")
+	)
+	flag.Parse()
+
+	var m *tapioca.Machine
+	opt := tapioca.FileOptions{}
+	switch *machine {
+	case "mira":
+		var mo []tapioca.MachineOption
+		if *lockShared {
+			mo = append(mo, tapioca.WithLockSharing())
+		}
+		m = tapioca.Mira(*nodes, mo...)
+	case "theta":
+		m = tapioca.Theta(*nodes)
+		opt = tapioca.FileOptions{StripeCount: *stripeCount, StripeSize: *stripeSize}
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	var elapsed float64
+	_, err := m.Run(*rpn, func(ctx *tapioca.Ctx) {
+		f := ctx.CreateFile("ior", opt)
+		segs := [][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())**size, *size)}}
+		ctx.Barrier()
+		t0 := ctx.Now()
+		if *method == "tapioca" {
+			w := ctx.Tapioca(f, tapioca.Config{Aggregators: *aggregators, BufferSize: *buffer})
+			w.Init(segs)
+			if *read {
+				w.ReadAll()
+			} else {
+				w.WriteAll()
+			}
+		} else {
+			fh := ctx.MPIIO(f, tapioca.Hints{CBNodes: *aggregators, CBBufferSize: *buffer, AlignDomains: true})
+			if *read {
+				fh.ReadAtAll(segs[0])
+			} else {
+				fh.WriteAtAll(segs[0])
+			}
+			fh.Close()
+		}
+		ctx.Barrier()
+		if ctx.Rank() == 0 {
+			elapsed = ctx.Now() - t0
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := float64(int64(*nodes**rpn) * *size)
+	op := "write"
+	if *read {
+		op = "read"
+	}
+	fmt.Printf("%s %s on %s: %d ranks × %d B = %.2f GB in %.3f s → %.3f GB/s\n",
+		*method, op, m.Name(), *nodes**rpn, *size, total/1e9, elapsed, total/elapsed/1e9)
+}

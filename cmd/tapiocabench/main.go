@@ -1,0 +1,69 @@
+// Command tapiocabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tapiocabench -list
+//	tapiocabench -experiment fig10
+//	tapiocabench -experiment all -full -csv out/
+//
+// Without -full, experiments run at a reduced scale (≈1/4 the nodes, 4
+// ranks/node) that preserves the paper's shapes; -full uses the paper's node
+// counts (up to 65,536 simulated ranks — minutes per figure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tapioca/internal/expt"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		id     = flag.String("experiment", "all", "experiment id (fig7…fig14, table1, abl-*, or all)")
+		full   = flag.Bool("full", false, "run at the paper's full scale")
+		csvDir = flag.String("csv", "", "also write CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range expt.All() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	var specs []expt.Spec
+	if *id == "all" {
+		specs = expt.All()
+	} else {
+		s := expt.ByID(*id)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		specs = []expt.Spec{*s}
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		res := s.Run(*full)
+		fmt.Print(expt.Render(res))
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(expt.CSV(res)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

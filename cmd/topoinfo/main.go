@@ -1,0 +1,73 @@
+// Command topoinfo inspects the simulated interconnect topologies: node
+// coordinates, distances, routes, Pset/bridge structure (BG/Q) and
+// group/router structure (dragonfly).
+//
+// Usage:
+//
+//	topoinfo -machine mira -nodes 512 -from 0 -to 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tapioca/internal/topology"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "mira", "mira or theta")
+		nodes   = flag.Int("nodes", 512, "compute nodes")
+		from    = flag.Int("from", 0, "source node")
+		to      = flag.Int("to", 1, "destination node")
+	)
+	flag.Parse()
+
+	var topo topology.Topology
+	switch *machine {
+	case "mira":
+		topo = topology.MiraTorus(*nodes)
+	case "theta":
+		topo = topology.ThetaDragonfly(*nodes, topology.RouteMinimal)
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	fmt.Printf("topology: %s\n", topo.Name())
+	fmt.Printf("nodes:    %d (dimensions %v)\n", topo.Nodes(), topo.Dimensions())
+	fmt.Printf("I/O nodes: %d, per-hop latency %d ns\n", topo.IONodes(), topo.Latency())
+	for lvl, name := range []string{"injection", "fabric", "io-uplink", "storage"} {
+		fmt.Printf("bandwidth[%s] = %.2f GB/s\n", name, topo.Bandwidth(lvl)/1e9)
+	}
+
+	if *from >= topo.Nodes() || *to >= topo.Nodes() {
+		log.Fatalf("nodes out of range (have %d)", topo.Nodes())
+	}
+	fmt.Printf("\nnode %d: coordinates %v", *from, topo.Coordinates(*from))
+	if ion := topo.IONodeOf(*from); ion != topology.IONUnknown {
+		fmt.Printf(", ION/Pset %d (distance %d)", ion, topo.DistanceToION(*from, ion))
+	} else {
+		fmt.Printf(", ION locality hidden (C2 = 0, as on Theta)")
+	}
+	fmt.Println()
+	fmt.Printf("node %d: coordinates %v\n", *to, topo.Coordinates(*to))
+	route := topo.Route(*from, *to)
+	hops, bw := topology.PathInfo(topo, *from, *to)
+	fmt.Printf("distance %d hops, route %d links, bottleneck %.2f GB/s\n",
+		topo.Distance(*from, *to), hops, bw/1e9)
+	_ = route
+
+	if tor, ok := topo.(*topology.Torus5D); ok {
+		fmt.Printf("\nPsets (%d nodes each):\n", tor.PsetSize)
+		for p := 0; p < tor.IONodes() && p < 8; p++ {
+			br := tor.BridgeNodes(p)
+			fmt.Printf("  pset %d: nodes [%d,%d), bridges %d and %d\n",
+				p, p*tor.PsetSize, (p+1)*tor.PsetSize, br[0], br[1])
+		}
+	}
+	if d, ok := topo.(*topology.Dragonfly); ok {
+		fmt.Printf("\ndragonfly: %d groups × %d×%d routers × %d nodes, %d LNET service nodes\n",
+			d.Groups, d.Rows, d.Cols, d.NodesPerRouter, d.ServiceNodes)
+	}
+}

@@ -1,0 +1,247 @@
+// Package core implements TAPIOCA: topology-aware two-phase I/O with
+// declared operations, pipelined aggregation buffers, and cost-model
+// aggregator placement — the paper's primary contribution.
+//
+// The three mechanisms, mapped to the paper:
+//
+//  1. Declared I/O (§IV-A, Fig. 2): the application declares every upcoming
+//     write up front (Init). The library orders all declared data by file
+//     offset into a per-partition aggregation stream and cuts it into
+//     rounds of exactly BufferSize bytes, so aggregation buffers are
+//     completely filled before each flush — unlike MPI-IO, where every
+//     collective call flushes its own partial buffers.
+//  2. Pipelined buffers (§IV-A, Alg. 3): two buffers per aggregator; data
+//     lands via one-sided puts closed by a fence, while the other buffer
+//     flushes with a non-blocking write. The fence is the round barrier.
+//  3. Topology-aware placement (§IV-B, Fig. 3): per partition, every rank
+//     evaluates C1 (aggregation cost: Σ l·d(i,A) + ω(i,A)/B(i→A)) plus C2
+//     (I/O cost: l·d(A,IO) + ω(A,IO)/B(A→IO), zero where the platform
+//     hides I/O-node locality) and an Allreduce(MINLOC) elects the
+//     minimum-cost rank.
+//
+// API note: the paper's TAPIOCA_Write is called once per declared variable;
+// the library is bulk-synchronous and applications call the writes
+// back-to-back. This implementation accrues the whole pipeline's virtual
+// time when the last declared operation is written (Write(i) marks
+// progress; WriteAll is the common path), which is timing-equivalent for
+// such applications and keeps the round/fence bookkeeping in one place.
+package core
+
+import (
+	"fmt"
+
+	"tapioca/internal/mpi"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+)
+
+// Aggregator placement strategies.
+const (
+	// PlacementTopologyAware is the paper's cost-model election.
+	PlacementTopologyAware = iota
+	// PlacementRankOrder picks each partition's first rank (the naive
+	// baseline the paper criticizes).
+	PlacementRankOrder
+	// PlacementWorst deliberately picks the highest-cost candidate — an
+	// adversarial ablation bound.
+	PlacementWorst
+	// PlacementRandom picks a deterministic pseudo-random rank.
+	PlacementRandom
+)
+
+// Config tunes a TAPIOCA writer/reader.
+type Config struct {
+	// Aggregators is the number of aggregators == partitions
+	// ("the number of aggregators defines the partition size", §IV-B).
+	// Default: one per 16 ranks.
+	Aggregators int
+	// BufferSize is the aggregation buffer size (two are allocated per
+	// aggregator). Default 16 MB.
+	BufferSize int64
+	// Placement selects the aggregator election strategy.
+	Placement int
+	// SingleBuffer disables double-buffering (ablation): the aggregator
+	// blocks on each flush before the next round's fence.
+	SingleBuffer bool
+	// ElectionOverhead is the local cost-model computation time charged per
+	// rank during Init. Default 50 µs.
+	ElectionOverhead int64
+}
+
+func (c *Config) setDefaults(comm *mpi.Comm) {
+	if c.BufferSize <= 0 {
+		c.BufferSize = 16 << 20
+	}
+	if c.Aggregators <= 0 {
+		c.Aggregators = comm.Size() / 16
+	}
+	if c.Aggregators < 1 {
+		c.Aggregators = 1
+	}
+	if c.Aggregators > comm.Size() {
+		c.Aggregators = comm.Size()
+	}
+	if c.ElectionOverhead <= 0 {
+		c.ElectionOverhead = 50_000
+	}
+}
+
+// Writer is one rank's handle on a TAPIOCA collective I/O session against
+// one file. Create with New, declare with Init, then Write/WriteAll or
+// Read/ReadAll. A session performs either writes or reads, not both.
+type Writer struct {
+	c   *mpi.Comm
+	sys storage.System
+	f   *storage.File
+	cfg Config
+
+	plan     *plan
+	pc       *mpi.Comm // partition sub-communicator
+	win      *mpi.Win  // window over the aggregator's two buffers
+	part     int       // my partition index
+	aggLocal int       // aggregator's rank within the partition comm
+	isAgg    bool
+
+	written int // count of declared ops already marked written
+	nops    int
+
+	stats Stats
+}
+
+// Stats reports what a session did from this rank's perspective.
+type Stats struct {
+	// Partition is this rank's partition index.
+	Partition int
+	// Rounds is the partition's aggregation round count.
+	Rounds int
+	// BytesPut counts bytes this rank put into aggregation buffers.
+	BytesPut int64
+	// BytesFlushed counts bytes this rank flushed to storage (aggregators).
+	BytesFlushed int64
+	// Flushes counts buffer flushes issued by this rank.
+	Flushes int64
+	// AggregatorWorldRank is the elected aggregator's world rank.
+	AggregatorWorldRank int
+	// ElectionCost is this rank's own C1+C2 candidacy cost in seconds.
+	ElectionCost float64
+}
+
+// New creates a TAPIOCA session on comm for the given storage file.
+func New(c *mpi.Comm, sys storage.System, f *storage.File, cfg Config) *Writer {
+	cfg.setDefaults(c)
+	return &Writer{c: c, sys: sys, f: f, cfg: cfg}
+}
+
+// Stats returns this rank's session statistics.
+func (w *Writer) Stats() Stats { return w.stats }
+
+// Aggregator reports whether this rank was elected aggregator.
+func (w *Writer) Aggregator() bool { return w.isAgg }
+
+// Rounds returns the number of aggregation rounds of this rank's partition.
+func (w *Writer) Rounds() int {
+	if w.plan == nil {
+		return 0
+	}
+	return w.plan.parts[w.part].rounds
+}
+
+// File returns the underlying storage file.
+func (w *Writer) File() *storage.File { return w.f }
+
+// Init declares the upcoming operations: declared[i] is this rank's file
+// access pattern for the i-th TAPIOCA_Write/Read call. Collective. It
+// builds the global round schedule, splits partition communicators, elects
+// aggregators, and allocates the RMA windows.
+func (w *Writer) Init(declared [][]storage.Seg) {
+	if w.plan != nil {
+		panic("core: Init called twice")
+	}
+	c := w.c
+	w.nops = len(declared)
+	// Flatten this rank's declared segments; the schedule orders by file
+	// offset, so per-call boundaries don't matter to it.
+	var mine []storage.Seg
+	for _, segs := range declared {
+		for _, s := range segs {
+			if !s.Empty() {
+				mine = append(mine, s)
+			}
+		}
+	}
+	bytes := int64(32*len(mine) + 16)
+	unit := w.sys.OptimalUnit(w.f)
+	w.plan = c.Collective("tapioca-init", mine, bytes, func(contribs []any) any {
+		all := make([][]storage.Seg, len(contribs))
+		for i, x := range contribs {
+			if x != nil {
+				all[i] = x.([]storage.Seg)
+			}
+		}
+		return buildPlan(all, w.cfg.Aggregators, w.cfg.BufferSize, unit)
+	}).(*plan)
+
+	w.part = w.plan.partOf[c.Rank()]
+	w.pc = c.Split(w.part, c.Rank())
+
+	// Election (each rank computes its own candidacy cost locally).
+	c.Compute(w.cfg.ElectionOverhead)
+	w.aggLocal = w.elect()
+	w.isAgg = w.pc.Rank() == w.aggLocal
+	w.stats.Partition = w.part
+	w.stats.Rounds = w.plan.parts[w.part].rounds
+	w.stats.AggregatorWorldRank = w.pc.WorldRankOf(w.aggLocal)
+
+	// Two pipelined buffers, exposed as one window of 2×BufferSize.
+	w.win = w.pc.WinCreate(2 * w.cfg.BufferSize)
+}
+
+// Write marks the i-th declared operation written. When the final declared
+// operation arrives, the full aggregation pipeline executes (see the
+// package comment for why). Collective across the communicator.
+func (w *Writer) Write(i int) {
+	if w.plan == nil {
+		panic("core: Write before Init")
+	}
+	if i != w.written {
+		panic(fmt.Sprintf("core: Write(%d) out of declared order (next is %d)", i, w.written))
+	}
+	w.written++
+	if w.written == w.nops {
+		w.runWrite()
+	}
+}
+
+// WriteAll performs all declared writes.
+func (w *Writer) WriteAll() {
+	for i := w.written; i < w.nops; i++ {
+		w.Write(i)
+	}
+}
+
+// Read marks the i-th declared operation for reading; the pipeline runs on
+// the last one, mirroring Write.
+func (w *Writer) Read(i int) {
+	if w.plan == nil {
+		panic("core: Read before Init")
+	}
+	if i != w.written {
+		panic(fmt.Sprintf("core: Read(%d) out of declared order (next is %d)", i, w.written))
+	}
+	w.written++
+	if w.written == w.nops {
+		w.runRead()
+	}
+}
+
+// ReadAll performs all declared reads.
+func (w *Writer) ReadAll() {
+	for i := w.written; i < w.nops; i++ {
+		w.Read(i)
+	}
+}
+
+// topoOf returns the topology under the communicator's fabric.
+func (w *Writer) topoOf() topology.Topology {
+	return w.c.World().Fabric().Topology()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"tapioca/internal/sim"
+)
+
+// runWrite executes the paper's Algorithm 3 over the partition: for every
+// round, members put their pieces into the active buffer via one-sided
+// communication; the fence closes the epoch; the aggregator then flushes the
+// filled buffer with a non-blocking write while the next round aggregates
+// into the other buffer. Before reusing a buffer, the aggregator waits for
+// its previous flush — arriving late at the fence, which is how a slow
+// storage phase throttles the whole partition.
+func (w *Writer) runWrite() {
+	pp := &w.plan.parts[w.part]
+	p := w.c.Proc()
+	myPieces := w.plan.pieces[w.c.Rank()]
+	var pending [2]*sim.Event
+	idx := 0
+	for r := 0; r < pp.rounds; r++ {
+		bufID := int64(r % 2)
+		for idx < len(myPieces) && myPieces[idx].round == r {
+			pc := myPieces[idx]
+			w.win.Put(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
+			w.stats.BytesPut += pc.bytes
+			idx++
+		}
+		// Buffer-reuse guard: the fence cannot release until the aggregator
+		// has finished the flush that last used this buffer.
+		if w.isAgg && pending[bufID] != nil {
+			pending[bufID].Wait(p)
+			pending[bufID] = nil
+		}
+		w.win.Fence()
+		if w.isAgg {
+			fl := pp.flush[r]
+			if fl.bytes > 0 {
+				ev := w.sys.WriteAsync(p, w.pc.Node(), w.f, fl.segs)
+				w.stats.BytesFlushed += fl.bytes
+				w.stats.Flushes++
+				if w.cfg.SingleBuffer {
+					ev.Wait(p)
+				} else {
+					pending[bufID] = ev
+				}
+			}
+		}
+		if w.cfg.SingleBuffer {
+			// Ablation: with one buffer the next round's aggregation cannot
+			// start until the flush lands; a second fence serializes it.
+			w.win.Fence()
+		}
+	}
+	// Drain outstanding flushes, then close the session collectively.
+	if w.isAgg {
+		for _, ev := range pending {
+			if ev != nil {
+				ev.Wait(p)
+			}
+		}
+	}
+	w.pc.Barrier()
+}
+
+// runRead executes the reverse pipeline: the aggregator prefetches round
+// r+1 into the inactive buffer while members pull round r's pieces with
+// one-sided gets. Two fences bound each round: one publishing the buffer,
+// one closing the get epoch.
+func (w *Writer) runRead() {
+	pp := &w.plan.parts[w.part]
+	p := w.c.Proc()
+	myPieces := w.plan.pieces[w.c.Rank()]
+	var pending [2]*sim.Event
+	prefetch := func(r int) {
+		if w.isAgg && r < pp.rounds && pp.flush[r].bytes > 0 {
+			pending[r%2] = w.sys.ReadAsync(p, w.pc.Node(), w.f, pp.flush[r].segs)
+			w.stats.BytesFlushed += pp.flush[r].bytes
+			w.stats.Flushes++
+		}
+	}
+	if !w.cfg.SingleBuffer {
+		prefetch(0)
+	}
+	idx := 0
+	for r := 0; r < pp.rounds; r++ {
+		bufID := int64(r % 2)
+		if w.cfg.SingleBuffer {
+			// Ablation: no prefetch — read this round's data synchronously.
+			prefetch(r)
+		}
+		// The aggregator publishes the buffer once its read lands.
+		if w.isAgg && pending[bufID] != nil {
+			pending[bufID].Wait(p)
+			pending[bufID] = nil
+		}
+		w.win.Fence()
+		// Members pull their pieces; the aggregator prefetches the next
+		// round into the other buffer meanwhile.
+		for idx < len(myPieces) && myPieces[idx].round == r {
+			pc := myPieces[idx]
+			w.win.Get(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes)
+			w.stats.BytesPut += pc.bytes
+			idx++
+		}
+		if !w.cfg.SingleBuffer {
+			prefetch(r + 1)
+		}
+		w.win.Fence() // closes the get epoch
+	}
+	w.pc.Barrier()
+}

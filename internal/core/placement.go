@@ -1,0 +1,65 @@
+package core
+
+import (
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// elect chooses the partition's aggregator (a partition-comm rank) under the
+// configured placement strategy. Collective on the partition communicator.
+func (w *Writer) elect() int {
+	pc := w.pc
+	switch w.cfg.Placement {
+	case PlacementRankOrder:
+		pc.Barrier()
+		return 0
+	case PlacementRandom:
+		pc.Barrier()
+		h := uint64(w.part+1) * 0x9E3779B97F4A7C15
+		h ^= h >> 33
+		return int(h % uint64(pc.Size()))
+	case PlacementWorst:
+		cost := w.candidacyCost()
+		w.stats.ElectionCost = cost
+		_, loc := pc.AllreduceMaxLoc(cost, pc.Rank())
+		return loc
+	default: // PlacementTopologyAware
+		cost := w.candidacyCost()
+		w.stats.ElectionCost = cost
+		_, loc := pc.AllreduceMinLoc(cost, pc.Rank())
+		return loc
+	}
+}
+
+// candidacyCost evaluates this rank's own TopoAware(A) = C1 + C2 (paper
+// Fig. 3): the cost of every partition member shipping its data to this
+// rank, plus the cost of forwarding the aggregate to the I/O node. Costs
+// are seconds. When the platform hides I/O-node locality (Theta), C2 = 0,
+// exactly as the paper prescribes.
+func (w *Writer) candidacyCost() float64 {
+	topo := w.topoOf()
+	pp := &w.plan.parts[w.part]
+	pc := w.pc
+	myNode := pc.Node()
+	latency := sim.ToSeconds(topo.Latency())
+	fabricBW := topo.Bandwidth(topology.LevelFabric)
+
+	// C1: aggregation cost, summed over members that would send to me.
+	var c1 float64
+	for local, omega := range pp.omega {
+		if local == pc.Rank() || omega == 0 {
+			continue
+		}
+		node := pc.NodeOfRank(local)
+		d := float64(topo.Distance(node, myNode))
+		c1 += latency*d + float64(omega)/fabricBW
+	}
+
+	// C2: I/O-phase cost from me to the storage gateway.
+	var c2 float64
+	if ion := topo.IONodeOf(myNode); ion != topology.IONUnknown {
+		d := float64(topo.DistanceToION(myNode, ion))
+		c2 = latency*d + float64(pp.bytes)/topo.Bandwidth(topology.LevelIOUplink)
+	}
+	return c1 + c2
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tapioca/internal/storage"
+)
+
+// plan is the global aggregation schedule computed once during Init.
+type plan struct {
+	partOf []int      // comm rank → partition index
+	parts  []partPlan // per partition
+	pieces [][]putPiece
+}
+
+// putPiece is one rank's contribution to one round's buffer.
+type putPiece struct {
+	round  int
+	bufOff int64
+	bytes  int64
+}
+
+// partPlan is one partition's schedule.
+type partPlan struct {
+	ranks  []int // comm ranks (ascending)
+	bytes  int64
+	rounds int
+	flush  []flushInfo // per round: the file extents the aggregator writes
+	omega  []int64     // per partition-local rank: bytes it aggregates
+}
+
+type flushInfo struct {
+	segs  []storage.Seg
+	bytes int64
+}
+
+// region is a maximal merged span of a partition's declared data.
+type region struct {
+	lo, hi int64
+	bytes  int64
+	segs   []storage.Seg // member segments, sorted by offset
+}
+
+// dense reports whether the region's data tiles its span exactly — the
+// common case (HACC AoS records, SoA blocks, IOR), which permits O(1)
+// contiguous flush extents.
+func (r *region) dense() bool { return r.bytes == r.hi-r.lo }
+
+// bytesBefore returns how many of the region's data bytes lie in [lo, x).
+func (r *region) bytesBefore(x int64) int64 {
+	if x <= r.lo {
+		return 0
+	}
+	if x >= r.hi {
+		return r.bytes
+	}
+	if r.dense() {
+		return x - r.lo
+	}
+	var n int64
+	for _, s := range r.segs {
+		n += storage.TotalBytes(s.Intersect(r.lo, x))
+	}
+	return n
+}
+
+// fileOffsetAt inverts bytesBefore: the smallest file offset x with
+// bytesBefore(x) == target. Exact, because the cumulative byte function
+// increases by at most one per byte of file offset.
+func (r *region) fileOffsetAt(target int64) int64 {
+	if target <= 0 {
+		return r.lo
+	}
+	if target >= r.bytes {
+		return r.hi
+	}
+	if r.dense() {
+		return r.lo + target
+	}
+	lo, hi := r.lo, r.hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.bytesBefore(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// extract returns the region's data extents within [x0, x1).
+func (r *region) extract(x0, x1 int64) []storage.Seg {
+	if x1 <= x0 {
+		return nil
+	}
+	if r.dense() {
+		lo, hi := maxI64(x0, r.lo), minI64(x1, r.hi)
+		if hi <= lo {
+			return nil
+		}
+		return []storage.Seg{storage.Contig(lo, hi-lo)}
+	}
+	return storage.IntersectAll(r.segs, x0, x1)
+}
+
+// buildPlan partitions ranks, merges each partition's declared data into
+// regions, and cuts the per-partition aggregation stream into rounds of up
+// to bufSize bytes. When alignUnit > 0 (the file system's optimal unit:
+// Lustre stripe, GPFS block), window cuts snap to unit boundaries in file
+// space wherever the data is dense — so buffer flushes are stripe/block
+// aligned, the behaviour behind the paper's Table I 1:1 optimum.
+func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
+	nRanks := len(all)
+	if nAggr > nRanks {
+		nAggr = nRanks
+	}
+	p := &plan{
+		partOf: make([]int, nRanks),
+		parts:  make([]partPlan, nAggr),
+		pieces: make([][]putPiece, nRanks),
+	}
+	for r := 0; r < nRanks; r++ {
+		p.partOf[r] = r * nAggr / nRanks
+	}
+	for part := range p.parts {
+		lo := partStart(part, nAggr, nRanks)
+		hi := partStart(part+1, nAggr, nRanks)
+		buildPartition(p, part, lo, hi, all, bufSize, alignUnit)
+	}
+	return p
+}
+
+func partStart(part, nAggr, nRanks int) int {
+	// Inverse of partOf: first rank with r*nAggr/nRanks == part.
+	// Ceil(part*nRanks/nAggr) is exactly that boundary.
+	return (part*nRanks + nAggr - 1) / nAggr
+}
+
+func buildPartition(p *plan, part, rankLo, rankHi int, all [][]storage.Seg, bufSize, alignUnit int64) {
+	pp := &p.parts[part]
+	for r := rankLo; r < rankHi; r++ {
+		pp.ranks = append(pp.ranks, r)
+	}
+	pp.omega = make([]int64, len(pp.ranks))
+
+	// Collect and span-sort the partition's segments.
+	type memberSeg struct {
+		local int
+		seg   storage.Seg
+	}
+	var msegs []memberSeg
+	for i, r := range pp.ranks {
+		for _, s := range all[r] {
+			if s.Empty() {
+				continue
+			}
+			msegs = append(msegs, memberSeg{local: i, seg: s})
+			pp.omega[i] += s.Bytes()
+			pp.bytes += s.Bytes()
+		}
+	}
+	if pp.bytes == 0 {
+		return
+	}
+	sort.Slice(msegs, func(a, b int) bool {
+		if msegs[a].seg.Off != msegs[b].seg.Off {
+			return msegs[a].seg.Off < msegs[b].seg.Off
+		}
+		return msegs[a].local < msegs[b].local
+	})
+
+	// Merge overlapping/adjacent spans into regions.
+	var regions []*region
+	for _, ms := range msegs {
+		slo, shi := ms.seg.Span()
+		last := len(regions) - 1
+		if last >= 0 && slo <= regions[last].hi {
+			rg := regions[last]
+			if shi > rg.hi {
+				rg.hi = shi
+			}
+			rg.bytes += ms.seg.Bytes()
+			rg.segs = append(rg.segs, ms.seg)
+		} else {
+			regions = append(regions, &region{lo: slo, hi: shi, bytes: ms.seg.Bytes(), segs: []storage.Seg{ms.seg}})
+		}
+	}
+	for _, rg := range regions {
+		if rg.bytes > rg.hi-rg.lo {
+			panic(fmt.Sprintf("core: partition %d region [%d,%d) overdeclared: %d bytes in %d span (overlapping writes?)",
+				part, rg.lo, rg.hi, rg.bytes, rg.hi-rg.lo))
+		}
+	}
+
+	// Cut each region into round windows. Windows never cross regions, and
+	// cuts snap to alignUnit boundaries (file space) in dense regions when
+	// a boundary falls within reach of the buffer size.
+	type window struct {
+		rg     *region
+		t0, t1 int64 // region-local stream byte range
+	}
+	var windows []window
+	for _, rg := range regions {
+		pos := int64(0)
+		for pos < rg.bytes {
+			next := pos + bufSize
+			if alignUnit > 0 && rg.dense() {
+				if cand := (rg.lo+pos+bufSize)/alignUnit*alignUnit - rg.lo; cand > pos {
+					next = cand
+				}
+			}
+			if next > rg.bytes {
+				next = rg.bytes
+			}
+			windows = append(windows, window{rg: rg, t0: pos, t1: next})
+			pos = next
+		}
+	}
+	pp.rounds = len(windows)
+	pp.flush = make([]flushInfo, pp.rounds)
+	for round, wd := range windows {
+		x0 := wd.rg.fileOffsetAt(wd.t0)
+		x1 := wd.rg.fileOffsetAt(wd.t1)
+		pp.flush[round] = flushInfo{segs: wd.rg.extract(x0, x1), bytes: wd.t1 - wd.t0}
+	}
+
+	// Per-rank pieces: intersect each rank's segments with the round
+	// windows (in file space), then assign buffer offsets in local-rank
+	// order per round.
+	roundFill := make([]int64, pp.rounds)
+	type pieceKey struct {
+		local, round int
+	}
+	pieceBytes := map[pieceKey]int64{}
+	for round, wd := range windows {
+		x0 := wd.rg.fileOffsetAt(wd.t0)
+		x1 := wd.rg.fileOffsetAt(wd.t1)
+		for _, ms := range msegs {
+			slo, shi := ms.seg.Span()
+			if shi <= x0 || slo >= x1 || slo < wd.rg.lo || slo >= wd.rg.hi {
+				continue
+			}
+			b := storage.TotalBytes(ms.seg.Intersect(x0, x1))
+			if b > 0 {
+				pieceBytes[pieceKey{ms.local, round}] += b
+			}
+		}
+	}
+	// Deterministic order: by (round, local).
+	keys := make([]pieceKey, 0, len(pieceBytes))
+	for k := range pieceBytes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].round != keys[b].round {
+			return keys[a].round < keys[b].round
+		}
+		return keys[a].local < keys[b].local
+	})
+	for _, k := range keys {
+		b := pieceBytes[k]
+		commRank := pp.ranks[k.local]
+		p.pieces[commRank] = append(p.pieces[commRank], putPiece{
+			round:  k.round,
+			bufOff: roundFill[k.round],
+			bytes:  b,
+		})
+		roundFill[k.round] += b
+	}
+	for round, fill := range roundFill {
+		if fill != pp.flush[round].bytes {
+			panic(fmt.Sprintf("core: partition %d round %d fill %d != flush %d", part, round, fill, pp.flush[round].bytes))
+		}
+		if fill > bufSize {
+			panic(fmt.Sprintf("core: partition %d round %d overfills buffer: %d > %d", part, round, fill, bufSize))
+		}
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

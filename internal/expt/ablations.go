@@ -1,0 +1,247 @@
+package expt
+
+import (
+	"fmt"
+
+	"tapioca/internal/core"
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// AblationPlacement compares aggregator placement strategies on a Mira
+// partition with skewed data (heavy ranks concentrated on part of each
+// partition): the cost model should place aggregators near the data and the
+// bridge nodes, unlike rank-order/random/adversarial choices. On uniform
+// workloads all candidates cost the same and the strategies tie — the skew
+// is what gives the objective function something to optimize (paper §IV-B:
+// ω(i,A) weights the distances).
+func AblationPlacement(full bool) Result {
+	nodes := pick(full, 1024, 256)
+	rpn := 16
+	res := Result{
+		ID:     "abl-placement",
+		Title:  fmt.Sprintf("Placement strategies, skewed write on Mira (%d nodes × %d ranks)", nodes, rpn),
+		XLabel: "MB/rank(avg)",
+		Labels: []string{"TopologyAware", "RankOrder", "Random", "Worst"},
+	}
+	for _, mb := range []float64{1, 2} {
+		base := int64(mb * (1 << 20) / 2)
+		row := Row{X: mb}
+		for _, placement := range []int{
+			core.PlacementTopologyAware, core.PlacementRankOrder,
+			core.PlacementRandom, core.PlacementWorst,
+		} {
+			r := miraRig(nodes, rpn, storage.LockShared)
+			// Isolate the aggregation phase: an infinitely fast storage
+			// tier exposes what placement does to the network phase
+			// (end-to-end, the storage path hides it — see the note).
+			r.sys = storage.NewNullFS()
+			j := ioJob{
+				r:       r,
+				subfile: true,
+				cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, Placement: placement},
+				declared: func(rank, ranks int) [][]storage.Seg {
+					// The second half of each partition's ranks carries 3x
+					// the data of the first half (mean: 2x base).
+					size := base
+					if rank%(ranks/16) >= ranks/32 {
+						size = 3 * base
+					}
+					// Offsets: prefix layout is rank-dependent; compute the
+					// start of this rank's block.
+					var off int64
+					per := ranks / 16
+					half := per / 2
+					blockOf := func(rk int) int64 {
+						if rk%per >= half {
+							return 3 * base
+						}
+						return base
+					}
+					for i := 0; i < rank; i++ {
+						off += blockOf(i)
+					}
+					return [][]storage.Seg{{storage.Contig(off, size)}}
+				},
+			}
+			row.Values = append(row.Values, mustIO(j, methodTapioca))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"aggregation phase isolated with a null storage tier; end-to-end, the storage path dominates and placement deltas shrink below 2%")
+	return res
+}
+
+// AblationPipeline compares double-buffered aggregation against the
+// single-buffer variant on both platforms.
+func AblationPipeline(full bool) Result {
+	nodesT := pick(full, 512, 128)
+	nodesM := pick(full, 1024, 256)
+	rpn := 16
+	osts := pick(full, 48, 12)
+	res := Result{
+		ID:     "abl-pipeline",
+		Title:  "Double vs single aggregation buffer (micro-benchmark, 2 MB/rank)",
+		XLabel: "platform(0=Theta,1=Mira)",
+		Labels: []string{"DoubleBuffer", "SingleBuffer"},
+	}
+	size := int64(2 << 20)
+	// Theta.
+	row := Row{X: 0}
+	for _, single := range []bool{false, true} {
+		r := thetaRig(nodesT, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+			cfg:     core.Config{Aggregators: osts, BufferSize: 8 << 20, SingleBuffer: single},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		row.Values = append(row.Values, mustIO(j, methodTapioca))
+	}
+	res.Rows = append(res.Rows, row)
+	// Mira.
+	row = Row{X: 1}
+	for _, single := range []bool{false, true} {
+		r := miraRig(nodesM, rpn, storage.LockShared)
+		j := ioJob{
+			r:       r,
+			subfile: true,
+			cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, SingleBuffer: single},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		row.Values = append(row.Values, mustIO(j, methodTapioca))
+	}
+	res.Rows = append(res.Rows, row)
+	return res
+}
+
+// AblationDeclared quantifies the declared-I/O advantage: one Init covering
+// all nine HACC variables versus nine separate sessions (the per-call
+// behaviour of classic collective I/O), AoS layout on Theta.
+func AblationDeclared(full bool) Result {
+	nodes := pick(full, 512, 128)
+	rpn := 16
+	osts := pick(full, 48, 6)
+	aggr := pick(full, 192, 24)
+	res := Result{
+		ID:     "abl-declared",
+		Title:  fmt.Sprintf("Declared I/O vs per-call aggregation, HACC AoS on Theta (%d nodes × %d ranks)", nodes, rpn),
+		XLabel: "MB/rank",
+		Labels: []string{"Declared(1 Init)", "PerCall(9 Inits)"},
+	}
+	for _, particles := range []int64{25000, 100000} {
+		mb := float64(particles*workload.ParticleBytes) / (1 << 20)
+		row := Row{X: mb}
+		for _, perCall := range []bool{false, true} {
+			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+			var totalBytes int64
+			elapsed, err := r.run(func(c *mpi.Comm, tm *timer) {
+				decl := workload.HACCDeclared(c.Rank(), c.Size(), particles, workload.AoS)
+				var mine int64
+				for _, segs := range decl {
+					mine += storage.TotalBytes(segs)
+				}
+				sum := c.AllreduceI64(mpi.OpSum, mine)
+				if c.Rank() == 0 {
+					totalBytes = sum
+				}
+				f := openShared(c, r.sys, "hacc", storage.FileOptions{StripeCount: osts, StripeSize: 16 << 20})
+				cfg := core.Config{Aggregators: aggr, BufferSize: 16 << 20}
+				tm.Start(c)
+				if perCall {
+					for _, segs := range decl {
+						w := core.New(c, r.sys, f, cfg)
+						w.Init([][]storage.Seg{segs})
+						w.WriteAll()
+					}
+				} else {
+					w := core.New(c, r.sys, f, cfg)
+					w.Init(decl)
+					w.WriteAll()
+				}
+				tm.Stop(c)
+			})
+			if err != nil {
+				panic(err)
+			}
+			row.Values = append(row.Values, gbps(totalBytes, elapsed))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"per-call sessions flush partially-filled, sparse buffers — the paper's Fig. 2 pathology")
+	return res
+}
+
+// AblationAggregators sweeps the aggregator count on the Theta
+// micro-benchmark (the open tuning question the paper cites: how many
+// aggregators collective I/O needs).
+func AblationAggregators(full bool) Result {
+	nodes := pick(full, 512, 128)
+	rpn := 16
+	osts := pick(full, 48, 12)
+	res := Result{
+		ID:     "abl-aggrcount",
+		Title:  fmt.Sprintf("Aggregator count, Theta micro-benchmark (%d nodes × %d ranks, 48 OSTs)", nodes, rpn),
+		XLabel: "aggregators",
+		Labels: []string{"TAPIOCA"},
+	}
+	size := int64(1 << 20)
+	for _, aggr := range []int{12, 24, 48, 96, 192, 384} {
+		if aggr > nodes*rpn {
+			continue
+		}
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+			cfg:     core.Config{Aggregators: aggr, BufferSize: 8 << 20},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		res.Rows = append(res.Rows, Row{X: float64(aggr), Values: []float64{mustIO(j, methodTapioca)}})
+	}
+	return res
+}
+
+// AblationContention compares the per-link and endpoint-only network
+// contention models (a simulator-fidelity knob, not a paper experiment).
+func AblationContention(full bool) Result {
+	nodes := pick(full, 512, 128)
+	rpn := 16
+	osts := pick(full, 48, 12)
+	res := Result{
+		ID:     "abl-contention",
+		Title:  fmt.Sprintf("Contention models, Theta micro-benchmark (%d nodes × %d ranks)", nodes, rpn),
+		XLabel: "MB/rank",
+		Labels: []string{"PerLink", "EndpointOnly"},
+	}
+	size := int64(2 << 20)
+	row := Row{X: 2}
+	for _, mode := range []int{netsim.ContentionLinks, netsim.ContentionEndpoint} {
+		topo := topology.ThetaDragonfly(nodes, topology.RouteMinimal)
+		fab := netsim.New(topo, netsim.Config{Contention: mode})
+		sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: osts})
+		r := &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+		j := ioJob{
+			r:       r,
+			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+			cfg:     core.Config{Aggregators: osts, BufferSize: 8 << 20},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		row.Values = append(row.Values, mustIO(j, methodTapioca))
+	}
+	res.Rows = append(res.Rows, row)
+	return res
+}

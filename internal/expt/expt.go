@@ -1,0 +1,208 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// (§V): the IOR tuning studies (Figs. 7–8), the micro-benchmark comparisons
+// (Figs. 9–10), the buffer:stripe ratio study (Table I), and the HACC-IO
+// comparisons (Figs. 11–14), plus ablations of TAPIOCA's design choices.
+//
+// Runs are deterministic. Absolute bandwidths come from a calibrated
+// simulator, not the authors' hardware; the reproduced claims are the
+// shapes: who wins, by what factor, and how gaps evolve with data size.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+)
+
+// Result is one regenerated table/figure: rows of X against one bandwidth
+// column per series.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	Labels []string // series names
+	Rows   []Row
+	Notes  []string
+}
+
+// Row is one X position with one value (GB/s) per series.
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// Spec is a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(full bool) Result
+}
+
+// All lists every experiment in paper order.
+func All() []Spec {
+	return []Spec{
+		{"fig7", "IOR on Mira, baseline vs user-tuned MPI-IO (512 nodes × 16)", Fig7},
+		{"fig8", "IOR on Theta, baseline vs user-tuned MPI-IO (512 nodes × 16)", Fig8},
+		{"fig9", "Micro-benchmark on Mira: TAPIOCA vs MPI-IO (1,024 nodes × 16)", Fig9},
+		{"fig10", "Micro-benchmark on Theta: TAPIOCA vs MPI-IO (512 nodes × 16)", Fig10},
+		{"table1", "Aggregator buffer size : Lustre stripe size ratio", Table1},
+		{"fig11", "HACC-IO on Mira, 1,024 nodes × 16, file per Pset", Fig11},
+		{"fig12", "HACC-IO on Mira, 4,096 nodes × 16, file per Pset", Fig12},
+		{"fig13", "HACC-IO on Theta, 1,024 nodes × 16", Fig13},
+		{"fig14", "HACC-IO on Theta, 2,048 nodes × 16", Fig14},
+		{"abl-placement", "Ablation: aggregator placement strategies", AblationPlacement},
+		{"abl-pipeline", "Ablation: double vs single aggregation buffer", AblationPipeline},
+		{"abl-declared", "Ablation: declared I/O vs per-call aggregation", AblationDeclared},
+		{"abl-aggrcount", "Ablation: aggregator count on Theta", AblationAggregators},
+		{"abl-contention", "Ablation: link vs endpoint contention model", AblationContention},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Spec {
+	for _, s := range All() {
+		if s.ID == id {
+			sp := s
+			return &sp
+		}
+	}
+	return nil
+}
+
+// rig is a fresh simulated platform for one measurement.
+type rig struct {
+	topo  topology.Topology
+	fab   *netsim.Fabric
+	sys   storage.System
+	nodes int
+	rpn   int
+}
+
+func (r *rig) ranks() int { return r.nodes * r.rpn }
+
+// miraRig builds a Mira platform. lockMode selects the GPFS token mode.
+func miraRig(nodes, rpn, lockMode int) *rig {
+	topo := topology.MiraTorus(nodes)
+	fab := netsim.New(topo, netsim.Config{
+		Contention: netsim.ContentionLinks,
+		InjectRate: 2 * topo.TorusLinkBW,
+	})
+	sys := storage.NewGPFS(topo, fab, storage.GPFSConfig{LockMode: lockMode})
+	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+}
+
+// thetaRig builds a Theta platform with the given routing mode and OST
+// population (reduced-scale runs shrink the OST count proportionally so
+// aggregator-per-OST and domain-per-stripe ratios match the paper's).
+func thetaRig(nodes, rpn, routing, numOST int) *rig {
+	topo := topology.ThetaDragonfly(nodes, routing)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: numOST})
+	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+}
+
+// measure runs body on the rig and returns the I/O bandwidth in GB/s:
+// bytes divided by the time between the two barriers body brackets its I/O
+// with (via the mark callback).
+type timer struct {
+	t0, t1 int64
+}
+
+// run executes a job; body gets the comm and a timer whose Start/Stop must
+// bracket the timed phase (rank 0's observations are used — barrier release
+// times are common to all ranks).
+func (r *rig) run(body func(c *mpi.Comm, tm *timer)) (float64, error) {
+	tm := &timer{}
+	_, err := mpi.Run(mpi.Config{
+		Ranks:        r.ranks(),
+		RanksPerNode: r.rpn,
+		Fabric:       r.fab,
+	}, func(c *mpi.Comm) {
+		body(c, tm)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sim.ToSeconds(tm.t1 - tm.t0), nil
+}
+
+// Start marks the beginning of the timed phase (call after a barrier, on
+// every rank; rank 0 wins).
+func (tm *timer) Start(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		tm.t0 = c.Now()
+	}
+}
+
+// Stop marks the end of the timed phase.
+func (tm *timer) Stop(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		tm.t1 = c.Now()
+	}
+}
+
+// gbps converts bytes over seconds to GB/s.
+func gbps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e9
+}
+
+// Render formats a Result as an aligned text table.
+func Render(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", res.ID, res.Title)
+	fmt.Fprintf(&b, "%-12s", res.XLabel)
+	for _, l := range res.Labels {
+		fmt.Fprintf(&b, "  %18s", l)
+	}
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%-12.3f", row.X)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, "  %15.3f GB/s", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range res.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV formats a Result as comma-separated values.
+func CSV(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	for _, l := range res.Labels {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(l, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%g", row.X)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sortedKeys returns map keys in sorted order (deterministic reports).
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

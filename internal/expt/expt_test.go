@@ -1,0 +1,152 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig7", "fig8", "fig9", "fig10", "table1", "fig11", "fig12", "fig13", "fig14"}
+	for _, id := range want {
+		if ByID(id) == nil {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	res := Result{
+		ID: "x", Title: "T", XLabel: "mb",
+		Labels: []string{"a", "b"},
+		Rows:   []Row{{X: 1, Values: []float64{2, 3}}},
+		Notes:  []string{"n"},
+	}
+	out := Render(res)
+	if !strings.Contains(out, "T") || !strings.Contains(out, "2.000") {
+		t.Fatalf("render = %q", out)
+	}
+	csv := CSV(res)
+	if !strings.Contains(csv, "x,a,b") || !strings.Contains(csv, "1,2,3") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+// Shape assertions on the fast experiments (reduced scale). The heavier
+// grids (Figs. 11, 12, 14) are exercised by the benchmarks.
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := Fig8(false)
+	for _, row := range res.Rows {
+		optR, optW, baseR, baseW := row.Values[0], row.Values[1], row.Values[2], row.Values[3]
+		if optW < 3*baseW {
+			t.Errorf("x=%v: optimized write %v not >>3x baseline %v", row.X, optW, baseW)
+		}
+		if optR < 2*baseR {
+			t.Errorf("x=%v: optimized read %v not >>2x baseline %v", row.X, optR, baseR)
+		}
+		if baseR < baseW {
+			// Reads outpace writes on untuned Lustre in the paper too.
+			t.Errorf("x=%v: baseline read %v below baseline write %v", row.X, baseR, baseW)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := Fig10(false)
+	last := res.Rows[len(res.Rows)-1]
+	if last.Values[0] <= last.Values[1] {
+		t.Errorf("TAPIOCA %v not ahead of MPI-IO %v at the largest size", last.Values[0], last.Values[1])
+	}
+	for _, row := range res.Rows {
+		if row.Values[0] < 0.9*row.Values[1] {
+			t.Errorf("x=%v: TAPIOCA %v materially behind MPI-IO %v", row.X, row.Values[0], row.Values[1])
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := Table1(false)
+	var peakX float64
+	var peakV float64
+	for _, row := range res.Rows {
+		if row.Values[0] > peakV {
+			peakV = row.Values[0]
+			peakX = row.X
+		}
+	}
+	if peakX != 1 {
+		t.Errorf("peak ratio = %v, want 1:1 (paper Table I)", peakX)
+	}
+	// Both extremes must be below the peak.
+	first, last := res.Rows[0].Values[0], res.Rows[len(res.Rows)-1].Values[0]
+	if first >= peakV || last >= peakV {
+		t.Errorf("extremes (%v, %v) not below peak %v", first, last, peakV)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := Fig13(false)
+	for _, row := range res.Rows {
+		tapAoS, mpiAoS := row.Values[0], row.Values[1]
+		tapSoA, mpiSoA := row.Values[2], row.Values[3]
+		if tapAoS < 4*mpiAoS {
+			t.Errorf("x=%v: TAPIOCA AoS %v not >>4x MPI-IO AoS %v", row.X, tapAoS, mpiAoS)
+		}
+		if tapSoA < mpiSoA {
+			t.Errorf("x=%v: TAPIOCA SoA %v behind MPI-IO SoA %v", row.X, tapSoA, mpiSoA)
+		}
+	}
+}
+
+func TestAblationPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := AblationPipeline(false)
+	theta := res.Rows[0]
+	if theta.Values[0] < 1.5*theta.Values[1] {
+		t.Errorf("double buffering %v not >=1.5x single %v on Theta", theta.Values[0], theta.Values[1])
+	}
+}
+
+func TestAblationDeclaredShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := AblationDeclared(false)
+	for _, row := range res.Rows {
+		if row.Values[0] < 3*row.Values[1] {
+			t.Errorf("x=%v: declared %v not >>3x per-call %v", row.X, row.Values[0], row.Values[1])
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	a := Fig10(false)
+	b := Fig10(false)
+	for i := range a.Rows {
+		for j := range a.Rows[i].Values {
+			if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, a.Rows[i].Values[j], b.Rows[i].Values[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"tapioca/internal/sim"
+)
+
+type simMsg = sim.Message
+
+func simMessage(arrival, key, bytes int64, payload any) sim.Message {
+	return sim.Message{Arrival: arrival, Key: key, Bytes: bytes, Payload: payload}
+}
+
+// collState accumulates one in-flight collective on a communicator.
+type collState struct {
+	kind     string
+	arrived  int
+	maxT     int64
+	contribs []any
+	waiters  []*sim.Proc
+	result   any
+	release  int64
+}
+
+// collective runs one bulk-synchronous collective call. Every rank of the
+// communicator must call it with the same kind, in the same order (matched
+// collectives, as the MPI standard requires — mismatches panic, surfacing
+// real bugs). finish runs once, on the last-arriving rank, and returns the
+// shared result plus the common release time.
+func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, maxT int64) (any, int64)) any {
+	s := c.s
+	if s.coll == nil {
+		s.coll = &collState{kind: kind, contribs: make([]any, c.Size())}
+	}
+	st := s.coll
+	if st.kind != kind {
+		panic(fmt.Sprintf("mpi: mismatched collectives on comm %d: %s vs %s", s.id, st.kind, kind))
+	}
+	st.contribs[c.rank] = contrib
+	st.arrived++
+	if c.p.Now() > st.maxT {
+		st.maxT = c.p.Now()
+	}
+	if st.arrived < c.Size() {
+		st.waiters = append(st.waiters, c.p)
+		c.p.Park("collective " + kind)
+		return st.result
+	}
+	// Last arriver: compute, reset comm state for the next collective,
+	// release everyone at the common time.
+	st.result, st.release = finish(st.contribs, st.maxT)
+	if st.release < st.maxT {
+		st.release = st.maxT
+	}
+	s.coll = nil
+	for _, w := range st.waiters {
+		c.p.Engine().Unpark(w, st.release)
+	}
+	c.p.HoldUntil(st.release)
+	return st.result
+}
+
+// Collective runs a user-defined collective operation: every rank's contrib
+// is gathered, finish runs exactly once (on the last-arriving rank) over the
+// contributions indexed by comm rank, and its result is returned to every
+// rank. The cost model is a tree collective moving bytes per rank. This is
+// the building block for library-level collectives that must not replicate
+// O(P) work on every rank (e.g. two-phase I/O plan construction).
+func (c *Comm) Collective(kind string, contrib any, bytes int64, finish func(contribs []any) any) any {
+	return c.collective("user-"+kind, contrib, func(contribs []any, maxT int64) (any, int64) {
+		return finish(contribs), c.treeCost(maxT, bytes)
+	})
+}
+
+// treeCost is the LogP-style analytic cost of a tree collective moving
+// bytes per rank: ⌈log₂P⌉ rounds of per-round latency plus the bandwidth
+// term on the injection rate.
+func (c *Comm) treeCost(maxT int64, bytes int64) int64 {
+	rounds := logRounds(c.Size())
+	inject := c.s.w.fabric.Config().InjectRate
+	return maxT + rounds*c.alpha() + rounds*sim.TransferTime(bytes, inject)
+}
+
+// Barrier blocks until all ranks of the communicator arrive.
+func (c *Comm) Barrier() {
+	c.collective("barrier", nil, func(_ []any, maxT int64) (any, int64) {
+		return nil, c.treeCost(maxT, 0)
+	})
+}
+
+// Bcast broadcasts root's payload to every rank and returns it.
+func (c *Comm) Bcast(root int, bytes int64, payload any) any {
+	var contrib any
+	if c.rank == root {
+		contrib = payload
+	}
+	return c.collective("bcast", contrib, func(contribs []any, maxT int64) (any, int64) {
+		return contribs[root], c.treeCost(maxT, bytes)
+	})
+}
+
+// Reduction operations.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func applyOpF64(op Op, vals []float64) float64 {
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		switch op {
+		case OpSum:
+			acc += v
+		case OpMin:
+			if v < acc {
+				acc = v
+			}
+		case OpMax:
+			if v > acc {
+				acc = v
+			}
+		}
+	}
+	return acc
+}
+
+// AllreduceF64 reduces one float64 per rank with op and returns the result
+// on every rank.
+func (c *Comm) AllreduceF64(op Op, v float64) float64 {
+	res := c.collective("allreduce-f64", v, func(contribs []any, maxT int64) (any, int64) {
+		vals := make([]float64, len(contribs))
+		for i, x := range contribs {
+			vals[i] = x.(float64)
+		}
+		return applyOpF64(op, vals), c.treeCost(maxT, 8)
+	})
+	return res.(float64)
+}
+
+// AllreduceI64 reduces one int64 per rank with op.
+func (c *Comm) AllreduceI64(op Op, v int64) int64 {
+	res := c.collective("allreduce-i64", v, func(contribs []any, maxT int64) (any, int64) {
+		acc := contribs[0].(int64)
+		for _, x := range contribs[1:] {
+			v := x.(int64)
+			switch op {
+			case OpSum:
+				acc += v
+			case OpMin:
+				if v < acc {
+					acc = v
+				}
+			case OpMax:
+				if v > acc {
+					acc = v
+				}
+			}
+		}
+		return acc, c.treeCost(maxT, 8)
+	})
+	return res.(int64)
+}
+
+type minloc struct {
+	val float64
+	loc int
+}
+
+// AllreduceMinLoc returns the minimum value and the location (rank-supplied
+// integer) that attains it — MPI_MINLOC, the primitive the paper's
+// aggregator election uses. Ties resolve to the smallest location, making
+// elections deterministic.
+func (c *Comm) AllreduceMinLoc(v float64, loc int) (float64, int) {
+	res := c.collective("allreduce-minloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
+		best := contribs[0].(minloc)
+		for _, x := range contribs[1:] {
+			m := x.(minloc)
+			if m.val < best.val || (m.val == best.val && m.loc < best.loc) {
+				best = m
+			}
+		}
+		return best, c.treeCost(maxT, 16)
+	})
+	m := res.(minloc)
+	return m.val, m.loc
+}
+
+// AllreduceMaxLoc returns the maximum value and its location (MPI_MAXLOC).
+func (c *Comm) AllreduceMaxLoc(v float64, loc int) (float64, int) {
+	res := c.collective("allreduce-maxloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
+		best := contribs[0].(minloc)
+		for _, x := range contribs[1:] {
+			m := x.(minloc)
+			if m.val > best.val || (m.val == best.val && m.loc < best.loc) {
+				best = m
+			}
+		}
+		return best, c.treeCost(maxT, 16)
+	})
+	m := res.(minloc)
+	return m.val, m.loc
+}
+
+// Allgather gathers bytes-sized payloads from every rank to every rank.
+// The result is indexed by comm rank.
+func (c *Comm) Allgather(bytes int64, payload any) []any {
+	res := c.collective("allgather", payload, func(contribs []any, maxT int64) (any, int64) {
+		out := make([]any, len(contribs))
+		copy(out, contribs)
+		total := int64(len(contribs)-1) * bytes
+		inject := c.s.w.fabric.Config().InjectRate
+		return out, maxT + logRounds(c.Size())*c.alpha() + sim.TransferTime(total, inject)
+	})
+	return res.([]any)
+}
+
+// AllgatherI64 gathers one int64 per rank.
+func (c *Comm) AllgatherI64(v int64) []int64 {
+	anyVals := c.Allgather(8, v)
+	out := make([]int64, len(anyVals))
+	for i, x := range anyVals {
+		out[i] = x.(int64)
+	}
+	return out
+}
+
+// Gather collects payloads at root (result indexed by comm rank; nil on
+// non-root ranks).
+func (c *Comm) Gather(root int, bytes int64, payload any) []any {
+	res := c.collective("gather", payload, func(contribs []any, maxT int64) (any, int64) {
+		out := make([]any, len(contribs))
+		copy(out, contribs)
+		total := int64(len(contribs)-1) * bytes
+		inject := c.s.w.fabric.Config().InjectRate
+		return out, maxT + logRounds(c.Size())*c.alpha() + sim.TransferTime(total, inject)
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res.([]any)
+}
+
+// Scatter distributes root's per-rank payloads; every rank receives its
+// element. payloads is only read on root.
+func (c *Comm) Scatter(root int, bytes int64, payloads []any) any {
+	var contrib any
+	if c.rank == root {
+		if len(payloads) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter with %d payloads for %d ranks", len(payloads), c.Size()))
+		}
+		contrib = payloads
+	}
+	res := c.collective("scatter", contrib, func(contribs []any, maxT int64) (any, int64) {
+		total := int64(c.Size()-1) * bytes
+		inject := c.s.w.fabric.Config().InjectRate
+		return contribs[root], maxT + logRounds(c.Size())*c.alpha() + sim.TransferTime(total, inject)
+	})
+	return res.([]any)[c.rank]
+}
+
+// Alltoall exchanges bytes between every pair of ranks (cost only; payloads
+// are not routed — use explicit Send/Recv when content matters).
+func (c *Comm) Alltoall(bytesPerPair int64) {
+	c.collective("alltoall", nil, func(_ []any, maxT int64) (any, int64) {
+		total := int64(c.Size()-1) * bytesPerPair
+		inject := c.s.w.fabric.Config().InjectRate
+		return nil, maxT + int64(c.Size()-1)*c.s.w.cfg.Overhead + sim.TransferTime(total, inject)
+	})
+}
+
+// splitEntry carries one rank's Split arguments.
+type splitEntry struct {
+	color, key, rank int
+}
+
+// Split partitions the communicator: ranks supplying the same color form a
+// new communicator, ordered by (key, rank). A negative color opts out and
+// returns nil. The paper's per-partition aggregator election runs on these
+// sub-communicators.
+func (c *Comm) Split(color, key int) *Comm {
+	res := c.collective("split", splitEntry{color, key, c.rank}, func(contribs []any, maxT int64) (any, int64) {
+		entries := make([]splitEntry, len(contribs))
+		for i, x := range contribs {
+			entries[i] = x.(splitEntry)
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			a, b := entries[i], entries[j]
+			if a.color != b.color {
+				return a.color < b.color
+			}
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.rank < b.rank
+		})
+		handles := make([]*Comm, len(entries))
+		i := 0
+		for i < len(entries) {
+			j := i
+			for j < len(entries) && entries[j].color == entries[i].color {
+				j++
+			}
+			if entries[i].color >= 0 {
+				worldRanks := make([]int, 0, j-i)
+				for _, e := range entries[i:j] {
+					worldRanks = append(worldRanks, c.s.ranks[e.rank])
+				}
+				ns := c.s.w.newCommShared(worldRanks)
+				for nr, e := range entries[i:j] {
+					h := ns.handle(nr)
+					handles[e.rank] = h
+				}
+			}
+			i = j
+		}
+		return handles, c.treeCost(maxT, 8)
+	})
+	h := res.([]*Comm)[c.rank]
+	if h != nil {
+		h.p = c.p
+	}
+	return h
+}
+
+// Dup duplicates the communicator (a collective call).
+func (c *Comm) Dup() *Comm {
+	return c.Split(0, c.rank)
+}

@@ -1,0 +1,236 @@
+// Package mpi implements a simulated MPI runtime over the discrete-event
+// engine in internal/sim.
+//
+// Each MPI rank is a sim proc with its own virtual clock. The package
+// provides the subset of MPI-2/MPI-3 that two-phase I/O libraries consume:
+//
+//   - communicators with Dup and Split;
+//   - blocking point-to-point with tag matching and wildcards, moving
+//     virtual bytes through a netsim.Fabric (so congestion is real);
+//   - collectives (Barrier, Bcast, Reduce, Allreduce with MINLOC/MAXLOC,
+//     Gather/Allgather and the v variants, Alltoall) with LogP-style
+//     analytic costs — collectives are the control plane, the measured data
+//     plane always moves through the fabric;
+//   - one-sided communication: windows with Put/Get/Accumulate and fence
+//     epochs, the transport TAPIOCA uses for aggregation.
+//
+// Payloads are optional: small control values ride along for algorithmic
+// correctness (e.g. election costs), while bulk data is virtual byte counts.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// AnySource and AnyTag are wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes a simulated MPI job.
+type Config struct {
+	// Ranks is the total number of MPI processes.
+	Ranks int
+	// RanksPerNode maps ranks to nodes block-wise (rank r → node
+	// r/RanksPerNode) unless NodeOf is set. Default 1.
+	RanksPerNode int
+	// NodeOf overrides the rank→node mapping.
+	NodeOf func(rank int) int
+	// Fabric carries all point-to-point and one-sided traffic. Required.
+	Fabric *netsim.Fabric
+	// Engine to run on; one is created if nil.
+	Engine *sim.Engine
+	// Overhead is the per-call MPI software overhead in ns (default 1.2 µs).
+	Overhead int64
+	// CollectiveHops is the per-round hop estimate used by the analytic
+	// collective cost model (default: topology-dependent).
+	CollectiveHops int
+}
+
+// World is the simulated MPI job: the scheduler-facing handle that owns all
+// rank procs and communicator state.
+type World struct {
+	cfg    Config
+	eng    *sim.Engine
+	fabric *netsim.Fabric
+	nodeOf []int
+	nextID int
+}
+
+// Run spawns cfg.Ranks procs, each executing body with its own world
+// communicator handle, and runs the simulation to completion. It returns
+// the engine (for clock inspection) and any simulation error.
+func Run(cfg Config, body func(*Comm)) (*sim.Engine, error) {
+	w, world, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		c := world.handle(r)
+		w.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			c.p = p
+			body(c)
+		})
+	}
+	return w.eng, w.eng.Run()
+}
+
+// NewWorld builds the world and its communicator without spawning procs;
+// callers that need custom per-rank bodies use this directly.
+func NewWorld(cfg Config) (*World, *commShared, error) {
+	if cfg.Ranks <= 0 {
+		return nil, nil, fmt.Errorf("mpi: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Fabric == nil {
+		return nil, nil, fmt.Errorf("mpi: Fabric is required")
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 1
+	}
+	if cfg.Overhead <= 0 {
+		cfg.Overhead = 1200
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = sim.NewEngine()
+	}
+	if cfg.CollectiveHops <= 0 {
+		cfg.CollectiveHops = defaultCollectiveHops(cfg.Fabric.Topology())
+	}
+	w := &World{cfg: cfg, eng: cfg.Engine, fabric: cfg.Fabric}
+	w.nodeOf = make([]int, cfg.Ranks)
+	nodes := cfg.Fabric.Topology().Nodes()
+	for r := range w.nodeOf {
+		if cfg.NodeOf != nil {
+			w.nodeOf[r] = cfg.NodeOf(r)
+		} else {
+			w.nodeOf[r] = r / cfg.RanksPerNode
+		}
+		if w.nodeOf[r] < 0 || w.nodeOf[r] >= nodes {
+			return nil, nil, fmt.Errorf("mpi: rank %d mapped to node %d outside topology (%d nodes)", r, w.nodeOf[r], nodes)
+		}
+	}
+	ranks := make([]int, cfg.Ranks)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w, w.newCommShared(ranks), nil
+}
+
+// defaultCollectiveHops estimates the typical hop count of tree edges.
+func defaultCollectiveHops(t topology.Topology) int {
+	switch tt := t.(type) {
+	case *topology.Torus5D:
+		d := 0
+		for _, s := range tt.Dims {
+			d += s / 2
+		}
+		return maxInt(d/2, 1)
+	case *topology.Dragonfly:
+		return 5
+	default:
+		return 2
+	}
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Fabric returns the interconnect fabric.
+func (w *World) Fabric() *netsim.Fabric { return w.fabric }
+
+// NodeOf returns the compute node hosting a world rank.
+func (w *World) NodeOf(rank int) int { return w.nodeOf[rank] }
+
+// commShared is the per-communicator state shared by all member handles.
+type commShared struct {
+	w      *World
+	id     int
+	ranks  []int // comm rank → world rank
+	boxes  []*sim.Mailbox
+	coll   *collState
+	member []*Comm // comm rank → handle
+}
+
+func (w *World) newCommShared(worldRanks []int) *commShared {
+	s := &commShared{w: w, id: w.nextID, ranks: worldRanks}
+	w.nextID++
+	s.boxes = make([]*sim.Mailbox, len(worldRanks))
+	s.member = make([]*Comm, len(worldRanks))
+	for i := range s.boxes {
+		s.boxes[i] = sim.NewMailbox(fmt.Sprintf("comm%d-rank%d", s.id, i))
+	}
+	return s
+}
+
+// handle returns the Comm handle for comm rank r, creating it if needed.
+func (s *commShared) handle(r int) *Comm {
+	if s.member[r] == nil {
+		s.member[r] = &Comm{s: s, rank: r}
+	}
+	return s.member[r]
+}
+
+// Comm is one rank's handle on a communicator. Handles are only valid inside
+// the owning rank's proc.
+type Comm struct {
+	s    *commShared
+	rank int
+	p    *sim.Proc
+}
+
+// Rank returns the caller's rank in this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.s.ranks) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.s.ranks[c.rank] }
+
+// WorldRankOf returns the world rank of another rank of this communicator.
+func (c *Comm) WorldRankOf(r int) int { return c.s.ranks[r] }
+
+// Node returns the compute node hosting the caller.
+func (c *Comm) Node() int { return c.s.w.nodeOf[c.WorldRank()] }
+
+// NodeOfRank returns the compute node hosting another rank of this comm.
+func (c *Comm) NodeOfRank(r int) int { return c.s.w.nodeOf[c.s.ranks[r]] }
+
+// Proc returns the caller's sim proc.
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// World returns the owning world.
+func (c *Comm) World() *World { return c.s.w }
+
+// Now returns the caller's virtual time.
+func (c *Comm) Now() int64 { return c.p.Now() }
+
+// Compute advances the caller's clock by d nanoseconds of local work.
+func (c *Comm) Compute(d int64) { c.p.Hold(d) }
+
+// alpha is the per-round latency term of the analytic collective model.
+func (c *Comm) alpha() int64 {
+	w := c.s.w
+	return w.cfg.Overhead + int64(w.cfg.CollectiveHops)*w.fabric.Config().PerHopLatency
+}
+
+// logRounds returns ⌈log₂ n⌉ (minimum 1).
+func logRounds(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(math.Ceil(math.Log2(float64(n))))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,562 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// testConfig returns a small flat-topology MPI job config.
+func testConfig(ranks, ranksPerNode int) Config {
+	nodes := (ranks + ranksPerNode - 1) / ranksPerNode
+	topo := topology.NewFlat(nodes)
+	return Config{
+		Ranks:        ranks,
+		RanksPerNode: ranksPerNode,
+		Fabric:       netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks}),
+	}
+}
+
+func TestRunRankIdentity(t *testing.T) {
+	const n = 8
+	seen := make([]bool, n)
+	_, err := Run(testConfig(n, 2), func(c *Comm) {
+		if c.Size() != n {
+			t.Errorf("size = %d", c.Size())
+		}
+		if c.WorldRank() != c.Rank() {
+			t.Errorf("world rank %d != rank %d on world comm", c.WorldRank(), c.Rank())
+		}
+		if c.Node() != c.Rank()/2 {
+			t.Errorf("rank %d on node %d, want %d", c.Rank(), c.Node(), c.Rank()/2)
+		}
+		seen[c.Rank()] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("rank %d did not run", r)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := NewWorld(Config{Ranks: 0}); err == nil {
+		t.Error("expected error for zero ranks")
+	}
+	if _, _, err := NewWorld(Config{Ranks: 4}); err == nil {
+		t.Error("expected error for missing fabric")
+	}
+	cfg := testConfig(4, 1)
+	cfg.NodeOf = func(rank int) int { return 99 }
+	if _, _, err := NewWorld(cfg); err == nil {
+		t.Error("expected error for out-of-range node mapping")
+	}
+}
+
+func TestSendRecvPayload(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, 1024, "hello")
+		} else {
+			st := c.Recv(0, 5)
+			if st.Payload.(string) != "hello" {
+				t.Errorf("payload = %v", st.Payload)
+			}
+			if st.Source != 0 || st.Tag != 5 || st.Bytes != 1024 {
+				t.Errorf("status = %+v", st)
+			}
+			if c.Now() == 0 {
+				t.Error("recv completed with no elapsed virtual time")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	_, err := Run(testConfig(3, 1), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(2, 1, 10, "from0")
+		case 1:
+			c.Send(2, 2, 10, "from1")
+		case 2:
+			a := c.Recv(AnySource, AnyTag)
+			b := c.Recv(AnySource, AnyTag)
+			got := map[string]bool{a.Payload.(string): true, b.Payload.(string): true}
+			if !got["from0"] || !got["from1"] {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertakingSameSource(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(1, 9, 100, i)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				st := c.Recv(0, 9)
+				if st.Payload.(int) != i {
+					t.Errorf("message %d overtaken: got %v", i, st.Payload)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvByTag(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, 10, "tag1")
+			c.Send(1, 2, 10, "tag2")
+		} else {
+			st := c.Recv(0, 2) // out of order by tag
+			if st.Payload.(string) != "tag2" {
+				t.Errorf("got %v", st.Payload)
+			}
+			st = c.Recv(0, 1)
+			if st.Payload.(string) != "tag1" {
+				t.Errorf("got %v", st.Payload)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(7, 0, 1, nil)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid rank") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 6
+	var releases []int64
+	_, err := Run(testConfig(n, 1), func(c *Comm) {
+		c.Compute(int64(c.Rank()) * 1000)
+		c.Barrier()
+		releases = append(releases, c.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range releases[1:] {
+		if r != releases[0] {
+			t.Fatalf("ranks released at different times: %v", releases)
+		}
+	}
+	if releases[0] < int64(n-1)*1000 {
+		t.Fatalf("release %d before last arrival", releases[0])
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(testConfig(5, 1), func(c *Comm) {
+		var payload any
+		if c.Rank() == 2 {
+			payload = []int{1, 2, 3}
+		}
+		got := c.Bcast(2, 100, payload)
+		v := got.([]int)
+		if len(v) != 3 || v[0] != 1 {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		v := float64(c.Rank() + 1)
+		if got := c.AllreduceF64(OpSum, v); got != 10 {
+			t.Errorf("sum = %v", got)
+		}
+		if got := c.AllreduceF64(OpMin, v); got != 1 {
+			t.Errorf("min = %v", got)
+		}
+		if got := c.AllreduceF64(OpMax, v); got != 4 {
+			t.Errorf("max = %v", got)
+		}
+		if got := c.AllreduceI64(OpSum, int64(c.Rank())); got != 6 {
+			t.Errorf("isum = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMinLoc(t *testing.T) {
+	_, err := Run(testConfig(5, 1), func(c *Comm) {
+		costs := []float64{5, 3, 9, 3, 7} // tie between ranks 1 and 3
+		v, loc := c.AllreduceMinLoc(costs[c.Rank()], c.Rank())
+		if v != 3 || loc != 1 {
+			t.Errorf("minloc = (%v, %d), want (3, 1)", v, loc)
+		}
+		vm, lm := c.AllreduceMaxLoc(costs[c.Rank()], c.Rank())
+		if vm != 9 || lm != 2 {
+			t.Errorf("maxloc = (%v, %d), want (9, 2)", vm, lm)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	_, err := Run(testConfig(4, 2), func(c *Comm) {
+		vals := c.AllgatherI64(int64(c.Rank() * 10))
+		for i, v := range vals {
+			if v != int64(i*10) {
+				t.Errorf("vals[%d] = %d", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherOnlyRootGets(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		res := c.Gather(1, 8, c.Rank()*2)
+		if c.Rank() == 1 {
+			if len(res) != 4 || res[3].(int) != 6 {
+				t.Errorf("root got %v", res)
+			}
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		var payloads []any
+		if c.Rank() == 0 {
+			payloads = []any{"a", "b", "c", "d"}
+		}
+		got := c.Scatter(0, 4, payloads)
+		want := string(rune('a' + c.Rank()))
+		if got.(string) != want {
+			t.Errorf("rank %d got %v, want %v", c.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedCollectivesPanic(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			c.AllreduceF64(OpSum, 1)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatched collectives") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSplitByParity(t *testing.T) {
+	const n = 8
+	_, err := Run(testConfig(n, 1), func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Size() != n/2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		if sub.WorldRank() != c.Rank() {
+			t.Errorf("world rank mangled: %d vs %d", sub.WorldRank(), c.Rank())
+		}
+		if want := c.Rank() / 2; sub.Rank() != want {
+			t.Errorf("sub rank = %d, want %d", sub.Rank(), want)
+		}
+		// The subcommunicator must work for collectives.
+		sum := sub.AllreduceI64(OpSum, int64(c.Rank()))
+		want := int64(0 + 2 + 4 + 6)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if sum != want {
+			t.Errorf("sub allreduce = %d, want %d", sum, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNegativeColorOptsOut(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("rank 3 should have no subcomm")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	const n = 4
+	_, err := Run(testConfig(n, 1), func(c *Comm) {
+		// Reverse order via key.
+		sub := c.Split(0, n-c.Rank())
+		if want := n - 1 - c.Rank(); sub.Rank() != want {
+			t.Errorf("rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDup(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		d := c.Dup()
+		if d.Rank() != c.Rank() || d.Size() != c.Size() {
+			t.Errorf("dup mismatch: %d/%d vs %d/%d", d.Rank(), d.Size(), c.Rank(), c.Size())
+		}
+		// P2P on the dup must not interfere with the parent comm.
+		if c.Rank() == 0 {
+			d.Send(1, 3, 8, "dup")
+			c.Send(1, 3, 8, "parent")
+		} else if c.Rank() == 1 {
+			st := c.Recv(0, 3)
+			if st.Payload.(string) != "parent" {
+				t.Errorf("parent comm got %v", st.Payload)
+			}
+			st = d.Recv(0, 3)
+			if st.Payload.(string) != "dup" {
+				t.Errorf("dup comm got %v", st.Payload)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveTimeAdvances(t *testing.T) {
+	_, err := Run(testConfig(16, 4), func(c *Comm) {
+		before := c.Now()
+		c.Barrier()
+		if c.Now() <= before {
+			t.Error("barrier consumed no virtual time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() int64 {
+		eng, err := Run(testConfig(12, 3), func(c *Comm) {
+			c.Compute(int64(c.Rank()%3) * 500)
+			vals := c.AllgatherI64(int64(c.Rank()))
+			_ = vals
+			if c.Rank() > 0 {
+				c.Send(c.Rank()-1, 0, 4096, nil)
+			}
+			if c.Rank() < c.Size()-1 {
+				c.Recv(c.Rank()+1, 0)
+			}
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Fatalf("non-deterministic end time: %d vs %d", t1, t2)
+	}
+	if t1 == 0 {
+		t.Fatal("simulation consumed no time")
+	}
+}
+
+func TestWinPutFence(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		w := c.WinCreate(1 << 20)
+		w.SetCapture(true)
+		if c.Rank() != 0 {
+			off := int64(c.Rank()-1) * 1000
+			w.Put(0, off, 1000, c.Rank())
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			if got := w.LastEpochFill(0); got != 3000 {
+				t.Errorf("fill = %d, want 3000", got)
+			}
+			spans := w.CapturedWrites(0)
+			if len(spans) != 3 {
+				t.Fatalf("captured %d spans", len(spans))
+			}
+			for i, s := range spans {
+				if s.Offset != int64(i)*1000 || s.Bytes != 1000 || s.From != i+1 {
+					t.Errorf("span %d = %+v", i, s)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenceWaitsForPutArrival(t *testing.T) {
+	// A fence must release no earlier than the arrival of the largest put.
+	const bytes = 50_000_000 // 50 MB over 1 GB/s links: 50 ms
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		w := c.WinCreate(bytes)
+		if c.Rank() == 1 {
+			w.Put(0, 0, bytes, nil)
+		}
+		release := w.Fence()
+		if release < sim.TransferTime(bytes, 1e9) {
+			t.Errorf("fence released at %d, before put arrival", release)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutIsAsyncForSender(t *testing.T) {
+	const bytes = 100_000_000
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		w := c.WinCreate(bytes)
+		if c.Rank() == 1 {
+			before := c.Now()
+			w.Put(0, 0, bytes, nil)
+			// Sender blocks for injection (bytes/1GB/s) but not for the
+			// network latency; mostly we check it doesn't block forever.
+			if c.Now() < before {
+				t.Error("clock went backwards")
+			}
+		}
+		w.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOutOfWindowPanics(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		w := c.WinCreate(100)
+		if c.Rank() == 1 {
+			w.Put(0, 50, 100, nil)
+		}
+		w.Fence()
+	})
+	if err == nil || !strings.Contains(err.Error(), "outside window") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetThenFence(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		w := c.WinCreate(4096)
+		if c.Rank() == 0 {
+			w.Get(1, 0, 4096)
+		}
+		rel := w.Fence()
+		if rel <= 0 {
+			t.Errorf("fence release = %d", rel)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	const rounds = 4
+	_, err := Run(testConfig(3, 1), func(c *Comm) {
+		w := c.WinCreate(1 << 16)
+		for r := 0; r < rounds; r++ {
+			if c.Rank() != 0 {
+				w.Put(0, 0, 1<<10, nil)
+			}
+			w.Fence()
+			if c.Rank() == 0 {
+				if got := w.LastEpochFill(0); got != 2<<10 {
+					t.Errorf("round %d fill = %d", r, got)
+				}
+				if w.EpochFill(0) != 0 {
+					t.Error("current epoch fill not reset")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksOnTorusNodes(t *testing.T) {
+	topo := topology.MiraTorus(128)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	cfg := Config{Ranks: 256, RanksPerNode: 2, Fabric: fab}
+	_, err := Run(cfg, func(c *Comm) {
+		if c.Node() != c.Rank()/2 {
+			t.Errorf("rank %d node %d", c.Rank(), c.Node())
+		}
+		// Neighbor exchange across the whole torus.
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		c.Send(next, 0, 1024, nil)
+		c.Recv(prev, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package mpi
+
+import "fmt"
+
+// Status describes a received message.
+type Status struct {
+	Source  int
+	Tag     int
+	Bytes   int64
+	Payload any
+}
+
+// packKey encodes (source, tag) into a mailbox matching key.
+func packKey(source, tag int) int64 {
+	return int64(source)<<24 | int64(tag&0xFFFFFF)
+}
+
+func unpackKey(key int64) (source, tag int) {
+	return int(key >> 24), int(key & 0xFFFFFF)
+}
+
+// Send transmits bytes (with an optional payload for correctness checks) to
+// rank dst with the given tag. The call blocks until the send buffer is
+// reusable (eager/injection completion), mirroring MPI_Send on a
+// well-provisioned eager path; the message itself arrives later.
+func (c *Comm) Send(dst, tag int, bytes int64, payload any) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.Size()))
+	}
+	if tag < 0 || tag > 0xFFFFFF {
+		panic(fmt.Sprintf("mpi: tag %d out of range", tag))
+	}
+	srcNode := c.Node()
+	dstNode := c.NodeOfRank(dst)
+	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), srcNode, dstNode, bytes)
+	c.s.boxes[dst].Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
+	c.p.HoldUntil(senderFree)
+}
+
+// Recv blocks until a message matching (src, tag) arrives; wildcards
+// AnySource / AnyTag match anything. Messages from the same source are
+// non-overtaking, as MPI requires.
+func (c *Comm) Recv(src, tag int) Status {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d (size %d)", src, c.Size()))
+	}
+	m := c.s.boxes[c.rank].Recv(c.p, func(m simMsg) bool {
+		s, t := unpackKey(m.Key)
+		if src != AnySource && s != src {
+			return false
+		}
+		if tag != AnyTag && t != tag {
+			return false
+		}
+		return true
+	})
+	s, t := unpackKey(m.Key)
+	return Status{Source: s, Tag: t, Bytes: m.Bytes, Payload: m.Payload}
+}
+
+// SendRecv performs a blocking exchange: send to dst, receive from src.
+// The send is initiated before the receive, which is deadlock-free here
+// because sends complete locally (eager model).
+func (c *Comm) SendRecv(dst, sendTag int, bytes int64, payload any, src, recvTag int) Status {
+	c.Send(dst, sendTag, bytes, payload)
+	return c.Recv(src, recvTag)
+}

@@ -1,0 +1,95 @@
+package mpi
+
+import "tapioca/internal/sim"
+
+// Request is a handle on a non-blocking operation (MPI_Request).
+type Request struct {
+	c    *Comm
+	done bool
+
+	// send side
+	sendFree int64
+
+	// recv side
+	recv    bool
+	src     int
+	tag     int
+	status  Status
+	matched bool
+}
+
+// Isend starts a non-blocking send. The returned request completes (buffer
+// reusable) once the message is injected; the message itself is delivered
+// regardless of when Wait is called.
+func (c *Comm) Isend(dst, tag int, bytes int64, payload any) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic("mpi: Isend to invalid rank")
+	}
+	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.Node(), c.NodeOfRank(dst), bytes)
+	c.s.boxes[dst].Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
+	return &Request{c: c, sendFree: senderFree}
+}
+
+// Irecv posts a non-blocking receive; the message is claimed at Wait time
+// (our matching is performed lazily, which preserves MPI's non-overtaking
+// guarantee because the mailbox is FIFO per source).
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{c: c, recv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the operation completes and returns the receive status
+// (zero Status for sends).
+func (r *Request) Wait() Status {
+	if r.done {
+		return r.status
+	}
+	r.done = true
+	if r.recv {
+		r.status = r.c.Recv(r.src, r.tag)
+		r.matched = true
+		return r.status
+	}
+	r.c.p.HoldUntil(r.sendFree)
+	return Status{}
+}
+
+// Test reports whether the operation could complete without blocking, and
+// completes it if so. For receives this checks message availability.
+func (r *Request) Test() (Status, bool) {
+	if r.done {
+		return r.status, true
+	}
+	if r.recv {
+		if !r.c.hasMatch(r.src, r.tag) {
+			return Status{}, false
+		}
+		return r.Wait(), true
+	}
+	if r.c.p.Now() >= r.sendFree {
+		r.done = true
+		return Status{}, true
+	}
+	return Status{}, false
+}
+
+// hasMatch reports whether a matching message is already queued.
+func (c *Comm) hasMatch(src, tag int) bool {
+	found := false
+	c.s.boxes[c.rank].Peek(func(m sim.Message) bool {
+		s, t := unpackKey(m.Key)
+		if (src == AnySource || s == src) && (tag == AnyTag || t == tag) {
+			found = true
+		}
+		return found
+	})
+	return found
+}
+
+// Waitall completes every request in order.
+func Waitall(reqs []*Request) []Status {
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}

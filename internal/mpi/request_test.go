@@ -1,0 +1,89 @@
+package mpi
+
+import "testing"
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	_, err := Run(testConfig(4, 1), func(c *Comm) {
+		// Everyone exchanges with everyone (small alltoall by hand).
+		var reqs []*Request
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != c.Rank() {
+				reqs = append(reqs, c.Isend(dst, 7, 1024, c.Rank()))
+			}
+		}
+		for src := 0; src < c.Size(); src++ {
+			if src != c.Rank() {
+				reqs = append(reqs, c.Irecv(src, 7))
+			}
+		}
+		sts := Waitall(reqs)
+		got := map[int]bool{}
+		for _, st := range sts[c.Size()-1:] {
+			got[st.Payload.(int)] = true
+		}
+		for src := 0; src < c.Size(); src++ {
+			if src != c.Rank() && !got[src] {
+				t.Errorf("rank %d missing message from %d", c.Rank(), src)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			r := c.Irecv(1, 3)
+			if _, ok := r.Test(); ok {
+				t.Error("Test succeeded before any send")
+			}
+			c.Barrier() // let rank 1 send
+			c.Compute(1e9)
+			st, ok := r.Test()
+			if !ok {
+				t.Fatal("Test failed after send + delay")
+			}
+			if st.Payload.(string) != "hi" {
+				t.Errorf("payload = %v", st.Payload)
+			}
+			if _, ok := r.Test(); !ok {
+				t.Error("completed request must keep testing true")
+			}
+		} else {
+			c.Isend(0, 3, 64, "hi").Wait()
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvNonOvertaking(t *testing.T) {
+	_, err := Run(testConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				c.Isend(1, 9, 128, i)
+			}
+			c.Barrier()
+		} else {
+			r1 := c.Irecv(0, 9)
+			r2 := c.Irecv(0, 9)
+			c.Barrier()
+			// Waits in posting order must preserve send order.
+			if v := r1.Wait().Payload.(int); v != 0 {
+				t.Errorf("first = %d", v)
+			}
+			if v := r2.Wait().Payload.(int); v != 1 {
+				t.Errorf("second = %d", v)
+			}
+			c.Recv(0, 9)
+			c.Recv(0, 9)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

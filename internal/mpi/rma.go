@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Win is one rank's handle on an RMA window: a per-rank exposed buffer that
+// other ranks of the communicator target with one-sided Put/Get. Epochs are
+// delimited by Fence calls, as in MPI_Win_fence active-target
+// synchronization — the paper's Algorithm 3 rides exactly on this.
+type Win struct {
+	s *winShared
+	c *Comm
+}
+
+type winShared struct {
+	comm    *commShared
+	size    int64 // bytes exposed per rank
+	capture bool
+
+	epochArrival int64 // completion horizon of the current epoch's ops
+	epochOps     int
+	epochBytes   int64
+
+	fill     []int64     // bytes put into each rank's window this epoch
+	lastFill []int64     // fill of the epoch closed by the last Fence
+	writes   [][]WinSpan // per target, captured spans (when capture enabled)
+}
+
+// WinSpan records one captured one-sided access for verification.
+type WinSpan struct {
+	Offset, Bytes int64
+	From          int // origin comm rank
+	Payload       any
+}
+
+// WinCreate exposes size bytes on every rank of the communicator and returns
+// the local window handle. Collective.
+func (c *Comm) WinCreate(size int64) *Win {
+	res := c.collective("win-create", nil, func(_ []any, maxT int64) (any, int64) {
+		s := &winShared{
+			comm:     c.s,
+			size:     size,
+			fill:     make([]int64, c.Size()),
+			lastFill: make([]int64, c.Size()),
+			writes:   make([][]WinSpan, c.Size()),
+		}
+		return s, c.treeCost(maxT, 0)
+	})
+	return &Win{s: res.(*winShared), c: c}
+}
+
+// SetCapture enables span capture for verification in tests. Call before
+// the first epoch; the setting is window-global.
+func (w *Win) SetCapture(on bool) { w.s.capture = on }
+
+// Size returns the per-rank exposed size.
+func (w *Win) Size() int64 { return w.s.size }
+
+// Put transfers bytes from the caller into target's window at offset.
+// The call blocks only for local injection (the origin buffer is reusable);
+// remote completion is deferred to the next Fence — MPI_Put semantics.
+func (w *Win) Put(target int, offset, bytes int64, payload any) {
+	c := w.c
+	if target < 0 || target >= c.Size() {
+		panic(fmt.Sprintf("mpi: Put to invalid rank %d", target))
+	}
+	if offset < 0 || offset+bytes > w.s.size {
+		panic(fmt.Sprintf("mpi: Put [%d,%d) outside window of %d bytes", offset, offset+bytes, w.s.size))
+	}
+	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.Node(), c.NodeOfRank(target), bytes)
+	if arrival > w.s.epochArrival {
+		w.s.epochArrival = arrival
+	}
+	w.s.epochOps++
+	w.s.epochBytes += bytes
+	w.s.fill[target] += bytes
+	if w.s.capture {
+		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: c.rank, Payload: payload})
+	}
+	c.p.HoldUntil(senderFree)
+}
+
+// Get transfers bytes from target's window at offset to the caller. The data
+// is usable only after the next Fence (active-target semantics), so Get
+// blocks just for issuing overhead.
+func (w *Win) Get(target int, offset, bytes int64) {
+	c := w.c
+	if target < 0 || target >= c.Size() {
+		panic(fmt.Sprintf("mpi: Get from invalid rank %d", target))
+	}
+	if offset < 0 || offset+bytes > w.s.size {
+		panic(fmt.Sprintf("mpi: Get [%d,%d) outside window of %d bytes", offset, offset+bytes, w.s.size))
+	}
+	_, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.NodeOfRank(target), c.Node(), bytes)
+	if arrival > w.s.epochArrival {
+		w.s.epochArrival = arrival
+	}
+	w.s.epochOps++
+	w.s.epochBytes += bytes
+	c.p.Hold(c.s.w.cfg.Overhead)
+}
+
+// Fence closes the current epoch: a collective that releases every rank once
+// all one-sided operations of the epoch have completed (the paper's
+// Algorithm 3 uses this as the round barrier). It returns the release time.
+func (w *Win) Fence() int64 {
+	res := w.c.collective("win-fence", nil, func(_ []any, maxT int64) (any, int64) {
+		release := w.c.treeCost(maxT, 0)
+		if w.s.epochArrival > release {
+			release = w.s.epochArrival
+		}
+		w.s.epochArrival = 0
+		w.s.epochOps = 0
+		w.s.epochBytes = 0
+		copy(w.s.lastFill, w.s.fill)
+		for i := range w.s.fill {
+			w.s.fill[i] = 0
+		}
+		return release, release
+	})
+	return res.(int64)
+}
+
+// EpochFill returns the bytes put into rank r's window during the current
+// epoch (diagnostic; TAPIOCA asserts buffers are exactly filled).
+func (w *Win) EpochFill(r int) int64 { return w.s.fill[r] }
+
+// LastEpochFill returns the bytes that had been put into rank r's window in
+// the epoch closed by the most recent Fence — what an aggregator is about to
+// flush.
+func (w *Win) LastEpochFill(r int) int64 { return w.s.lastFill[r] }
+
+// CapturedWrites returns the captured spans targeting rank r, sorted by
+// offset. Only meaningful with SetCapture(true); spans accumulate across
+// epochs.
+func (w *Win) CapturedWrites(r int) []WinSpan {
+	spans := append([]WinSpan(nil), w.s.writes[r]...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Offset < spans[j].Offset })
+	return spans
+}

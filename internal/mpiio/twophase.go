@@ -1,0 +1,380 @@
+package mpiio
+
+import (
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+)
+
+// schedule is the per-collective-call two-phase plan, computed once (on the
+// last rank to enter the collective) from every rank's access pattern.
+type schedule struct {
+	lo, hi  int64
+	rounds  int
+	domains [][2]int64 // per aggregator: file domain [lo, hi)
+
+	// sendPieces[rank] lists what each rank contributes, per (agg, round).
+	sendPieces [][]sendPiece
+	// aggRounds[agg][round] aggregates all contributions for one flush.
+	aggRounds [][]roundData
+}
+
+type sendPiece struct {
+	agg, round int
+	bytes      int64
+}
+
+type roundData struct {
+	segs   []storage.Seg
+	bytes  int64
+	pieces int // incoming piece count (two-sided receive processing)
+}
+
+// buildSchedule computes file domains, rounds and piece routing from the
+// gathered per-rank segment lists.
+func buildSchedule(allSegs [][]storage.Seg, nAggr int, bufSize int64, alignTo int64) *schedule {
+	s := &schedule{}
+	first := true
+	for _, segs := range allSegs {
+		for _, sg := range segs {
+			if sg.Empty() {
+				continue
+			}
+			lo, hi := sg.Span()
+			if first || lo < s.lo {
+				s.lo = lo
+			}
+			if first || hi > s.hi {
+				s.hi = hi
+			}
+			first = false
+		}
+	}
+	if first {
+		return s // nothing to do
+	}
+	span := s.hi - s.lo
+	domain := (span + int64(nAggr) - 1) / int64(nAggr)
+	if alignTo > 1 {
+		domain = (domain + alignTo - 1) / alignTo * alignTo
+	}
+	if domain < 1 {
+		domain = 1
+	}
+	s.domains = make([][2]int64, nAggr)
+	for a := 0; a < nAggr; a++ {
+		dlo := s.lo + int64(a)*domain
+		dhi := dlo + domain
+		if dlo > s.hi {
+			dlo, dhi = s.hi, s.hi
+		}
+		if dhi > s.hi {
+			dhi = s.hi
+		}
+		s.domains[a] = [2]int64{dlo, dhi}
+	}
+	s.rounds = int((domain + bufSize - 1) / bufSize)
+	if s.rounds < 1 {
+		s.rounds = 1
+	}
+	s.sendPieces = make([][]sendPiece, len(allSegs))
+	s.aggRounds = make([][]roundData, nAggr)
+	for a := range s.aggRounds {
+		s.aggRounds[a] = make([]roundData, s.rounds)
+	}
+	for r, segs := range allSegs {
+		for _, sg := range segs {
+			if sg.Empty() {
+				continue
+			}
+			glo, ghi := sg.Span()
+			aFirst := int((glo - s.lo) / domain)
+			aLast := int((ghi - 1 - s.lo) / domain)
+			for a := aFirst; a <= aLast && a < nAggr; a++ {
+				dlo := s.domains[a][0]
+				rFirst := 0
+				if glo > dlo {
+					rFirst = int((glo - dlo) / bufSize)
+				}
+				for round := rFirst; round < s.rounds; round++ {
+					wlo := dlo + int64(round)*bufSize
+					whi := minI64(wlo+bufSize, s.domains[a][1])
+					if whi <= wlo || wlo >= ghi {
+						break
+					}
+					pieces := sg.Intersect(wlo, whi)
+					b := storage.TotalBytes(pieces)
+					if b == 0 {
+						continue
+					}
+					s.sendPieces[r] = append(s.sendPieces[r], sendPiece{agg: a, round: round, bytes: b})
+					rd := &s.aggRounds[a][round]
+					rd.segs = append(rd.segs, pieces...)
+					rd.bytes += b
+					rd.pieces++
+				}
+			}
+		}
+	}
+	return s
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// buildScheduleCyclic builds the stripe-cyclic plan: stripe s (unit-sized
+// file window) belongs to aggregator (s - s0) mod nAggr, and each stripe is
+// cut into ceil(unit/bufSize) buffer windows. The k-th stripe of an
+// aggregator lands in rounds [k*sub, (k+1)*sub).
+func buildScheduleCyclic(allSegs [][]storage.Seg, nAggr int, bufSize, unit int64) *schedule {
+	s := &schedule{}
+	first := true
+	for _, segs := range allSegs {
+		for _, sg := range segs {
+			if sg.Empty() {
+				continue
+			}
+			lo, hi := sg.Span()
+			if first || lo < s.lo {
+				s.lo = lo
+			}
+			if first || hi > s.hi {
+				s.hi = hi
+			}
+			first = false
+		}
+	}
+	if first {
+		return s
+	}
+	s0 := s.lo / unit
+	s1 := (s.hi - 1) / unit
+	nStripes := s1 - s0 + 1
+	sub := int((unit + bufSize - 1) / bufSize)
+	perAgg := int((nStripes + int64(nAggr) - 1) / int64(nAggr))
+	s.rounds = perAgg * sub
+	s.sendPieces = make([][]sendPiece, len(allSegs))
+	s.aggRounds = make([][]roundData, nAggr)
+	for a := range s.aggRounds {
+		s.aggRounds[a] = make([]roundData, s.rounds)
+	}
+	for r, segs := range allSegs {
+		for _, sg := range segs {
+			if sg.Empty() {
+				continue
+			}
+			glo, ghi := sg.Span()
+			for st := glo / unit; st <= (ghi-1)/unit; st++ {
+				agg := int((st - s0) % int64(nAggr))
+				k := int((st - s0) / int64(nAggr))
+				stripeLo := st * unit
+				for j := 0; j < sub; j++ {
+					wlo := stripeLo + int64(j)*bufSize
+					whi := minI64(wlo+bufSize, stripeLo+unit)
+					if whi <= wlo || wlo >= ghi {
+						break
+					}
+					pieces := sg.Intersect(wlo, whi)
+					b := storage.TotalBytes(pieces)
+					if b == 0 {
+						continue
+					}
+					round := k*sub + j
+					s.sendPieces[r] = append(s.sendPieces[r], sendPiece{agg: agg, round: round, bytes: b})
+					rd := &s.aggRounds[agg][round]
+					rd.segs = append(rd.segs, pieces...)
+					rd.bytes += b
+					rd.pieces++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// WriteAtAll performs a collective two-phase write of this rank's segments.
+// All ranks of the communicator must call it with their (possibly empty)
+// patterns. Rounds are synchronous: aggregation exchange, then the
+// aggregators' flush, then a barrier — the classic ROMIO structure with no
+// overlap between phases.
+func (fh *File) WriteAtAll(segs []storage.Seg) {
+	fh.collectiveIO(segs, false)
+}
+
+// ReadAtAll performs a collective two-phase read: aggregators read their
+// file-domain rounds and scatter the pieces back.
+func (fh *File) ReadAtAll(segs []storage.Seg) {
+	fh.collectiveIO(segs, true)
+}
+
+func (fh *File) collectiveIO(segs []storage.Seg, read bool) {
+	c := fh.c
+	alignTo := int64(0)
+	if fh.hints.AlignDomains || fh.hints.CyclicDomains {
+		alignTo = fh.sys.OptimalUnit(fh.f)
+	}
+	cyclic := fh.hints.CyclicDomains && alignTo > 0
+	// Gather every rank's pattern and build the plan exactly once.
+	bytes := int64(32*len(segs) + 16)
+	plan := c.Collective("mpiio-plan", segs, bytes, func(contribs []any) any {
+		allSegs := make([][]storage.Seg, len(contribs))
+		for i, x := range contribs {
+			if x != nil {
+				allSegs[i] = x.([]storage.Seg)
+			}
+		}
+		if cyclic {
+			return buildScheduleCyclic(allSegs, len(fh.aggrs), fh.hints.CBBufferSize, alignTo)
+		}
+		return buildSchedule(allSegs, len(fh.aggrs), fh.hints.CBBufferSize, alignTo)
+	}).(*schedule)
+	if plan.rounds == 0 || plan.hi == plan.lo {
+		c.Barrier()
+		return
+	}
+	for round := 0; round < plan.rounds; round++ {
+		if read {
+			fh.readRound(plan, round)
+		} else {
+			fh.writeRound(plan, round)
+		}
+	}
+	c.Barrier()
+}
+
+// writeRound: all ranks push their round pieces to the owning aggregators
+// (the alltoallv), aggregators flush their buffers, then the round barrier.
+func (fh *File) writeRound(plan *schedule, round int) {
+	c := fh.c
+	p := c.Proc()
+	fab := c.World().Fabric()
+
+	// Aggregation phase: book the incast transfers to each aggregator.
+	myArrivals := make(map[int]int64)
+	senderFree := p.Now()
+	if c.Rank() < len(plan.sendPieces) {
+		for _, piece := range plan.sendPieces[c.Rank()] {
+			if piece.round != round {
+				continue
+			}
+			sf, arr := fab.Reserve(p.Now(), c.Node(), c.NodeOfRank(fh.aggrs[piece.agg]), piece.bytes)
+			if sf > senderFree {
+				senderFree = sf
+			}
+			if arr > myArrivals[piece.agg] {
+				myArrivals[piece.agg] = arr
+			}
+		}
+	}
+	p.HoldUntil(senderFree)
+
+	// Exchange arrival horizons (the synchronization the alltoallv implies).
+	nAggr := len(fh.aggrs)
+	horizon := c.Collective("mpiio-horizon", myArrivals, 16, func(contribs []any) any {
+		h := make([]int64, nAggr)
+		for _, x := range contribs {
+			for a, t := range x.(map[int]int64) {
+				if t > h[a] {
+					h[a] = t
+				}
+			}
+		}
+		return h
+	}).([]int64)
+
+	// I/O phase: aggregators process the received pieces (two-sided
+	// matching and staging-buffer assembly — CPU work TAPIOCA's one-sided
+	// puts avoid), then flush.
+	if fh.myAgg >= 0 {
+		rd := plan.aggRounds[fh.myAgg][round]
+		if rd.bytes > 0 {
+			p.HoldUntil(horizon[fh.myAgg])
+			p.Hold(int64(rd.pieces)*fh.hints.RecvOverhead + sim.TransferTime(rd.bytes, fh.hints.CopyRate))
+			fh.flush(rd)
+		}
+	}
+	c.Barrier()
+}
+
+// flush writes one aggregation-buffer round. Dense rounds coalesce into a
+// single contiguous write; sparse rounds either use write data sieving
+// (read-modify-write of the touched span, ROMIO's default) or are written
+// run by run.
+func (fh *File) flush(rd roundData) {
+	p := fh.c.Proc()
+	node := fh.c.Node()
+	lo, hi := storage.SpanAll(rd.segs)
+	if rd.bytes >= hi-lo {
+		// Fully dense: one contiguous write.
+		fh.sys.Write(p, node, fh.f, []storage.Seg{storage.Contig(lo, rd.bytes)})
+		return
+	}
+	if !fh.hints.DisableSieving {
+		fh.sys.WriteSieved(p, node, fh.f, rd.segs)
+		return
+	}
+	fh.sys.Write(p, node, fh.f, rd.segs)
+}
+
+// readRound: aggregators read their round span, then scatter pieces back to
+// the requesting ranks.
+func (fh *File) readRound(plan *schedule, round int) {
+	c := fh.c
+	p := c.Proc()
+	fab := c.World().Fabric()
+
+	// Aggregators read their (span-sieved) round.
+	if fh.myAgg >= 0 {
+		rd := plan.aggRounds[fh.myAgg][round]
+		if rd.bytes > 0 {
+			lo, hi := storage.SpanAll(rd.segs)
+			fh.sys.Read(p, c.Node(), fh.f, []storage.Seg{storage.Contig(lo, hi-lo)})
+		}
+	}
+	// Share each aggregator's data-ready time.
+	nAggr := len(fh.aggrs)
+	var myReady int64
+	if fh.myAgg >= 0 {
+		myReady = p.Now()
+	}
+	type aggReady struct {
+		agg int
+		at  int64
+	}
+	contrib := aggReady{agg: fh.myAgg, at: myReady}
+	ready := c.Collective("mpiio-ready", contrib, 16, func(contribs []any) any {
+		r := make([]int64, nAggr)
+		for _, x := range contribs {
+			ar := x.(aggReady)
+			if ar.agg >= 0 {
+				r[ar.agg] = ar.at
+			}
+		}
+		return r
+	}).([]int64)
+
+	// Scatter phase: each rank receives its pieces from the aggregators;
+	// transfers start when the owning aggregator's data is ready.
+	latest := p.Now()
+	if c.Rank() < len(plan.sendPieces) {
+		for _, piece := range plan.sendPieces[c.Rank()] {
+			if piece.round != round {
+				continue
+			}
+			aggRank := fh.aggrs[piece.agg]
+			t0 := ready[piece.agg]
+			if t0 < p.Now() {
+				t0 = p.Now()
+			}
+			_, arr := fab.Reserve(t0, c.NodeOfRank(aggRank), c.Node(), piece.bytes)
+			if arr > latest {
+				latest = arr
+			}
+		}
+	}
+	p.HoldUntil(latest)
+	c.Barrier()
+}

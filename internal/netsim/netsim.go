@@ -1,0 +1,212 @@
+// Package netsim models data movement over an interconnect topology.
+//
+// A Fabric attaches contention resources to the NICs (and optionally every
+// fabric link) of a topology.Topology and books transfers through them in
+// virtual time. The transfer model is cut-through/wormhole style: a message
+// occupies its whole path for bytes/bottleneck-bandwidth, pays per-hop
+// latency once, and queues FIFO wherever it meets a busy resource. Incast
+// (many-to-one aggregation traffic, the heart of two-phase I/O) therefore
+// serializes naturally at the receiver NIC, and neighboring aggregators
+// sharing torus links contend with each other under the link-level model —
+// the effect the paper's topology-aware placement exploits.
+package netsim
+
+import (
+	"fmt"
+
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// Contention models.
+const (
+	// ContentionEndpoint books only the sender and receiver NICs. Fast and
+	// adequate for storage-bound studies.
+	ContentionEndpoint = iota
+	// ContentionLinks books the NICs and every link along the route,
+	// exposing path contention between concurrent flows.
+	ContentionLinks
+)
+
+// Config tunes a Fabric. Zero values take topology-derived defaults.
+type Config struct {
+	// Contention selects ContentionEndpoint or ContentionLinks.
+	Contention int
+	// InjectRate is the per-node NIC injection bandwidth (bytes/sec).
+	// Default: the topology's injection-level bandwidth.
+	InjectRate float64
+	// EjectRate is the per-node NIC ejection bandwidth (bytes/sec).
+	// Default: InjectRate.
+	EjectRate float64
+	// LocalRate is the intra-node (shared-memory) transfer bandwidth.
+	// Default: 8 GB/s.
+	LocalRate float64
+	// PerHopLatency overrides the topology's per-hop latency (ns).
+	PerHopLatency int64
+	// SoftwareOverhead is the per-message sender-side software cost (ns).
+	// Default: 1 µs.
+	SoftwareOverhead int64
+}
+
+// Fabric books transfers between nodes of a topology over shared resources.
+// All methods must be called from the running sim proc (single-threaded
+// virtual-time discipline).
+type Fabric struct {
+	topo topology.Topology
+	cfg  Config
+
+	nicIn  []*sim.GapResource
+	nicOut []*sim.GapResource
+	links  []*sim.GapResource // lazily allocated, indexed by topology link id
+
+	scratch []*sim.GapResource // reusable per-transfer resource list
+
+	transfers  int64
+	totalBytes int64
+}
+
+// New builds a fabric over the topology with the given configuration.
+func New(topo topology.Topology, cfg Config) *Fabric {
+	if cfg.InjectRate <= 0 {
+		cfg.InjectRate = topo.Bandwidth(topology.LevelInjection)
+	}
+	if cfg.EjectRate <= 0 {
+		cfg.EjectRate = cfg.InjectRate
+	}
+	if cfg.LocalRate <= 0 {
+		cfg.LocalRate = 8e9
+	}
+	if cfg.PerHopLatency <= 0 {
+		cfg.PerHopLatency = topo.Latency()
+	}
+	if cfg.SoftwareOverhead <= 0 {
+		cfg.SoftwareOverhead = 1000
+	}
+	n := topo.Nodes()
+	f := &Fabric{
+		topo:   topo,
+		cfg:    cfg,
+		nicIn:  make([]*sim.GapResource, n),
+		nicOut: make([]*sim.GapResource, n),
+		links:  make([]*sim.GapResource, topo.NumLinks()),
+	}
+	for i := 0; i < n; i++ {
+		f.nicOut[i] = sim.NewGapResource(fmt.Sprintf("nic-out-%d", i), cfg.InjectRate)
+		f.nicIn[i] = sim.NewGapResource(fmt.Sprintf("nic-in-%d", i), cfg.EjectRate)
+	}
+	return f
+}
+
+// Topology returns the underlying topology.
+func (f *Fabric) Topology() topology.Topology { return f.topo }
+
+// Config returns the fabric configuration actually in effect.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Transfers returns the number of transfers booked so far.
+func (f *Fabric) Transfers() int64 { return f.transfers }
+
+// TotalBytes returns the bytes moved across all transfers.
+func (f *Fabric) TotalBytes() int64 { return f.totalBytes }
+
+func (f *Fabric) link(id int) *sim.GapResource {
+	r := f.links[id]
+	if r == nil {
+		r = sim.NewGapResource(fmt.Sprintf("link-%d", id), f.topo.LinkRate(id))
+		f.links[id] = r
+	}
+	return r
+}
+
+// Reserve books a transfer of bytes from src to dst starting no earlier than
+// now, and returns:
+//
+//	senderFree — when the sender has finished injecting (its buffer is
+//	             reusable; local completion for a put or eager send);
+//	arrival    — when the last byte reaches dst.
+//
+// The reservation is one-sided: no proc at dst needs to participate, which
+// is exactly MPI_Put semantics. Callers block (or not) on the returned times.
+func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arrival int64) {
+	f.transfers++
+	f.totalBytes += bytes
+	start := now + f.cfg.SoftwareOverhead
+
+	if src == dst {
+		// Intra-node: shared-memory copy, no NIC involvement.
+		dur := sim.TransferTime(bytes, f.cfg.LocalRate)
+		return start + dur, start + dur
+	}
+
+	route := f.topo.Route(src, dst)
+	hops := len(route)
+
+	// Collect the resources this transfer occupies.
+	bottleneck := f.cfg.InjectRate
+	if f.cfg.EjectRate < bottleneck {
+		bottleneck = f.cfg.EjectRate
+	}
+	resources := f.scratch[:0]
+	resources = append(resources, f.nicOut[src])
+	if f.cfg.Contention == ContentionLinks {
+		for _, l := range route {
+			lr := f.link(l)
+			resources = append(resources, lr)
+			if rate := f.topo.LinkRate(l); rate < bottleneck {
+				bottleneck = rate
+			}
+		}
+	} else {
+		// Endpoint model still honors the path's bandwidth ceiling.
+		for _, l := range route {
+			if rate := f.topo.LinkRate(l); rate < bottleneck {
+				bottleneck = rate
+			}
+		}
+	}
+	resources = append(resources, f.nicIn[dst])
+	f.scratch = resources[:0]
+
+	// Wormhole model: the flow occupies its whole path for bytes/bottleneck
+	// starting at the earliest instant every stage is simultaneously free
+	// (gap-filling, so staggered flows pipeline through shared stages).
+	dur := sim.TransferTime(bytes, bottleneck)
+	start, end := sim.ReserveTogether(start, dur, bytes, resources)
+
+	senderFree = end
+	arrival = start + int64(hops)*f.cfg.PerHopLatency + dur
+	return senderFree, arrival
+}
+
+// LatencyTo returns the pure request latency from src to dst (software
+// overhead plus per-hop latency), with no resource booking — the cost of a
+// small control message such as a read RPC request.
+func (f *Fabric) LatencyTo(src, dst int) int64 {
+	return f.cfg.SoftwareOverhead + int64(f.topo.Distance(src, dst))*f.cfg.PerHopLatency
+}
+
+// Send books a transfer and blocks the proc until the sender side completes
+// (buffer reusable). It returns the arrival time at dst.
+func (f *Fabric) Send(p *sim.Proc, src, dst int, bytes int64) (arrival int64) {
+	senderFree, arrival := f.Reserve(p.Now(), src, dst, bytes)
+	p.HoldUntil(senderFree)
+	return arrival
+}
+
+// MaxNICUtilization returns the highest busy-time fraction across NICs up to
+// horizon, a coarse hot-spot diagnostic.
+func (f *Fabric) MaxNICUtilization(horizon int64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	var maxBusy int64
+	for i := range f.nicIn {
+		if b := f.nicIn[i].BusyTime(); b > maxBusy {
+			maxBusy = b
+		}
+		if b := f.nicOut[i].BusyTime(); b > maxBusy {
+			maxBusy = b
+		}
+	}
+	return float64(maxBusy) / float64(horizon)
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// runChaos builds a pseudo-random simulation from seed and returns a trace
+// fingerprint: the sequence of (proc, time) observations at every step, plus
+// final resource states. Two runs from the same seed must produce identical
+// fingerprints — the engine's core determinism guarantee.
+func runChaos(seed int64, procs, steps int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	res := []*Resource{
+		NewResource("r0", 1000),
+		NewResource("r1", 5000),
+		NewResource("r2", 250),
+	}
+	b := NewBarrier("b", procs, nil)
+	mb := NewMailbox("mb")
+	var trace []int64
+
+	// Pre-generate each proc's action script so goroutine scheduling cannot
+	// perturb random number consumption. Kind 2 (barrier) appears a fixed
+	// number of times per proc so the barrier cannot deadlock.
+	type action struct{ kind, arg int }
+	const barriersPerProc = 3
+	scripts := make([][]action, procs)
+	for i := range scripts {
+		scripts[i] = make([]action, steps)
+		for j := range scripts[i] {
+			kind := []int{0, 1, 3}[rng.Intn(3)]
+			scripts[i][j] = action{kind: kind, arg: rng.Intn(1000) + 1}
+		}
+		// Overwrite fixed slots with barrier waits, aligned across procs.
+		for k := 0; k < barriersPerProc; k++ {
+			scripts[i][k*steps/barriersPerProc] = action{kind: 2}
+		}
+	}
+
+	for i := 0; i < procs; i++ {
+		script := scripts[i]
+		id := int64(i)
+		e.Spawn("chaos", func(p *Proc) {
+			for _, a := range script {
+				switch a.kind {
+				case 0:
+					p.Hold(int64(a.arg))
+				case 1:
+					res[a.arg%len(res)].Use(p, int64(a.arg))
+				case 2:
+					b.Wait(p)
+				case 3:
+					mb.Deliver(Message{Arrival: p.Now() + int64(a.arg), Key: id})
+					p.Hold(1)
+				}
+				trace = append(trace, id, p.Now())
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		// Identical seeds must fail identically too.
+		trace = append(trace, int64(len(err.Error())))
+	}
+	for _, r := range res {
+		trace = append(trace, r.NextFree(), r.BusyTime(), r.BytesServed())
+	}
+	return trace
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := runChaos(seed, 8, 20)
+		b := runChaos(seed, 8, 20)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeMonotonicProperty: a proc's observed clock never decreases, no
+// matter what mixture of primitives it runs.
+func TestTimeMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource("r", float64(rng.Intn(10000)+1))
+		ok := true
+		const procs = 6
+		scripts := make([][]int, procs)
+		for i := range scripts {
+			scripts[i] = make([]int, 30)
+			for j := range scripts[i] {
+				scripts[i][j] = rng.Intn(500)
+			}
+		}
+		for i := 0; i < procs; i++ {
+			script := scripts[i]
+			e.Spawn("m", func(p *Proc) {
+				last := p.Now()
+				for _, v := range script {
+					if v%2 == 0 {
+						p.Hold(int64(v))
+					} else {
+						r.Use(p, int64(v))
+					}
+					if p.Now() < last {
+						ok = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceConservationProperty: busy time equals the sum of service
+// durations, and bytes served equals the sum of requested bytes.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rate := float64(rng.Intn(9999) + 1)
+		e := NewEngine()
+		r := NewResource("r", rate)
+		var wantBytes, wantBusy int64
+		const procs = 5
+		reqs := make([][]int64, procs)
+		for i := range reqs {
+			reqs[i] = make([]int64, 10)
+			for j := range reqs[i] {
+				b := int64(rng.Intn(5000))
+				reqs[i][j] = b
+				wantBytes += b
+				wantBusy += TransferTime(b, rate)
+			}
+		}
+		for i := 0; i < procs; i++ {
+			mine := reqs[i]
+			e.Spawn("u", func(p *Proc) {
+				for _, b := range mine {
+					r.Use(p, b)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return r.BytesServed() == wantBytes && r.BusyTime() == wantBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoIdleWhileQueueProperty: with a single always-busy resource fed by
+// procs that request back-to-back, total busy time equals makespan (the
+// resource never idles while work is queued).
+func TestNoIdleWhileQueueProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource("r", 1000)
+		const procs = 4
+		var total int64
+		sizes := make([][]int64, procs)
+		for i := range sizes {
+			sizes[i] = make([]int64, 8)
+			for j := range sizes[i] {
+				b := int64(rng.Intn(900) + 100)
+				sizes[i][j] = b
+				total += TransferTime(b, 1000)
+			}
+		}
+		for i := 0; i < procs; i++ {
+			mine := sizes[i]
+			e.Spawn("u", func(p *Proc) {
+				for _, b := range mine {
+					r.Use(p, b)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		// All procs start at t=0 and re-request immediately, so the resource
+		// serves continuously: makespan == total busy time.
+		return e.Now() == total && r.BusyTime() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkContextSwitch(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	e.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResourceUse(b *testing.B) {
+	e := NewEngine()
+	r := NewResource("r", 1e9)
+	n := b.N
+	e.Spawn("user", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			r.Use(p, 1024)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

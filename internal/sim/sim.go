@@ -1,0 +1,352 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// Simulated processes ("procs") are ordinary goroutines that advance a
+// virtual clock instead of wall time. The engine runs exactly one proc at a
+// time and always resumes the runnable proc with the smallest (virtual time,
+// proc id) pair, so a simulation is fully deterministic: the same program
+// produces the same event ordering and the same virtual timestamps on every
+// run. This property is load-bearing for the TAPIOCA reproduction — paper
+// experiments are regenerated as exact, repeatable traces.
+//
+// The engine enforces a conservative causality rule: every operation that
+// advances a proc's clock is a scheduling point, and operations on shared
+// state (resources, mailboxes, barriers) always take effect at the calling
+// proc's current virtual time, which is guaranteed to be minimal among all
+// runnable procs. Procs therefore can never observe effects "from the
+// future".
+//
+// Virtual time is int64 nanoseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Handy duration constants in virtual nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000
+	Millisecond int64 = 1000 * 1000
+	Second      int64 = 1000 * 1000 * 1000
+)
+
+// Seconds converts a floating-point duration in seconds to virtual
+// nanoseconds, rounding to the nearest nanosecond.
+func Seconds(s float64) int64 {
+	return int64(math.Round(s * float64(Second)))
+}
+
+// ToSeconds converts virtual nanoseconds to floating-point seconds.
+func ToSeconds(ns int64) float64 {
+	return float64(ns) / float64(Second)
+}
+
+// TransferTime returns the time needed to move bytes at rate bytes/second.
+// A non-positive rate means "infinitely fast" and yields zero.
+func TransferTime(bytes int64, rate float64) int64 {
+	if rate <= 0 || bytes <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(float64(bytes) / rate * float64(Second)))
+}
+
+// abortError is the sentinel panic value used to unwind proc goroutines when
+// the engine shuts down early (deadlock or another proc's failure).
+type abortError struct{}
+
+func (abortError) Error() string { return "sim: proc aborted by engine shutdown" }
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateParked
+	stateFinished
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateParked:
+		return "parked"
+	case stateFinished:
+		return "finished"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated process. A Proc handle is only valid inside the
+// goroutine the engine created for it; procs communicate through engine
+// primitives, never by calling methods on each other's handles.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+	now  int64
+
+	state      procState
+	parkReason string
+	aborted    bool
+
+	resume chan struct{}
+	fn     func(*Proc)
+
+	heapIndex int // position in the engine run queue, -1 if absent
+}
+
+// ID returns the proc's unique id (dense, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the proc's current virtual time in nanoseconds.
+func (p *Proc) Now() int64 { return p.now }
+
+// Engine returns the engine that owns this proc.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Engine coordinates a set of procs over a shared virtual clock. The zero
+// value is not usable; call NewEngine.
+type Engine struct {
+	procs []*Proc
+	runq  procHeap
+	clock int64
+	live  int
+	err   error
+
+	yield   chan struct{}
+	running bool
+	started bool
+}
+
+// NewEngine returns an empty engine ready for Spawn and Run.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the engine's clock: the largest virtual time any proc has
+// reached so far.
+func (e *Engine) Now() int64 { return e.clock }
+
+// Err returns the terminal error recorded during Run, if any.
+func (e *Engine) Err() error { return e.err }
+
+// NumProcs returns the number of procs ever spawned.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Spawn creates a proc that will execute fn when the engine schedules it.
+// Spawn may be called before Run, or by a running proc (the child starts at
+// the parent's current virtual time).
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:       e,
+		id:        len(e.procs),
+		name:      name,
+		fn:        fn,
+		state:     stateNew,
+		resume:    make(chan struct{}),
+		heapIndex: -1,
+	}
+	if e.started {
+		p.now = e.clock
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go p.run()
+	p.state = stateRunnable
+	heap.Push(&e.runq, p)
+	return p
+}
+
+// run is the goroutine body wrapping the user function.
+func (p *Proc) run() {
+	<-p.resume // wait for first schedule
+	defer func() {
+		r := recover()
+		if r != nil {
+			if _, isAbort := r.(abortError); !isAbort && p.eng.err == nil {
+				p.eng.err = fmt.Errorf("sim: proc %d (%s) panicked at t=%d: %v", p.id, p.name, p.now, r)
+			}
+		}
+		p.state = stateFinished
+		p.eng.live--
+		p.eng.yield <- struct{}{}
+	}()
+	if p.aborted {
+		return
+	}
+	p.fn(p)
+}
+
+// Run executes the simulation until every proc finishes. It returns an error
+// if a proc panicked or if the simulation deadlocked (no runnable proc while
+// live procs remain parked). After Run returns, all proc goroutines have
+// terminated.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called re-entrantly")
+	}
+	e.running = true
+	e.started = true
+	defer func() { e.running = false }()
+
+	for e.err == nil {
+		if e.runq.Len() == 0 {
+			break
+		}
+		p := heap.Pop(&e.runq).(*Proc)
+		if p.now > e.clock {
+			e.clock = p.now
+		}
+		p.state = stateRunning
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+
+	if e.err == nil && e.live > 0 {
+		e.err = e.deadlockError()
+	}
+	e.drain()
+	return e.err
+}
+
+// deadlockError builds a diagnostic listing every parked proc.
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state == stateParked || p.state == stateRunnable || p.state == stateNew {
+			reason := p.parkReason
+			if reason == "" {
+				reason = "(no reason)"
+			}
+			stuck = append(stuck, fmt.Sprintf("proc %d (%s) at t=%d: %s", p.id, p.name, p.now, reason))
+		}
+	}
+	sort.Strings(stuck)
+	msg := "sim: deadlock"
+	for _, s := range stuck {
+		msg += "\n  " + s
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// drain force-terminates all unfinished procs so no goroutines leak.
+func (e *Engine) drain() {
+	for _, p := range e.procs {
+		if p.state == stateFinished {
+			continue
+		}
+		p.aborted = true
+		if p.heapIndex >= 0 {
+			heap.Remove(&e.runq, p.heapIndex)
+		}
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// yieldToEngine hands control back to the scheduler and blocks until the
+// engine resumes this proc. On resume it honors shutdown aborts.
+func (p *Proc) yieldToEngine() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(abortError{})
+	}
+}
+
+// requeue marks the proc runnable at its current time and yields.
+func (p *Proc) requeue() {
+	p.state = stateRunnable
+	heap.Push(&p.eng.runq, p)
+	p.yieldToEngine()
+	p.state = stateRunning
+}
+
+// Hold advances the proc's virtual clock by d nanoseconds (a "compute" or
+// "busy" period). Negative d panics. Hold is a scheduling point.
+func (p *Proc) Hold(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Hold with negative duration %d", d))
+	}
+	p.now += d
+	p.requeue()
+}
+
+// HoldUntil advances the proc's virtual clock to time t, if t is in the
+// future. HoldUntil is a scheduling point even when t is in the past, which
+// keeps scheduling behaviour uniform.
+func (p *Proc) HoldUntil(t int64) {
+	if t > p.now {
+		p.now = t
+	}
+	p.requeue()
+}
+
+// Park blocks the proc until another proc calls Unpark on it. The reason
+// string appears in deadlock diagnostics. The proc resumes with its clock
+// advanced to at least the unparker-provided wake time.
+func (p *Proc) Park(reason string) {
+	p.state = stateParked
+	p.parkReason = reason
+	p.yieldToEngine()
+	p.state = stateRunning
+	p.parkReason = ""
+}
+
+// Unpark makes a parked proc runnable at virtual time at (or the target's
+// own clock, whichever is later). It must only be called by the currently
+// running proc, with at >= the caller's current time; the engine's causality
+// guarantee depends on it. Unparking a proc that is not parked panics.
+func (e *Engine) Unpark(target *Proc, at int64) {
+	if target.state != stateParked {
+		panic(fmt.Sprintf("sim: Unpark of proc %d (%s) in state %v", target.id, target.name, target.state))
+	}
+	if at > target.now {
+		target.now = at
+	}
+	target.state = stateRunnable
+	heap.Push(&e.runq, target)
+}
+
+// procHeap is a min-heap over (now, id).
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].id < h[j].id
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIndex = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.heapIndex = -1
+	*h = old[:n-1]
+	return p
+}

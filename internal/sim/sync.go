@@ -1,0 +1,282 @@
+package sim
+
+import "fmt"
+
+// Resource models a rate-limited, FIFO-serialized device: a network link, a
+// NIC port, a disk server, an I/O-node uplink. Reservations are pure
+// virtual-time bookkeeping: the caller decides whether (and how long) to
+// block on the returned times. Because the engine runs procs in
+// non-decreasing virtual-time order, reservations are made in request-time
+// order, which yields FIFO service.
+type Resource struct {
+	name     string
+	rate     float64 // bytes per second; <=0 means infinite
+	nextFree int64
+
+	busy     int64 // total busy nanoseconds, for utilization accounting
+	reserved int64 // total bytes served
+}
+
+// NewResource returns a resource serving data at rate bytes/second.
+// A non-positive rate creates an infinitely fast resource (zero service
+// time, no queueing).
+func NewResource(name string, rate float64) *Resource {
+	return &Resource{name: name, rate: rate}
+}
+
+// Name returns the diagnostic name of the resource.
+func (r *Resource) Name() string { return r.name }
+
+// Rate returns the service rate in bytes per second (0 = infinite).
+func (r *Resource) Rate() float64 {
+	if r.rate <= 0 {
+		return 0
+	}
+	return r.rate
+}
+
+// NextFree returns the virtual time at which the resource becomes idle.
+func (r *Resource) NextFree() int64 { return r.nextFree }
+
+// BusyTime returns the cumulative busy time of the resource.
+func (r *Resource) BusyTime() int64 { return r.busy }
+
+// BytesServed returns the cumulative bytes served by the resource.
+func (r *Resource) BytesServed() int64 { return r.reserved }
+
+// Reserve books the transfer of bytes starting no earlier than now and
+// returns the (start, end) service interval. The resource is busy for
+// bytes/rate starting at max(now, nextFree).
+func (r *Resource) Reserve(now, bytes int64) (start, end int64) {
+	return r.ReserveDur(now, TransferTime(bytes, r.rate), bytes)
+}
+
+// ReserveDur books an explicit service duration starting no earlier than
+// now. bytes is recorded for accounting only.
+func (r *Resource) ReserveDur(now, dur, bytes int64) (start, end int64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: Reserve with negative duration %d on %s", dur, r.name))
+	}
+	start = now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	end = start + dur
+	r.nextFree = end
+	r.busy += dur
+	r.reserved += bytes
+	return start, end
+}
+
+// Peek returns the hypothetical (start, end) interval for a reservation of
+// bytes at time now, without booking it.
+func (r *Resource) Peek(now, bytes int64) (start, end int64) {
+	start = now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	return start, start + TransferTime(bytes, r.rate)
+}
+
+// Use reserves bytes on the resource and blocks the proc until service
+// completes. It returns the completion time.
+func (r *Resource) Use(p *Proc, bytes int64) int64 {
+	_, end := r.Reserve(p.Now(), bytes)
+	p.HoldUntil(end)
+	return end
+}
+
+// Event is a one-shot completion notification carrying a virtual timestamp,
+// in the spirit of a non-blocking I/O request handle. Procs that Wait on an
+// incomplete event park until Complete fires; waits after completion just
+// advance the clock to the completion time.
+type Event struct {
+	name    string
+	done    bool
+	at      int64
+	waiters []*Proc
+}
+
+// NewEvent returns an incomplete event.
+func NewEvent(name string) *Event {
+	return &Event{name: name}
+}
+
+// CompletedEvent returns an event that already fired at time at. It is the
+// natural "no pending operation" placeholder for pipelined double-buffering.
+func CompletedEvent(name string, at int64) *Event {
+	return &Event{name: name, done: true, at: at}
+}
+
+// Done reports whether the event has fired.
+func (ev *Event) Done() bool { return ev.done }
+
+// At returns the completion time; only meaningful once Done.
+func (ev *Event) At() int64 { return ev.at }
+
+// Complete fires the event at virtual time at and wakes all waiters.
+// Completing an event twice panics. The caller must be the running proc and
+// at must be >= its current time (causality).
+func (ev *Event) Complete(at int64) {
+	if ev.done {
+		panic(fmt.Sprintf("sim: event %q completed twice", ev.name))
+	}
+	ev.done = true
+	ev.at = at
+	for _, w := range ev.waiters {
+		w.eng.Unpark(w, at)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event completes, then advances p's clock to the
+// completion time. It returns the completion time.
+func (ev *Event) Wait(p *Proc) int64 {
+	if !ev.done {
+		ev.waiters = append(ev.waiters, p)
+		p.Park("waiting for event " + ev.name)
+	}
+	// Parked procs are woken at the completion time already; the HoldUntil
+	// covers the already-done path and is a harmless no-op otherwise.
+	p.HoldUntil(ev.at)
+	return ev.at
+}
+
+// CompleteAt arranges for ev to complete at virtual time t (clamped to the
+// caller's current time if in the past). It backs non-blocking operations
+// whose completion time is known at issue, such as reservation-based
+// asynchronous I/O: a helper proc sleeps until t and fires the event.
+func CompleteAt(p *Proc, ev *Event, t int64) {
+	if t < p.Now() {
+		t = p.Now()
+	}
+	p.Engine().Spawn("timer:"+ev.name, func(tp *Proc) {
+		tp.HoldUntil(t)
+		ev.Complete(t)
+	})
+}
+
+// Barrier is a reusable synchronization point for a fixed set of procs: all
+// participants block until the last arrives, then all resume at the maximum
+// arrival time plus a configurable fan-in/fan-out cost.
+type Barrier struct {
+	name    string
+	size    int
+	cost    func(maxArrival int64, n int) int64
+	arrived []*Proc
+	maxT    int64
+}
+
+// NewBarrier creates a barrier for size participants. cost, if non-nil, maps
+// the last arrival time and participant count to the release time (e.g. a
+// log₂(n) latency tree); nil releases exactly at the last arrival.
+func NewBarrier(name string, size int, cost func(maxArrival int64, n int) int64) *Barrier {
+	if size <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{name: name, size: size, cost: cost}
+}
+
+// Wait enters the barrier and blocks until all participants have arrived.
+// It returns the common release time.
+func (b *Barrier) Wait(p *Proc) int64 {
+	if p.Now() > b.maxT {
+		b.maxT = p.Now()
+	}
+	if len(b.arrived) == b.size-1 {
+		release := b.maxT
+		if b.cost != nil {
+			release = b.cost(b.maxT, b.size)
+			if release < b.maxT {
+				release = b.maxT
+			}
+		}
+		waiters := b.arrived
+		b.arrived = nil
+		b.maxT = 0
+		for _, w := range waiters {
+			w.eng.Unpark(w, release)
+		}
+		p.HoldUntil(release)
+		return release
+	}
+	b.arrived = append(b.arrived, p)
+	p.Park("barrier " + b.name)
+	return p.Now()
+}
+
+// Mailbox is a FIFO message queue with virtual-time delivery: messages carry
+// an arrival timestamp and a receive only completes once the proc's clock
+// reaches it. Matching is delegated to the caller through predicates, which
+// is exactly what an MPI matching engine needs (source/tag wildcards).
+type Mailbox struct {
+	name     string
+	messages []Message
+	waiters  []*mailWaiter
+}
+
+// Message is an entry in a Mailbox.
+type Message struct {
+	Arrival int64 // virtual arrival time at the receiver
+	Key     int64 // caller-defined matching key (e.g. packed source+tag)
+	Bytes   int64 // logical size, for accounting
+	Payload any   // optional real data for correctness checks
+}
+
+type mailWaiter struct {
+	p     *Proc
+	match func(Message) bool
+	got   Message
+	ok    bool
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox(name string) *Mailbox { return &Mailbox{name: name} }
+
+// Pending returns the number of queued (undelivered) messages.
+func (mb *Mailbox) Pending() int { return len(mb.messages) }
+
+// Deliver enqueues a message, waking the first parked receiver whose
+// predicate matches. Caller must be the running proc and msg.Arrival must be
+// >= its current time.
+func (mb *Mailbox) Deliver(msg Message) {
+	for i, w := range mb.waiters {
+		if w.match(msg) {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			w.got = msg
+			w.ok = true
+			w.p.eng.Unpark(w.p, msg.Arrival)
+			return
+		}
+	}
+	mb.messages = append(mb.messages, msg)
+}
+
+// Peek visits queued messages in FIFO order until visit returns true.
+func (mb *Mailbox) Peek(visit func(Message) bool) {
+	for _, m := range mb.messages {
+		if visit(m) {
+			return
+		}
+	}
+}
+
+// Recv blocks until a message matching the predicate is available, then
+// returns it with the proc clock advanced to its arrival time. Queued
+// messages are matched in FIFO order.
+func (mb *Mailbox) Recv(p *Proc, match func(Message) bool) Message {
+	for i, m := range mb.messages {
+		if match(m) {
+			mb.messages = append(mb.messages[:i], mb.messages[i+1:]...)
+			p.HoldUntil(m.Arrival)
+			return m
+		}
+	}
+	w := &mailWaiter{p: p, match: match}
+	mb.waiters = append(mb.waiters, w)
+	p.Park("recv on mailbox " + mb.name)
+	if !w.ok {
+		panic(fmt.Sprintf("sim: proc %d woke from mailbox %q without a message", p.ID(), mb.name))
+	}
+	return w.got
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link", 1000) // 1000 B/s: 1 byte per millisecond
+	var ends [2]int64
+	e.Spawn("a", func(p *Proc) {
+		ends[0] = r.Use(p, 500) // 0.5s
+	})
+	e.Spawn("b", func(p *Proc) {
+		ends[1] = r.Use(p, 500) // queued behind a
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != Second/2 {
+		t.Errorf("first completion = %d, want %d", ends[0], Second/2)
+	}
+	if ends[1] != Second {
+		t.Errorf("second completion = %d, want %d", ends[1], Second)
+	}
+	if r.BusyTime() != Second {
+		t.Errorf("busy = %d, want %d", r.BusyTime(), Second)
+	}
+	if r.BytesServed() != 1000 {
+		t.Errorf("bytes = %d, want 1000", r.BytesServed())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link", 1000)
+	e.Spawn("a", func(p *Proc) {
+		r.Use(p, 100) // busy [0, 0.1s)
+		p.Hold(Second)
+		end := r.Use(p, 100) // starts immediately at current time
+		want := p.Now()
+		if end != want {
+			t.Errorf("second use end = %d, want %d", end, want)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceInfiniteRate(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("fast", 0)
+	e.Spawn("a", func(p *Proc) {
+		end := r.Use(p, 1<<40)
+		if end != 0 {
+			t.Errorf("end = %d, want 0 for infinite rate", end)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcePeekDoesNotBook(t *testing.T) {
+	r := NewResource("link", 1000)
+	s1, e1 := r.Peek(0, 1000)
+	s2, e2 := r.Peek(0, 1000)
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("Peek mutated state: (%d,%d) vs (%d,%d)", s1, e1, s2, e2)
+	}
+	if r.NextFree() != 0 {
+		t.Fatalf("NextFree = %d after Peek, want 0", r.NextFree())
+	}
+}
+
+func TestEventWaitBeforeComplete(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent("io")
+	var got int64
+	e.Spawn("waiter", func(p *Proc) {
+		got = ev.Wait(p)
+	})
+	e.Spawn("completer", func(p *Proc) {
+		p.Hold(123)
+		ev.Complete(p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 123 {
+		t.Fatalf("wait returned %d, want 123", got)
+	}
+}
+
+func TestEventWaitAfterComplete(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent("io")
+	e.Spawn("completer", func(p *Proc) {
+		p.Hold(50)
+		ev.Complete(p.Now())
+	})
+	e.Spawn("latewaiter", func(p *Proc) {
+		p.Hold(1000)
+		at := ev.Wait(p)
+		if at != 50 {
+			t.Errorf("completion at %d, want 50", at)
+		}
+		if p.Now() != 1000 {
+			t.Errorf("clock = %d, want 1000 (no rewind)", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletedEvent(t *testing.T) {
+	e := NewEngine()
+	ev := CompletedEvent("none", 0)
+	if !ev.Done() {
+		t.Fatal("CompletedEvent not done")
+	}
+	e.Spawn("w", func(p *Proc) {
+		if at := ev.Wait(p); at != 0 {
+			t.Errorf("at = %d, want 0", at)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventDoubleCompletePanics(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent("x")
+	e.Spawn("a", func(p *Proc) {
+		ev.Complete(0)
+		ev.Complete(1)
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected panic error for double complete")
+	}
+}
+
+func TestBarrierReleasesAtMaxArrival(t *testing.T) {
+	e := NewEngine()
+	const n = 5
+	b := NewBarrier("b", n, nil)
+	release := make([]int64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Hold(int64(i) * 100)
+			b.Wait(p)
+			release[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range release {
+		if r != 400 {
+			t.Errorf("proc %d released at %d, want 400", i, r)
+		}
+	}
+}
+
+func TestBarrierWithCost(t *testing.T) {
+	e := NewEngine()
+	const n = 4
+	b := NewBarrier("b", n, func(maxArrival int64, size int) int64 {
+		return maxArrival + int64(size)*10
+	})
+	for i := 0; i < n; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			b.Wait(p)
+			if p.Now() != 40 {
+				t.Errorf("released at %d, want 40", p.Now())
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine()
+	const n, rounds = 3, 4
+	b := NewBarrier("b", n, nil)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Hold(int64(i + 1)) // desynchronize
+				b.Wait(p)
+				counts[i]++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != rounds {
+			t.Errorf("proc %d completed %d rounds, want %d", i, c, rounds)
+		}
+	}
+}
+
+func TestMailboxDeliverThenRecv(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox("mb")
+	e.Spawn("sender", func(p *Proc) {
+		mb.Deliver(Message{Arrival: 77, Key: 1, Bytes: 10})
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		p.Hold(5) // recv after delivery
+		m := mb.Recv(p, func(m Message) bool { return m.Key == 1 })
+		if m.Bytes != 10 {
+			t.Errorf("bytes = %d, want 10", m.Bytes)
+		}
+		if p.Now() != 77 {
+			t.Errorf("clock = %d, want arrival 77", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxRecvThenDeliver(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox("mb")
+	e.Spawn("receiver", func(p *Proc) {
+		m := mb.Recv(p, func(m Message) bool { return true })
+		if m.Key != 42 {
+			t.Errorf("key = %d, want 42", m.Key)
+		}
+		if p.Now() != 200 {
+			t.Errorf("clock = %d, want 200", p.Now())
+		}
+	})
+	e.Spawn("sender", func(p *Proc) {
+		p.Hold(150)
+		mb.Deliver(Message{Arrival: 200, Key: 42})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxSelectiveMatch(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox("mb")
+	e.Spawn("sender", func(p *Proc) {
+		mb.Deliver(Message{Arrival: 10, Key: 1})
+		mb.Deliver(Message{Arrival: 20, Key: 2})
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		p.Hold(1)
+		// Match key 2 first even though key 1 is queued ahead of it.
+		m := mb.Recv(p, func(m Message) bool { return m.Key == 2 })
+		if m.Key != 2 {
+			t.Fatalf("key = %d, want 2", m.Key)
+		}
+		m = mb.Recv(p, func(m Message) bool { return true })
+		if m.Key != 1 {
+			t.Fatalf("key = %d, want 1", m.Key)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mb.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", mb.Pending())
+	}
+}
+
+func TestMailboxFIFOAmongMatching(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox("mb")
+	e.Spawn("sender", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			mb.Deliver(Message{Arrival: int64(i), Key: 7, Bytes: int64(i)})
+		}
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		p.Hold(100)
+		for i := 0; i < 5; i++ {
+			m := mb.Recv(p, func(m Message) bool { return m.Key == 7 })
+			if m.Bytes != int64(i) {
+				t.Fatalf("message %d out of order: got bytes %d", i, m.Bytes)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoWaitersWokenInDeliveryOrder(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox("mb")
+	got := make([]int64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("rx%d", i), func(p *Proc) {
+			m := mb.Recv(p, func(m Message) bool { return true })
+			got[i] = m.Key
+		})
+	}
+	e.Spawn("sender", func(p *Proc) {
+		p.Hold(10)
+		mb.Deliver(Message{Arrival: 10, Key: 100})
+		mb.Deliver(Message{Arrival: 11, Key: 101})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 100 || got[1] != 101 {
+		t.Fatalf("got = %v, want [100 101]", got)
+	}
+}

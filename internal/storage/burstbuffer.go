@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"fmt"
+
+	"tapioca/internal/sim"
+)
+
+// BurstBufferConfig calibrates the burst-buffer tier (the paper's
+// future-work extension: aggregate into a fast intermediate tier, drain to
+// the parallel file system asynchronously).
+type BurstBufferConfig struct {
+	// Servers is the number of burst-buffer nodes. Default 8.
+	Servers int
+	// ServerBW is the per-server ingest bandwidth. Default 5 GB/s
+	// (NVMe-class).
+	ServerBW float64
+	// PerOp is the per-request overhead. Default 50 µs.
+	PerOp int64
+}
+
+func (c *BurstBufferConfig) setDefaults() {
+	if c.Servers <= 0 {
+		c.Servers = 8
+	}
+	if c.ServerBW <= 0 {
+		c.ServerBW = 5e9
+	}
+	if c.PerOp <= 0 {
+		c.PerOp = 50 * sim.Microsecond
+	}
+}
+
+// BurstBuffer is a write-behind staging tier in front of another storage
+// system: writes complete when they land on a burst-buffer server, and the
+// data drains to the backing system asynchronously. Reads are served from
+// the buffer when the data is still staged (always, in this model).
+//
+// This implements the paper's §VI future-work direction — "efficiently
+// aggregate data from the DRAM on the MCDRAM in order to move it to burst
+// buffers in an optimized manner" — as a composable System.
+type BurstBuffer struct {
+	cfg     BurstBufferConfig
+	backing System
+	servers []*sim.GapResource
+
+	pending []*sim.Event // outstanding drains
+	staged  int64
+}
+
+// NewBurstBuffer stacks a burst-buffer tier on a backing system.
+func NewBurstBuffer(backing System, cfg BurstBufferConfig) *BurstBuffer {
+	cfg.setDefaults()
+	bb := &BurstBuffer{cfg: cfg, backing: backing}
+	for i := 0; i < cfg.Servers; i++ {
+		bb.servers = append(bb.servers, sim.NewGapResource(fmt.Sprintf("bb-%d", i), cfg.ServerBW))
+	}
+	return bb
+}
+
+func (bb *BurstBuffer) Name() string { return "burstbuffer+" + bb.backing.Name() }
+
+func (bb *BurstBuffer) Create(name string, opt FileOptions) *File {
+	return bb.backing.Create(name, opt)
+}
+
+func (bb *BurstBuffer) Lookup(name string) *File { return bb.backing.Lookup(name) }
+
+func (bb *BurstBuffer) OptimalUnit(f *File) int64 { return bb.backing.OptimalUnit(f) }
+
+// server picks the burst-buffer server for an access (spread by offset).
+func (bb *BurstBuffer) server(f *File, segs []Seg) *sim.GapResource {
+	lo, _ := SpanAll(segs)
+	h := uint64(lo/(8<<20)) * 0x9E3779B97F4A7C15
+	h ^= h >> 33
+	return bb.servers[h%uint64(len(bb.servers))]
+}
+
+// stage books the burst-buffer ingest and the asynchronous drain; it
+// returns the ingest completion (what the writer waits for). The drain to
+// the backing system is booked concurrently and tracked in pending.
+func (bb *BurstBuffer) stage(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	bytes := TotalBytes(segs)
+	_, end := bb.server(f, segs).ReserveDur(p.Now()+bb.cfg.PerOp, sim.TransferTime(bytes, bb.cfg.ServerBW), bytes)
+	bb.staged += bytes
+	bb.pending = append(bb.pending, bb.backing.WriteAsync(p, node, f, segs))
+	return end
+}
+
+// Flush blocks until every background drain has reached the backing system
+// and returns the time of the last one.
+func (bb *BurstBuffer) Flush(p *sim.Proc) int64 {
+	var last int64
+	for _, ev := range bb.pending {
+		if at := ev.Wait(p); at > last {
+			last = at
+		}
+	}
+	bb.pending = nil
+	return last
+}
+
+// StagedBytes returns the bytes ingested by the buffer tier.
+func (bb *BurstBuffer) StagedBytes() int64 { return bb.staged }
+
+func (bb *BurstBuffer) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	// recordWrite happens in the backing WriteAsync inside stage.
+	return blockingWrite(p, bb.stage(p, node, f, segs))
+}
+
+func (bb *BurstBuffer) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	return asyncEvent(p, "bb-write", bb.stage(p, node, f, segs))
+}
+
+func (bb *BurstBuffer) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	lo, _ := SpanAll(segs)
+	footprint := PageFootprint(segs, 4096)
+	return bb.Write(p, node, f, []Seg{Contig(lo, footprint)})
+}
+
+func (bb *BurstBuffer) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordRead(segs)
+	bytes := TotalBytes(segs)
+	_, end := bb.server(f, segs).ReserveDur(p.Now()+bb.cfg.PerOp, sim.TransferTime(bytes, bb.cfg.ServerBW), bytes)
+	return blockingWrite(p, end)
+}
+
+func (bb *BurstBuffer) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	f.recordRead(segs)
+	bytes := TotalBytes(segs)
+	_, end := bb.server(f, segs).ReserveDur(p.Now()+bb.cfg.PerOp, sim.TransferTime(bytes, bb.cfg.ServerBW), bytes)
+	return asyncEvent(p, "bb-read", end)
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"fmt"
+
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// GPFS lock modes.
+const (
+	// LockExclusive is the default GPFS byte-range token behaviour: a block
+	// written by different nodes bounces its write token, paying a
+	// revocation each time ownership moves.
+	LockExclusive = iota
+	// LockShared models the Mira tuning the paper applies ("reducing lock
+	// contention by sharing file locks"): no token bouncing.
+	LockShared
+)
+
+// GPFSConfig calibrates the Mira-like GPFS model. Zero values take defaults
+// chosen so a Pset's measured peak matches the paper (≈2.8 GB/s per Pset;
+// 89.6 GB/s on 4,096 nodes).
+type GPFSConfig struct {
+	// BlockSize is the GPFS block (and lock) granularity. Default 8 MB.
+	BlockSize int64
+	// IONBandwidth is the effective per-ION bandwidth to storage,
+	// including forwarding overheads. Default 2.8 GB/s.
+	IONBandwidth float64
+	// BridgeLinkBW is the bandwidth of each of the two bridge-node→ION
+	// links of a Pset. Default 1.8 GB/s.
+	BridgeLinkBW float64
+	// FileBW is the per-file backend ceiling: a single shared file cannot
+	// exceed it regardless of Pset count (GPFS allocation maps one file
+	// onto a bounded NSD set), which is why the paper's Mira experiments
+	// use file-per-Pset subfiling. Default 13 GB/s.
+	FileBW float64
+	// BackendBW is the global file system ceiling. Default 240 GB/s.
+	BackendBW float64
+	// PerOpOverhead is the server-side cost per write/read call. Default
+	// 250 µs.
+	PerOpOverhead int64
+	// PerRunCost is the client/forwarder cost per contiguous run within a
+	// call (marshaling tiny strided runs is what makes unsieved AoS writes
+	// catastrophic). Default 1.5 µs.
+	PerRunCost int64
+	// LockMode is LockExclusive (default) or LockShared.
+	LockMode int
+	// LockRevocation is the per-block token-bounce penalty. Default 500 µs.
+	LockRevocation int64
+	// TokenRevoke is paid in exclusive mode whenever the writing node of a
+	// file changes: the previous holder's write token is revoked and its
+	// cached dirty data written back. With many aggregators interleaving
+	// rounds this dominates — the contention the paper's "lock sharing"
+	// tuning removes. Default 10 ms.
+	TokenRevoke int64
+	// ReadTokenGrant is paid in exclusive mode for each (node, block) read
+	// token acquisition. Default 500 µs.
+	ReadTokenGrant int64
+	// ReadFactor scales read bandwidth relative to write. Default 1.25.
+	ReadFactor float64
+}
+
+func (c *GPFSConfig) setDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 8 << 20
+	}
+	if c.IONBandwidth <= 0 {
+		c.IONBandwidth = 2.8e9
+	}
+	if c.BridgeLinkBW <= 0 {
+		c.BridgeLinkBW = 1.8e9
+	}
+	if c.FileBW <= 0 {
+		c.FileBW = 13e9
+	}
+	if c.BackendBW <= 0 {
+		c.BackendBW = 240e9
+	}
+	if c.PerOpOverhead <= 0 {
+		c.PerOpOverhead = 250 * sim.Microsecond
+	}
+	if c.PerRunCost <= 0 {
+		c.PerRunCost = 1500
+	}
+	if c.LockRevocation <= 0 {
+		c.LockRevocation = 500 * sim.Microsecond
+	}
+	if c.TokenRevoke <= 0 {
+		c.TokenRevoke = 10 * sim.Millisecond
+	}
+	if c.ReadTokenGrant <= 0 {
+		c.ReadTokenGrant = 500 * sim.Microsecond
+	}
+	if c.ReadFactor <= 0 {
+		c.ReadFactor = 1.25
+	}
+}
+
+// GPFS models the Mira storage path: compute node → (torus) → bridge node →
+// ION → GPFS backend, with block-granular write tokens.
+type GPFS struct {
+	cfg  GPFSConfig
+	topo *topology.Torus5D
+	fab  *netsim.Fabric
+
+	bridgeLinks [][2]*sim.GapResource // per Pset
+	ionUplink   []*sim.GapResource    // per Pset
+	backend     *sim.GapResource
+
+	files map[string]*File
+}
+
+type gpfsFile struct {
+	fileRes    *sim.GapResource // per-file backend ceiling
+	blockOwner map[int64]int    // block index → last writer node
+	lastWriter int              // last node to write the file (token holder)
+	readGrants map[int64]bool   // (block<<20|node) read tokens granted
+}
+
+// NewGPFS builds a GPFS model attached to a BG/Q torus and its fabric.
+func NewGPFS(topo *topology.Torus5D, fab *netsim.Fabric, cfg GPFSConfig) *GPFS {
+	cfg.setDefaults()
+	g := &GPFS{cfg: cfg, topo: topo, fab: fab, files: map[string]*File{}}
+	psets := topo.IONodes()
+	g.bridgeLinks = make([][2]*sim.GapResource, psets)
+	g.ionUplink = make([]*sim.GapResource, psets)
+	for i := 0; i < psets; i++ {
+		g.bridgeLinks[i][0] = sim.NewGapResource(fmt.Sprintf("bridge-%d-0", i), cfg.BridgeLinkBW)
+		g.bridgeLinks[i][1] = sim.NewGapResource(fmt.Sprintf("bridge-%d-1", i), cfg.BridgeLinkBW)
+		g.ionUplink[i] = sim.NewGapResource(fmt.Sprintf("ion-%d", i), cfg.IONBandwidth)
+	}
+	g.backend = sim.NewGapResource("gpfs-backend", cfg.BackendBW)
+	return g
+}
+
+// Config returns the effective configuration.
+func (g *GPFS) Config() GPFSConfig { return g.cfg }
+
+// StageBusy reports cumulative busy time (ns) of the storage-path stages
+// for diagnostics: per-Pset bridge links, per-Pset ION uplinks, and the
+// global backend.
+func (g *GPFS) StageBusy() (bridge, ion []int64, backend int64) {
+	for i := range g.ionUplink {
+		bridge = append(bridge, g.bridgeLinks[i][0].BusyTime()+g.bridgeLinks[i][1].BusyTime())
+		ion = append(ion, g.ionUplink[i].BusyTime())
+	}
+	return bridge, ion, g.backend.BusyTime()
+}
+
+func (g *GPFS) Name() string { return "gpfs" }
+
+func (g *GPFS) Create(name string, opt FileOptions) *File {
+	f := &File{Name: name, Opt: opt, impl: &gpfsFile{
+		fileRes:    sim.NewGapResource("gpfs-file-"+name, g.cfg.FileBW),
+		blockOwner: map[int64]int{},
+		lastWriter: -1,
+		readGrants: map[int64]bool{},
+	}}
+	g.files[name] = f
+	return f
+}
+
+func (g *GPFS) Lookup(name string) *File { return g.files[name] }
+
+// OptimalUnit is the GPFS block size.
+func (g *GPFS) OptimalUnit(f *File) int64 { return g.cfg.BlockSize }
+
+// reserve books one transfer (write or read) through the storage path and
+// returns its completion time.
+func (g *GPFS) reserve(now int64, node int, f *File, segs []Seg, read bool) int64 {
+	gf := f.impl.(*gpfsFile)
+	bytes := TotalBytes(segs)
+	if bytes == 0 {
+		return now + g.cfg.PerOpOverhead
+	}
+	runs := TotalRuns(segs)
+	pset := g.topo.PsetOf(node)
+
+	// Client-side marshaling of the runs.
+	t := now + runs*g.cfg.PerRunCost
+
+	// Torus hop to the nearest bridge node (contends with application
+	// traffic on the fabric).
+	bridge := g.topo.NearestBridge(node)
+	bridgeIdx := 0
+	if bridge != g.topo.BridgeNodes(pset)[0] {
+		bridgeIdx = 1
+	}
+	_, arrival := g.fab.Reserve(t, node, bridge, bytes)
+
+	// Bridge link to the ION.
+	_, t1 := g.bridgeLinks[pset][bridgeIdx].Reserve(arrival, bytes)
+
+	// Token (lock) traffic in exclusive mode. The delay occupies the ION
+	// (token negotiation stalls the forwarding pipeline), so it costs
+	// throughput, not just latency.
+	var lockDelay int64
+	if g.cfg.LockMode == LockExclusive {
+		lo, hi := SpanAll(segs)
+		if read {
+			for b := lo / g.cfg.BlockSize; b <= (hi-1)/g.cfg.BlockSize; b++ {
+				key := b<<20 | int64(node)
+				if !gf.readGrants[key] {
+					gf.readGrants[key] = true
+					lockDelay += g.cfg.ReadTokenGrant
+				}
+			}
+		} else {
+			if gf.lastWriter != node {
+				if gf.lastWriter >= 0 {
+					lockDelay += g.cfg.TokenRevoke
+				}
+				gf.lastWriter = node
+			}
+			for b := lo / g.cfg.BlockSize; b <= (hi-1)/g.cfg.BlockSize; b++ {
+				if owner, ok := gf.blockOwner[b]; ok && owner != node {
+					lockDelay += g.cfg.LockRevocation
+				}
+				gf.blockOwner[b] = node
+			}
+		}
+	}
+
+	// ION uplink: per-op overhead plus token stalls plus forwarded bytes.
+	rate := g.cfg.IONBandwidth
+	if read {
+		rate *= g.cfg.ReadFactor
+	}
+	dur := g.cfg.PerOpOverhead + lockDelay + sim.TransferTime(bytes, rate)
+	_, t2 := g.ionUplink[pset].ReserveDur(t1, dur, bytes)
+
+	// Per-file ceiling, then the global backend.
+	fileRate := g.cfg.FileBW
+	backRate := g.cfg.BackendBW
+	if read {
+		fileRate *= g.cfg.ReadFactor
+		backRate *= g.cfg.ReadFactor
+	}
+	_, t3 := gf.fileRes.ReserveDur(t2, sim.TransferTime(bytes, fileRate), bytes)
+	_, t4 := g.backend.ReserveDur(t3, sim.TransferTime(bytes, backRate), bytes)
+	return t4
+}
+
+func (g *GPFS) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordWrite(node, p.Now(), segs)
+	return blockingWrite(p, g.reserve(p.Now(), node, f, segs, false))
+}
+
+func (g *GPFS) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	f.recordWrite(node, p.Now(), segs)
+	return asyncEvent(p, "gpfs-write", g.reserve(p.Now(), node, f, segs, false))
+}
+
+func (g *GPFS) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordWrite(node, p.Now(), segs)
+	lo, hi := SpanAll(segs)
+	span := []Seg{Contig(lo, hi-lo)}
+	f.bytesRead += hi - lo
+	tRead := g.reserve(p.Now(), node, f, span, true)
+	return blockingWrite(p, g.reserve(tRead, node, f, span, false))
+}
+
+func (g *GPFS) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordRead(segs)
+	return blockingWrite(p, g.reserve(p.Now(), node, f, segs, true))
+}
+
+func (g *GPFS) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	f.recordRead(segs)
+	return asyncEvent(p, "gpfs-read", g.reserve(p.Now(), node, f, segs, true))
+}

@@ -1,0 +1,277 @@
+package storage
+
+import (
+	"fmt"
+
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// LustreConfig calibrates the Theta-like Lustre model. The defaults give a
+// single write stream ≈145 MB/s to one OST (latency-bound) and an OST
+// ceiling of 0.42 GB/s under concurrency — matching the paper's observation
+// that aggregator counts of 2–8 per OST are needed to approach peak.
+type LustreConfig struct {
+	// NumOST is the object storage target count (56 on Theta).
+	NumOST int
+	// OSTBandwidth is the per-OST write ceiling. Default 0.42 GB/s.
+	OSTBandwidth float64
+	// ReadFactor scales read bandwidth per OST. Default 2.0.
+	ReadFactor float64
+	// RPCSize is the Lustre RPC granularity. Default 1 MB.
+	RPCSize int64
+	// RPCLatency is the per-RPC round-trip seen by one stream; a single
+	// stream is latency-bound while concurrent streams fill the gaps.
+	// Default 4.5 ms.
+	RPCLatency int64
+	// ObjectSetup is the per-object stream setup cost within one flush
+	// (lock + layout work when a write spans OST objects — the Table I
+	// super-stripe penalty). Default 3 ms.
+	ObjectSetup int64
+	// LockRevocation is the extent-lock bounce penalty paid when a stripe
+	// last written by another client is written again (the Table I
+	// sub-stripe penalty). Default 1.5 ms.
+	LockRevocation int64
+	// LNETBandwidth is the per-LNET-router IB bandwidth. Default 7 GB/s.
+	LNETBandwidth float64
+	// PerRunCost is the client cost per contiguous run. Default 1 µs.
+	PerRunCost int64
+	// DefaultStripeCount and DefaultStripeSize apply to files created
+	// without explicit options — stripe count 1 and 1 MB stripes, the
+	// platform defaults whose poor performance Figure 8 demonstrates.
+	DefaultStripeCount int
+	DefaultStripeSize  int64
+}
+
+func (c *LustreConfig) setDefaults() {
+	if c.NumOST <= 0 {
+		c.NumOST = 56
+	}
+	if c.OSTBandwidth <= 0 {
+		c.OSTBandwidth = 0.42e9
+	}
+	if c.ReadFactor <= 0 {
+		c.ReadFactor = 2.0
+	}
+	if c.RPCSize <= 0 {
+		c.RPCSize = 1 << 20
+	}
+	if c.RPCLatency <= 0 {
+		c.RPCLatency = 4500 * sim.Microsecond
+	}
+	if c.ObjectSetup <= 0 {
+		c.ObjectSetup = 3 * sim.Millisecond
+	}
+	if c.LockRevocation <= 0 {
+		c.LockRevocation = 1500 * sim.Microsecond
+	}
+	if c.LNETBandwidth <= 0 {
+		c.LNETBandwidth = 7e9
+	}
+	if c.PerRunCost <= 0 {
+		c.PerRunCost = 1000
+	}
+	if c.DefaultStripeCount <= 0 {
+		c.DefaultStripeCount = 1
+	}
+	if c.DefaultStripeSize <= 0 {
+		c.DefaultStripeSize = 1 << 20
+	}
+}
+
+// Lustre models the Theta storage path: compute node → (dragonfly) → LNET
+// service node → OSS/OST, with per-file striping and extent locks.
+type Lustre struct {
+	cfg  LustreConfig
+	topo *topology.Dragonfly
+	fab  *netsim.Fabric
+
+	osts []*sim.GapResource
+	lnet []*sim.GapResource
+
+	files   map[string]*File
+	fileSeq int
+}
+
+type lustreFile struct {
+	stripeCount int
+	stripeSize  int64
+	ostOffset   int
+	stripeOwner map[int64]int // stripe index → last writer node
+}
+
+// NewLustre builds a Lustre model attached to a dragonfly and its fabric.
+// The dragonfly must have service nodes (they carry LNET traffic).
+func NewLustre(topo *topology.Dragonfly, fab *netsim.Fabric, cfg LustreConfig) *Lustre {
+	cfg.setDefaults()
+	if topo.ServiceNodes == 0 {
+		panic("storage: Lustre requires a dragonfly with service nodes")
+	}
+	l := &Lustre{cfg: cfg, topo: topo, fab: fab, files: map[string]*File{}}
+	l.osts = make([]*sim.GapResource, cfg.NumOST)
+	for i := range l.osts {
+		l.osts[i] = sim.NewGapResource(fmt.Sprintf("ost-%d", i), cfg.OSTBandwidth)
+	}
+	l.lnet = make([]*sim.GapResource, topo.ServiceNodes)
+	for i := range l.lnet {
+		l.lnet[i] = sim.NewGapResource(fmt.Sprintf("lnet-ib-%d", i), cfg.LNETBandwidth)
+	}
+	return l
+}
+
+// Config returns the effective configuration.
+func (l *Lustre) Config() LustreConfig { return l.cfg }
+
+func (l *Lustre) Name() string { return "lustre" }
+
+func (l *Lustre) Create(name string, opt FileOptions) *File {
+	if opt.StripeCount <= 0 {
+		opt.StripeCount = l.cfg.DefaultStripeCount
+	}
+	if opt.StripeCount > l.cfg.NumOST {
+		opt.StripeCount = l.cfg.NumOST
+	}
+	if opt.StripeSize <= 0 {
+		opt.StripeSize = l.cfg.DefaultStripeSize
+	}
+	f := &File{Name: name, Opt: opt, impl: &lustreFile{
+		stripeCount: opt.StripeCount,
+		stripeSize:  opt.StripeSize,
+		ostOffset:   l.fileSeq % l.cfg.NumOST,
+		stripeOwner: map[int64]int{},
+	}}
+	l.fileSeq++
+	l.files[name] = f
+	return f
+}
+
+func (l *Lustre) Lookup(name string) *File { return l.files[name] }
+
+// OptimalUnit is the file's stripe size (paper Table I: aggregation buffers
+// should match it 1:1).
+func (l *Lustre) OptimalUnit(f *File) int64 {
+	return f.impl.(*lustreFile).stripeSize
+}
+
+// OSTOf returns the global OST index holding the given stripe of the file.
+func (l *Lustre) OSTOf(f *File, stripe int64) int {
+	lf := f.impl.(*lustreFile)
+	return (lf.ostOffset + int(stripe%int64(lf.stripeCount))) % l.cfg.NumOST
+}
+
+// reserve books a write or read through the Lustre path.
+func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) int64 {
+	lf := f.impl.(*lustreFile)
+	bytes := TotalBytes(segs)
+	if bytes == 0 {
+		return now + l.cfg.RPCLatency
+	}
+	runs := TotalRuns(segs)
+	t0 := now + runs*l.cfg.PerRunCost
+
+	// Partition the access by stripe, grouping chunks per OST object.
+	lo, hi := SpanAll(segs)
+	S := lf.stripeSize
+	type chunk struct {
+		bytes    int64
+		conflict int64 // lock revocation delay
+	}
+	perOST := map[int]*chunk{}
+	ostOrder := []int{}
+	for s := lo / S; s <= (hi-1)/S; s++ {
+		part := IntersectAll(segs, s*S, (s+1)*S)
+		b := TotalBytes(part)
+		if b == 0 {
+			continue
+		}
+		ost := l.OSTOf(f, s)
+		ck := perOST[ost]
+		if ck == nil {
+			ck = &chunk{}
+			perOST[ost] = ck
+			ostOrder = append(ostOrder, ost)
+		}
+		ck.bytes += b
+		if !read {
+			if owner, ok := lf.stripeOwner[s]; ok && owner != node {
+				ck.conflict += l.cfg.LockRevocation
+			}
+			lf.stripeOwner[s] = node
+		}
+	}
+
+	// One object stream per OST. Streams of one call are processed
+	// serially by the issuing client (the Lustre client walks the layout
+	// object by object — spanning objects buys no intra-call parallelism,
+	// which is why super-stripe aggregation buffers lose in Table I).
+	// Within a stream, RPCs are serialized by the round-trip latency, so a
+	// single stream is latency-bound while concurrent clients fill the
+	// OST's idle gaps.
+	ostRate := l.cfg.OSTBandwidth
+	if read {
+		ostRate *= l.cfg.ReadFactor
+	}
+	cur := t0
+	for _, ost := range ostOrder {
+		ck := perOST[ost]
+		lnetIdx := ost % len(l.lnet)
+		lnetNode := l.topo.ServiceNode(lnetIdx)
+		var stageIn int64
+		if read {
+			// Reads start with a small request message (pure latency) and
+			// flow back LNET→client afterwards.
+			stageIn = cur + l.fab.LatencyTo(node, lnetNode)
+			_, stageIn = l.lnet[lnetIdx].Reserve(stageIn, ck.bytes)
+		} else {
+			_, arr := l.fab.Reserve(cur, node, lnetNode, ck.bytes)
+			_, stageIn = l.lnet[lnetIdx].Reserve(arr, ck.bytes)
+		}
+		cur = stageIn + ck.conflict + l.cfg.ObjectSetup
+		remaining := ck.bytes
+		for remaining > 0 {
+			rpc := minI64(remaining, l.cfg.RPCSize)
+			dur := sim.TransferTime(rpc, ostRate)
+			_, end := l.osts[ost].ReserveDur(cur, dur, rpc)
+			cur = end + l.cfg.RPCLatency
+			remaining -= rpc
+		}
+		if read {
+			// Deliver the data over the fabric to the client.
+			_, arr := l.fab.Reserve(cur, lnetNode, node, ck.bytes)
+			cur = arr
+		}
+	}
+	return cur
+}
+
+func (l *Lustre) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordWrite(node, p.Now(), segs)
+	return blockingWrite(p, l.reserve(p.Now(), node, f, segs, false))
+}
+
+func (l *Lustre) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	f.recordWrite(node, p.Now(), segs)
+	return asyncEvent(p, "lustre-write", l.reserve(p.Now(), node, f, segs, false))
+}
+
+// WriteSieved on Lustre models page-granular writeback rather than a
+// read-modify-write: the client dirties whole 4 KB pages, so a sparse
+// pattern transfers its page footprint (up to the whole span), with no
+// sieve read — Lustre client mechanics, unlike the BG/Q GPFS path.
+func (l *Lustre) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordWrite(node, p.Now(), segs)
+	lo, _ := SpanAll(segs)
+	footprint := PageFootprint(segs, 4096)
+	return blockingWrite(p, l.reserve(p.Now(), node, f, []Seg{Contig(lo, footprint)}, false))
+}
+
+func (l *Lustre) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	f.recordRead(segs)
+	return blockingWrite(p, l.reserve(p.Now(), node, f, segs, true))
+}
+
+func (l *Lustre) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	f.recordRead(segs)
+	return asyncEvent(p, "lustre-read", l.reserve(p.Now(), node, f, segs, true))
+}

@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func theta512() *Dragonfly { return ThetaDragonfly(512, RouteMinimal) }
+
+func TestDragonflySizing(t *testing.T) {
+	d := theta512()
+	if d.ComputeNodes() < 512 {
+		t.Fatalf("compute nodes = %d, want >= 512", d.ComputeNodes())
+	}
+	if d.Groups != 2 {
+		t.Fatalf("groups = %d, want 2 for 512 nodes", d.Groups)
+	}
+	if d.Nodes() != d.ComputeNodes()+28 {
+		t.Fatalf("total nodes = %d, want compute+28 service", d.Nodes())
+	}
+}
+
+func TestDragonflyForNodesScaling(t *testing.T) {
+	cases := map[int]int{512: 2, 1024: 3, 2048: 6, 3456: 9}
+	for n, groups := range cases {
+		d := ThetaDragonfly(n, RouteMinimal)
+		if d.Groups != groups {
+			t.Errorf("ThetaDragonfly(%d).Groups = %d, want %d", n, d.Groups, groups)
+		}
+	}
+}
+
+func TestDragonflyRouterOf(t *testing.T) {
+	d := theta512()
+	for node := 0; node < d.ComputeNodes(); node++ {
+		r := d.RouterOf(node)
+		if r != node/4 {
+			t.Fatalf("RouterOf(%d) = %d, want %d", node, r, node/4)
+		}
+	}
+}
+
+func TestDragonflyServiceNodesSpread(t *testing.T) {
+	d := theta512()
+	groups := map[int]bool{}
+	for i := 0; i < d.ServiceNodes; i++ {
+		n := d.ServiceNode(i)
+		if n < d.ComputeNodes() || n >= d.Nodes() {
+			t.Fatalf("service node id %d out of range", n)
+		}
+		groups[d.GroupOf(n)] = true
+	}
+	if len(groups) != d.Groups {
+		t.Fatalf("service nodes cover %d groups, want %d", len(groups), d.Groups)
+	}
+}
+
+func TestDragonflyDistanceCases(t *testing.T) {
+	d := theta512()
+	// Same node.
+	if dist := d.Distance(0, 0); dist != 0 {
+		t.Errorf("same node distance = %d", dist)
+	}
+	// Same router: two host links.
+	if dist := d.Distance(0, 1); dist != 2 {
+		t.Errorf("same router distance = %d, want 2", dist)
+	}
+	// Same group, same row: host + 1 electrical + host.
+	a, b := 0, 4 // routers 0 and 1 (row 0, cols 0 and 1)
+	if dist := d.Distance(a, b); dist != 3 {
+		t.Errorf("same row distance = %d, want 3", dist)
+	}
+	// Same group, different row and col: 2 electrical hops.
+	c := d.NodesPerRouter * d.routerAt(0, 1, 1)
+	if dist := d.Distance(a, c); dist != 4 {
+		t.Errorf("general intra-group distance = %d, want 4", dist)
+	}
+	// Inter-group: at least host + gw path + optical + host.
+	far := d.NodesPerRouter * d.routerAt(1, 3, 7)
+	if dist := d.Distance(a, far); dist < 3 || dist > 7 {
+		t.Errorf("inter-group distance = %d, want within [3,7]", dist)
+	}
+}
+
+func TestDragonflyDistanceSymmetricIntraGroup(t *testing.T) {
+	d := theta512()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		a := rng.Intn(384) // group 0 nodes
+		b := rng.Intn(384)
+		if d.Distance(a, b) != d.Distance(b, a) {
+			t.Fatalf("asymmetric intra-group distance %d↔%d", a, b)
+		}
+	}
+}
+
+func TestDragonflyRouteValid(t *testing.T) {
+	for _, mode := range []int{RouteMinimal, RouteValiant} {
+		d := ThetaDragonfly(1024, mode)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 300; i++ {
+			a, b := rng.Intn(d.ComputeNodes()), rng.Intn(d.ComputeNodes())
+			route := d.Route(a, b)
+			if a == b {
+				if len(route) != 0 {
+					t.Fatalf("self route not empty")
+				}
+				continue
+			}
+			if len(route) == 0 {
+				t.Fatalf("empty route %d→%d", a, b)
+			}
+			for _, l := range route {
+				if l < 0 || l >= d.NumLinks() {
+					t.Fatalf("link %d out of range (mode %d)", l, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestDragonflyMinimalRouteLengthMatchesDistance(t *testing.T) {
+	d := theta512()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		a, b := rng.Intn(d.ComputeNodes()), rng.Intn(d.ComputeNodes())
+		if a == b {
+			continue
+		}
+		if got, want := len(d.Route(a, b)), d.Distance(a, b); got != want {
+			t.Fatalf("route length %d != distance %d for %d→%d", got, want, a, b)
+		}
+	}
+}
+
+func TestDragonflyValiantNotShorterThanMinimal(t *testing.T) {
+	dm := ThetaDragonfly(2048, RouteMinimal)
+	dv := ThetaDragonfly(2048, RouteValiant)
+	rng := rand.New(rand.NewSource(7))
+	longer := 0
+	for i := 0; i < 300; i++ {
+		a, b := rng.Intn(dm.ComputeNodes()), rng.Intn(dm.ComputeNodes())
+		lm, lv := len(dm.Route(a, b)), len(dv.Route(a, b))
+		if lv < lm {
+			t.Fatalf("valiant route shorter than minimal for %d→%d (%d < %d)", a, b, lv, lm)
+		}
+		if lv > lm {
+			longer++
+		}
+	}
+	if longer == 0 {
+		t.Fatal("valiant routing never detoured; adaptive model is inert")
+	}
+}
+
+func TestDragonflyRouteToServiceNode(t *testing.T) {
+	d := theta512()
+	svc := d.ServiceNode(3)
+	route := d.Route(100, svc)
+	if len(route) == 0 {
+		t.Fatal("no route to service node")
+	}
+	// Last link must be the service node's host downlink (injection level).
+	if lvl := d.LinkLevel(route[len(route)-1]); lvl != LevelInjection {
+		t.Fatalf("final link level = %d, want injection", lvl)
+	}
+}
+
+func TestDragonflyIONUnknown(t *testing.T) {
+	d := theta512()
+	if d.IONodeOf(17) != IONUnknown {
+		t.Fatal("dragonfly must hide ION locality (paper: C2 = 0 on Theta)")
+	}
+	if d.DistanceToION(17, 0) != 0 {
+		t.Fatal("DistanceToION must be 0 when locality is unknown")
+	}
+}
+
+func TestDragonflyOpticalOnInterGroupRoute(t *testing.T) {
+	d := theta512()
+	a := 0
+	b := d.NodesPerRouter * d.routerAt(1, 0, 0)
+	route := d.Route(a, b)
+	foundOptical := false
+	for _, l := range route {
+		if d.LinkRate(l) == d.OpticalBW {
+			foundOptical = true
+		}
+	}
+	if !foundOptical {
+		t.Fatal("inter-group route has no optical link")
+	}
+}
+
+func TestDragonflyGatewaySpread(t *testing.T) {
+	// Parallel flows between the same group pair should use both parallel
+	// optical connections.
+	d := theta512()
+	used := map[int]bool{}
+	for a := 0; a < 16; a++ {
+		b := d.NodesPerRouter*d.routerAt(1, 2, 3) + a%4
+		route := d.Route(a, b)
+		for _, l := range route {
+			if d.LinkRate(l) == d.OpticalBW {
+				used[l] = true
+			}
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("flows concentrated on %d optical links, want >= 2", len(used))
+	}
+}
+
+func TestDragonflyBandwidthLevels(t *testing.T) {
+	d := theta512()
+	if d.Bandwidth(LevelFabric) != 14e9 {
+		t.Errorf("electrical = %v", d.Bandwidth(LevelFabric))
+	}
+	if d.Bandwidth(LevelIOUplink) != 12.5e9 {
+		t.Errorf("optical = %v", d.Bandwidth(LevelIOUplink))
+	}
+}
+
+func TestFlatTopology(t *testing.T) {
+	f := NewFlat(8)
+	if f.Distance(1, 1) != 0 || f.Distance(1, 2) != 1 {
+		t.Fatal("flat distances wrong")
+	}
+	r := f.Route(2, 5)
+	if len(r) != 2 {
+		t.Fatalf("flat route length = %d, want 2", len(r))
+	}
+	hops, bw := PathInfo(f, 2, 5)
+	if hops != 2 || bw != f.LinkBW {
+		t.Fatalf("PathInfo = (%d, %v)", hops, bw)
+	}
+	if f.IONodeOf(7) != 0 {
+		t.Fatalf("flat ION = %d", f.IONodeOf(7))
+	}
+}

@@ -1,0 +1,33 @@
+package topology
+
+import "fmt"
+
+// MiraTorus returns a Mira-like BG/Q torus partition for the given node
+// count. Partition shapes follow the compact sub-box geometry BG/Q uses;
+// supported sizes are powers of two from 128 to 49152.
+func MiraTorus(nodes int) *Torus5D {
+	shapes := map[int][5]int{
+		128:   {2, 2, 4, 4, 2},
+		256:   {4, 2, 4, 4, 2},
+		512:   {4, 4, 4, 4, 2},
+		1024:  {4, 4, 4, 8, 2},
+		2048:  {4, 4, 8, 8, 2},
+		4096:  {4, 8, 8, 8, 2},
+		8192:  {8, 8, 8, 8, 2},
+		16384: {8, 8, 8, 16, 2},
+		32768: {8, 8, 16, 16, 2},
+		49152: {8, 12, 16, 16, 2},
+	}
+	dims, ok := shapes[nodes]
+	if !ok {
+		panic(fmt.Sprintf("topology: no Mira partition shape for %d nodes", nodes))
+	}
+	return NewTorus5D(dims)
+}
+
+// ThetaDragonfly returns a Theta-like XC40 dragonfly sized for the given
+// compute-node count, with the default LNET service-node population and the
+// requested routing mode.
+func ThetaDragonfly(nodes, routing int) *Dragonfly {
+	return DragonflyForNodes(nodes, 28, routing)
+}

@@ -1,0 +1,330 @@
+// Package tapioca is a Go reproduction of TAPIOCA (Tessier, Vishwanath,
+// Jeannot — IEEE CLUSTER 2017): an I/O library implementing optimized
+// topology-aware two-phase data aggregation for large-scale supercomputers.
+//
+// Because the paper's platforms (Mira, an IBM BG/Q with GPFS, and Theta, a
+// Cray XC40 with Lustre) are simulated rather than physical here, the
+// library bundles everything needed to reproduce the paper end to end:
+// a deterministic discrete-event engine, 5-D torus and dragonfly topologies,
+// a contention-aware network fabric, an MPI runtime (collectives, one-sided
+// communication, two-phase MPI-IO as the baseline), GPFS and Lustre models,
+// and TAPIOCA itself on top.
+//
+// The public surface is organized around Machines and per-rank contexts:
+//
+//	m := tapioca.Theta(512)
+//	report, err := m.Run(16, func(ctx *tapioca.Ctx) {
+//	    f := ctx.CreateFile("snapshot", tapioca.FileOptions{StripeCount: 48, StripeSize: 8 << 20})
+//	    w := ctx.Tapioca(f, tapioca.Config{Aggregators: 48, BufferSize: 8 << 20})
+//	    w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())<<20, 1 << 20)}})
+//	    w.WriteAll()
+//	    ctx.Barrier()
+//	})
+//
+// All time is virtual: identical programs produce identical timings, and the
+// paper's figures regenerate deterministically (cmd/tapiocabench).
+package tapioca
+
+import (
+	"fmt"
+
+	"tapioca/internal/core"
+	"tapioca/internal/mpi"
+	"tapioca/internal/mpiio"
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+)
+
+// Seg describes a (possibly strided) file access pattern: Count runs of Len
+// bytes every Stride bytes starting at Off. See Contig and Strided.
+type Seg = storage.Seg
+
+// Contig returns a contiguous access [off, off+length).
+func Contig(off, length int64) Seg { return storage.Contig(off, length) }
+
+// Strided returns a strided access: count runs of length bytes every stride
+// bytes from off (an array-of-structures variable, for instance).
+func Strided(off, length, stride, count int64) Seg {
+	return storage.Strided(off, length, stride, count)
+}
+
+// FileOptions carries file-creation tuning (Lustre striping).
+type FileOptions = storage.FileOptions
+
+// Config tunes a TAPIOCA session (see internal/core.Config).
+type Config = core.Config
+
+// Writer is a TAPIOCA collective I/O session handle.
+type Writer = core.Writer
+
+// MPIIOFile is an MPI-IO (ROMIO-style baseline) file handle.
+type MPIIOFile = mpiio.File
+
+// Placement strategies for Config.Placement.
+const (
+	PlacementTopologyAware = core.PlacementTopologyAware
+	PlacementRankOrder     = core.PlacementRankOrder
+	PlacementWorst         = core.PlacementWorst
+	PlacementRandom        = core.PlacementRandom
+)
+
+// Hints tunes the MPI-IO baseline (see internal/mpiio.Hints).
+type Hints = mpiio.Hints
+
+// MPI-IO aggregator strategies for Hints.Strategy.
+const (
+	AggrNodeSpread  = mpiio.AggrNodeSpread
+	AggrRankOrder   = mpiio.AggrRankOrder
+	AggrBridgeFirst = mpiio.AggrBridgeFirst
+)
+
+// MachineOption customizes a Machine preset.
+type MachineOption func(*machineConfig)
+
+type machineConfig struct {
+	lockShared    bool
+	adaptiveRoute bool
+	contention    int
+	gpfs          storage.GPFSConfig
+	lustre        storage.LustreConfig
+	burst         *storage.BurstBufferConfig
+}
+
+// WithLockSharing enables the GPFS shared-lock tuning (Mira's "optimized"
+// configuration in the paper's Figure 7).
+func WithLockSharing() MachineOption {
+	return func(c *machineConfig) { c.lockShared = true }
+}
+
+// WithAdaptiveRouting selects Valiant-style adaptive routing on the
+// dragonfly (Theta's default; the paper's tuning switches to IN_ORDER
+// minimal routing).
+func WithAdaptiveRouting() MachineOption {
+	return func(c *machineConfig) { c.adaptiveRoute = true }
+}
+
+// WithEndpointContention replaces per-link contention with NIC-endpoint
+// contention only (faster, less detailed — an ablation knob).
+func WithEndpointContention() MachineOption {
+	return func(c *machineConfig) { c.contention = netsim.ContentionEndpoint }
+}
+
+// WithGPFS overrides the GPFS model calibration.
+func WithGPFS(cfg storage.GPFSConfig) MachineOption {
+	return func(c *machineConfig) { c.gpfs = cfg }
+}
+
+// WithLustre overrides the Lustre model calibration.
+func WithLustre(cfg storage.LustreConfig) MachineOption {
+	return func(c *machineConfig) { c.lustre = cfg }
+}
+
+// WithBurstBuffer stacks an NVMe burst-buffer staging tier in front of the
+// machine's file system (the paper's future-work extension): writes
+// complete at the buffer and drain to the PFS in the background; use
+// Ctx.DrainBurstBuffer to wait for durability.
+func WithBurstBuffer(cfg storage.BurstBufferConfig) MachineOption {
+	return func(c *machineConfig) { c.burst = &cfg }
+}
+
+// Machine is a simulated platform: topology + network fabric + storage.
+// Machines are single-use: each Run consumes fresh resource state, so build
+// a new Machine per measurement.
+type Machine struct {
+	name  string
+	topo  topology.Topology
+	fab   *netsim.Fabric
+	sys   storage.System
+	burst *storage.BurstBuffer // non-nil with WithBurstBuffer
+	nodes int
+}
+
+// Mira builds a Mira-like IBM BG/Q + GPFS machine with the given compute
+// node count (must be a supported partition size: 128…49152).
+func Mira(nodes int, opts ...MachineOption) *Machine {
+	var mc machineConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	topo := topology.MiraTorus(nodes)
+	fab := netsim.New(topo, netsim.Config{
+		Contention: mc.contention,
+		InjectRate: 2 * topo.TorusLinkBW, // BG/Q injects over multiple links
+	})
+	gcfg := mc.gpfs
+	if mc.lockShared {
+		gcfg.LockMode = storage.LockShared
+	}
+	m := &Machine{name: fmt.Sprintf("mira-%d", nodes), topo: topo, fab: fab, nodes: nodes}
+	m.sys = storage.NewGPFS(topo, fab, gcfg)
+	if mc.burst != nil {
+		m.burst = storage.NewBurstBuffer(m.sys, *mc.burst)
+		m.sys = m.burst
+	}
+	return m
+}
+
+// Theta builds a Theta-like Cray XC40 + Lustre machine with at least the
+// given compute node count.
+func Theta(nodes int, opts ...MachineOption) *Machine {
+	var mc machineConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	routing := topology.RouteMinimal
+	if mc.adaptiveRoute {
+		routing = topology.RouteValiant
+	}
+	topo := topology.ThetaDragonfly(nodes, routing)
+	fab := netsim.New(topo, netsim.Config{Contention: mc.contention})
+	m := &Machine{name: fmt.Sprintf("theta-%d", nodes), topo: topo, fab: fab, nodes: nodes}
+	m.sys = storage.NewLustre(topo, fab, mc.lustre)
+	if mc.burst != nil {
+		m.burst = storage.NewBurstBuffer(m.sys, *mc.burst)
+		m.sys = m.burst
+	}
+	return m
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// Nodes returns the compute-node count.
+func (m *Machine) Nodes() int { return m.nodes }
+
+// Report summarizes a completed run.
+type Report struct {
+	// Elapsed is the end-to-end virtual time in seconds.
+	Elapsed float64
+	// Files lists per-file transfer totals.
+	Files []FileReport
+}
+
+// FileReport is the per-file accounting of a run.
+type FileReport struct {
+	Name         string
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+}
+
+// Run executes body on nodes×ranksPerNode simulated MPI ranks and returns a
+// report. The Machine must not be reused afterwards.
+func (m *Machine) Run(ranksPerNode int, body func(*Ctx)) (Report, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	files := map[string]*storage.File{}
+	eng, err := mpi.Run(mpi.Config{
+		Ranks:        m.nodes * ranksPerNode,
+		RanksPerNode: ranksPerNode,
+		Fabric:       m.fab,
+	}, func(c *mpi.Comm) {
+		body(&Ctx{c: c, m: m, files: files})
+	})
+	rep := Report{}
+	if eng != nil {
+		rep.Elapsed = sim.ToSeconds(eng.Now())
+	}
+	for name, f := range files {
+		rep.Files = append(rep.Files, FileReport{
+			Name:         name,
+			BytesWritten: f.BytesWritten(),
+			BytesRead:    f.BytesRead(),
+			WriteOps:     f.WriteOps(),
+			ReadOps:      f.ReadOps(),
+		})
+	}
+	return rep, err
+}
+
+// Ctx is one simulated rank's view of the machine.
+type Ctx struct {
+	c     *mpi.Comm
+	m     *Machine
+	files map[string]*storage.File
+}
+
+// Rank returns the caller's MPI rank.
+func (x *Ctx) Rank() int { return x.c.Rank() }
+
+// Size returns the world size.
+func (x *Ctx) Size() int { return x.c.Size() }
+
+// Node returns the caller's compute node.
+func (x *Ctx) Node() int { return x.c.Node() }
+
+// Now returns the caller's virtual time in seconds.
+func (x *Ctx) Now() float64 { return sim.ToSeconds(x.c.Now()) }
+
+// Barrier synchronizes all ranks.
+func (x *Ctx) Barrier() { x.c.Barrier() }
+
+// Compute charges d seconds of local computation.
+func (x *Ctx) Compute(d float64) { x.c.Compute(sim.Seconds(d)) }
+
+// MaxSeconds returns the maximum of v across ranks (for timing reductions).
+func (x *Ctx) MaxSeconds(v float64) float64 {
+	return x.c.AllreduceF64(mpi.OpMax, v)
+}
+
+// Split returns a context on a sub-communicator (color groups, ordered by
+// key). Ranks passing a negative color receive nil.
+func (x *Ctx) Split(color, key int) *Ctx {
+	sub := x.c.Split(color, key)
+	if sub == nil {
+		return nil
+	}
+	return &Ctx{c: sub, m: x.m, files: x.files}
+}
+
+// Pset returns the caller's I/O partition id (Pset index on BG/Q); 0 when
+// the platform does not expose one.
+func (x *Ctx) Pset() int {
+	if ion := x.m.topo.IONodeOf(x.c.Node()); ion != topology.IONUnknown {
+		return ion
+	}
+	return 0
+}
+
+// File is a handle on a simulated file.
+type File struct {
+	f *storage.File
+	m *Machine
+}
+
+// CreateFile creates (or opens, if it exists) a file on the machine's file
+// system. Safe to call from every rank; creation is idempotent per name.
+func (x *Ctx) CreateFile(name string, opt FileOptions) *File {
+	f := x.files[name]
+	if f == nil {
+		f = x.m.sys.Create(name, opt)
+		x.files[name] = f
+	}
+	return &File{f: f, m: x.m}
+}
+
+// Tapioca opens a TAPIOCA session on the file over this rank's current
+// communicator (collective).
+func (x *Ctx) Tapioca(f *File, cfg Config) *core.Writer {
+	return core.New(x.c, x.m.sys, f.f, cfg)
+}
+
+// MPIIO opens the ROMIO-style baseline on the file (collective).
+func (x *Ctx) MPIIO(f *File, hints Hints) *mpiio.File {
+	return mpiio.Open(x.c, x.m.sys, f.f.Name, f.f.Opt, hints)
+}
+
+// DrainBurstBuffer blocks until all background burst-buffer drains have
+// reached the backing file system, returning the drain completion in
+// seconds. It is a no-op (returning the current time) without a burst
+// buffer.
+func (x *Ctx) DrainBurstBuffer() float64 {
+	if x.m.burst == nil {
+		return x.Now()
+	}
+	return sim.ToSeconds(x.m.burst.Flush(x.c.Proc()))
+}

@@ -1,0 +1,107 @@
+package tapioca_test
+
+import (
+	"testing"
+
+	"tapioca"
+)
+
+func TestMiraMachineRunsQuickstart(t *testing.T) {
+	m := tapioca.Mira(128, tapioca.WithLockSharing())
+	rep, err := m.Run(4, func(ctx *tapioca.Ctx) {
+		f := ctx.CreateFile("snap", tapioca.FileOptions{})
+		w := ctx.Tapioca(f, tapioca.Config{Aggregators: 8, BufferSize: 4 << 20})
+		w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())<<20, 1<<20)}})
+		w.WriteAll()
+		ctx.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if len(rep.Files) != 1 || rep.Files[0].BytesWritten != int64(512)<<20 {
+		t.Fatalf("report files = %+v", rep.Files)
+	}
+}
+
+func TestThetaMachineMPIIOAndTapioca(t *testing.T) {
+	m := tapioca.Theta(64)
+	_, err := m.Run(2, func(ctx *tapioca.Ctx) {
+		opt := tapioca.FileOptions{StripeCount: 8, StripeSize: 1 << 20}
+		f := ctx.CreateFile("a", opt)
+		fh := ctx.MPIIO(f, tapioca.Hints{CBNodes: 4, CBBufferSize: 1 << 20})
+		fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())<<18, 1<<18)})
+		fh.Close()
+
+		g := ctx.CreateFile("b", opt)
+		w := ctx.Tapioca(g, tapioca.Config{Aggregators: 4, BufferSize: 1 << 20})
+		w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())<<18, 1<<18)}})
+		w.WriteAll()
+		ctx.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() float64 {
+		m := tapioca.Theta(32)
+		rep, err := m.Run(2, func(ctx *tapioca.Ctx) {
+			f := ctx.CreateFile("d", tapioca.FileOptions{StripeCount: 4, StripeSize: 1 << 20})
+			w := ctx.Tapioca(f, tapioca.Config{Aggregators: 4, BufferSize: 1 << 20})
+			w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())<<19, 1<<19)}})
+			w.WriteAll()
+			ctx.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Elapsed
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic elapsed: %v vs %v", a, b)
+	}
+}
+
+func TestCtxSplitAndPset(t *testing.T) {
+	m := tapioca.Mira(256)
+	_, err := m.Run(2, func(ctx *tapioca.Ctx) {
+		pset := ctx.Pset()
+		if pset != ctx.Node()/128 {
+			t.Errorf("pset = %d for node %d", pset, ctx.Node())
+		}
+		sub := ctx.Split(pset, ctx.Rank())
+		if sub.Size() != ctx.Size()/2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSecondsReduction(t *testing.T) {
+	m := tapioca.Theta(16)
+	_, err := m.Run(1, func(ctx *tapioca.Ctx) {
+		ctx.Compute(float64(ctx.Rank()) * 0.001)
+		v := ctx.MaxSeconds(ctx.Now())
+		if v < 0.015 {
+			t.Errorf("max = %v, want >= 15ms", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStridedHelper(t *testing.T) {
+	s := tapioca.Strided(10, 4, 38, 100)
+	if s.Bytes() != 400 || s.Off != 10 {
+		t.Fatalf("seg = %+v", s)
+	}
+}
