@@ -15,7 +15,9 @@ package tapioca_test
 import (
 	"testing"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/expt"
+	"tapioca/internal/topology"
 )
 
 // runFigure executes the experiment b.N times and reports the headline
@@ -157,4 +159,85 @@ func BenchmarkAblationAggregators(b *testing.B) {
 // network models (storage-bound workloads should agree).
 func BenchmarkAblationContention(b *testing.B) {
 	runFigure(b, expt.ByID("abl-contention"), 0, 1)
+}
+
+// electionMembers spreads nRanks members across a topology's nodes with a
+// mild data skew, the shape an aggregator election sees.
+func electionMembers(topo topology.Topology, nRanks int) []cost.Member {
+	members := make([]cost.Member, nRanks)
+	for i := range members {
+		members[i] = cost.Member{
+			Node:  i * topo.Nodes() / nRanks,
+			Bytes: int64(i%7+1) << 18,
+		}
+	}
+	return members
+}
+
+// costModelBench measures one full candidate scan (every member priced as
+// aggregator — the O(P²) distance pattern elections produce).
+func costModelBench(b *testing.B, m *cost.Model, members []cost.Member) {
+	b.Helper()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for cand := range members {
+			sink += m.CandidacyCost(members, cand, 1<<24)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("no cost evaluated")
+	}
+}
+
+// BenchmarkCostModel quantifies the memoized distance cache on a Theta(512)
+// dragonfly: the same candidate scan with cached vs uncached lookups. The
+// cached variant amortizes each node pair to an array read (the refactor's
+// claimed speedup; expect an order of magnitude at this scale).
+func BenchmarkCostModel(b *testing.B) {
+	topo := topology.ThetaDragonfly(512, topology.RouteMinimal)
+	members := electionMembers(topo, 1024)
+	b.Run("cached", func(b *testing.B) {
+		m := cost.NewModel(topo) // private cache, warmed on first iteration
+		costModelBench(b, m, members)
+	})
+	b.Run("uncached", func(b *testing.B) {
+		costModelBench(b, cost.NewModel(topo, cost.Uncached()), members)
+	})
+}
+
+// BenchmarkElection measures end-to-end local-mode elections (what MPI-IO's
+// AggrTopologyAware runs per aggregator block) at 512 nodes on both
+// platforms, cached vs uncached.
+func BenchmarkElection(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		topo topology.Topology
+	}{
+		{"theta512", topology.ThetaDragonfly(512, topology.RouteMinimal)},
+		{"mira512", topology.MiraTorus(512)},
+	} {
+		members := electionMembers(tc.topo, 512)
+		for _, cached := range []bool{true, false} {
+			name := tc.name + "/uncached"
+			opts := []cost.Option{cost.Uncached()}
+			if cached {
+				name = tc.name + "/cached"
+				opts = nil
+			}
+			b.Run(name, func(b *testing.B) {
+				m := cost.NewModel(tc.topo, opts...)
+				e := &cost.Election{Model: m, Members: members, IOBytes: 1 << 26}
+				aware := cost.TopologyAware()
+				b.ReportAllocs()
+				winner := -1
+				for i := 0; i < b.N; i++ {
+					winner = aware.Elect(e)
+				}
+				if winner < 0 || winner >= len(members) {
+					b.Fatalf("winner = %d", winner)
+				}
+			})
+		}
+	}
 }

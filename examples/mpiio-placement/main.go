@@ -1,0 +1,69 @@
+// MPI-IO aggregator placement: run the same tuned collective write on a
+// Theta(512) machine under each aggregator strategy and print the virtual
+// elapsed time. The classic heuristics cannot see the interconnect; the
+// topology-aware strategies reuse TAPIOCA's cost engine (internal/cost) for
+// the ROMIO-style baseline — rank-order stacking loses to every
+// distance-aware choice.
+//
+// Run: go run ./examples/mpiio-placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapioca"
+)
+
+// measure runs one IOR-style collective write on Theta(nodes) under the
+// strategy and returns the elapsed seconds of the timed phase.
+func measure(nodes, rpn int, strategy tapioca.Placement) float64 {
+	m := tapioca.Theta(nodes)
+	const sizePerRank = 1 << 20
+	var elapsed float64
+	_, err := m.Run(rpn, func(ctx *tapioca.Ctx) {
+		f := ctx.CreateFile("ior", tapioca.FileOptions{StripeCount: 48, StripeSize: 8 << 20})
+		fh := ctx.MPIIO(f, tapioca.Hints{
+			CBNodes:       96,
+			CBBufferSize:  8 << 20,
+			Strategy:      strategy,
+			AlignDomains:  true,
+			CyclicDomains: true,
+		})
+		ctx.Barrier()
+		t0 := ctx.Now()
+		fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())*sizePerRank, sizePerRank)})
+		fh.Close()
+		if ctx.Rank() == 0 {
+			elapsed = ctx.Now() - t0
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return elapsed
+}
+
+func main() {
+	const nodes, rpn = 512, 16
+	fmt.Printf("Tuned MPI-IO collective write on Theta-%d (%d ranks/node, 1 MB/rank, 96 aggregators)\n\n",
+		nodes, rpn)
+	strategies := []tapioca.Placement{
+		tapioca.AggrRankOrder,
+		tapioca.AggrNodeSpread,
+		tapioca.AggrTopologyAware,
+		tapioca.AggrTwoLevel,
+	}
+	baseline := -1.0
+	for _, s := range strategies {
+		elapsed := measure(nodes, rpn, s)
+		if baseline < 0 {
+			baseline = elapsed
+		}
+		fmt.Printf("%-16s  %8.4f s elapsed   %5.2fx vs rank-order\n",
+			s.Name(), elapsed, baseline/elapsed)
+	}
+	fmt.Println("\n(Rank order stacks all 96 aggregators on the first 6 nodes: the NIC incast",
+		"\nserializes the aggregation phase. The cost-model elections spread one",
+		"\naggregator per rank block and minimize dragonfly hop distance.)")
+}

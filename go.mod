@@ -1,0 +1,3 @@
+module tapioca
+
+go 1.24

@@ -30,23 +30,28 @@ package core
 import (
 	"fmt"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
 	"tapioca/internal/storage"
-	"tapioca/internal/topology"
 )
 
-// Aggregator placement strategies.
-const (
-	// PlacementTopologyAware is the paper's cost-model election.
-	PlacementTopologyAware = iota
+// Aggregator placement presets, re-exported from the shared cost engine
+// (internal/cost) so existing configurations keep working. Any
+// cost.Placement implementation may be plugged into Config.Placement.
+var (
+	// PlacementTopologyAware is the paper's cost-model election (default).
+	PlacementTopologyAware = cost.TopologyAware()
 	// PlacementRankOrder picks each partition's first rank (the naive
 	// baseline the paper criticizes).
-	PlacementRankOrder
+	PlacementRankOrder = cost.RankOrder()
 	// PlacementWorst deliberately picks the highest-cost candidate — an
 	// adversarial ablation bound.
-	PlacementWorst
+	PlacementWorst = cost.Worst()
 	// PlacementRandom picks a deterministic pseudo-random rank.
-	PlacementRandom
+	PlacementRandom = cost.Random()
+	// PlacementTwoLevel pre-aggregates within each node before the
+	// inter-node election (Kang et al.'s intra-node direction).
+	PlacementTwoLevel = cost.TwoLevel()
 )
 
 // Config tunes a TAPIOCA writer/reader.
@@ -58,8 +63,9 @@ type Config struct {
 	// BufferSize is the aggregation buffer size (two are allocated per
 	// aggregator). Default 16 MB.
 	BufferSize int64
-	// Placement selects the aggregator election strategy.
-	Placement int
+	// Placement selects the aggregator election strategy. Default:
+	// PlacementTopologyAware.
+	Placement cost.Placement
 	// SingleBuffer disables double-buffering (ablation): the aggregator
 	// blocks on each flush before the next round's fence.
 	SingleBuffer bool
@@ -83,6 +89,9 @@ func (c *Config) setDefaults(comm *mpi.Comm) {
 	}
 	if c.ElectionOverhead <= 0 {
 		c.ElectionOverhead = 50_000
+	}
+	if c.Placement == nil {
+		c.Placement = PlacementTopologyAware
 	}
 }
 
@@ -122,8 +131,11 @@ type Stats struct {
 	Flushes int64
 	// AggregatorWorldRank is the elected aggregator's world rank.
 	AggregatorWorldRank int
-	// ElectionCost is this rank's own C1+C2 candidacy cost in seconds.
+	// ElectionCost is this rank's own C1+C2 candidacy cost in seconds
+	// (cost-model placements only).
 	ElectionCost float64
+	// Placement names the strategy that ran the election.
+	Placement string
 }
 
 // New creates a TAPIOCA session on comm for the given storage file.
@@ -189,6 +201,7 @@ func (w *Writer) Init(declared [][]storage.Seg) {
 	w.aggLocal = w.elect()
 	w.isAgg = w.pc.Rank() == w.aggLocal
 	w.stats.Partition = w.part
+	w.stats.Placement = w.cfg.Placement.Name()
 	w.stats.Rounds = w.plan.parts[w.part].rounds
 	w.stats.AggregatorWorldRank = w.pc.WorldRankOf(w.aggLocal)
 
@@ -239,9 +252,4 @@ func (w *Writer) ReadAll() {
 	for i := w.written; i < w.nops; i++ {
 		w.Read(i)
 	}
-}
-
-// topoOf returns the topology under the communicator's fabric.
-func (w *Writer) topoOf() topology.Topology {
-	return w.c.World().Fabric().Topology()
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
 	"tapioca/internal/sim"
@@ -318,8 +319,8 @@ func TestTopologyAwareBeatsRankOrderCost(t *testing.T) {
 	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
 	sys := storage.NewNullFS()
 	const ranks = 128
-	costs := map[int]float64{} // placement → elected candidate's cost
-	for _, placement := range []int{PlacementTopologyAware, PlacementRankOrder, PlacementWorst} {
+	costs := map[string]float64{} // placement name → elected candidate's cost
+	for _, placement := range []cost.Placement{PlacementTopologyAware, PlacementRankOrder, PlacementWorst} {
 		var electedCost float64
 		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: 1, Fabric: fab}, func(c *mpi.Comm) {
 			var f *storage.File
@@ -341,14 +342,117 @@ func TestTopologyAwareBeatsRankOrderCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		costs[placement] = electedCost
+		costs[placement.Name()] = electedCost
 	}
-	if costs[PlacementTopologyAware] <= 0 {
+	if costs[PlacementTopologyAware.Name()] <= 0 {
 		t.Fatal("no elected cost recorded")
 	}
-	if costs[PlacementTopologyAware] > costs[PlacementWorst] {
+	if costs[PlacementTopologyAware.Name()] > costs[PlacementWorst.Name()] {
 		t.Fatalf("topology-aware cost %v worse than adversarial %v",
-			costs[PlacementTopologyAware], costs[PlacementWorst])
+			costs[PlacementTopologyAware.Name()], costs[PlacementWorst.Name()])
+	}
+}
+
+// electedCostOn runs one skewed-data election per placement on the given
+// topology and returns the elected aggregator's own candidacy cost and
+// world rank.
+func electedCostOn(t *testing.T, topo topology.Topology, placement cost.Placement) (float64, int) {
+	t.Helper()
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewNullFS()
+	ranks := topo.Nodes()
+	var electedCost float64
+	var electedRank int
+	_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: 1, Fabric: fab}, func(c *mpi.Comm) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("f", storage.FileOptions{})
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		bytes := int64(c.Rank()+1) * 4096
+		w := New(c, sys, f, Config{Aggregators: 1, Placement: placement, BufferSize: 1 << 20})
+		w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*4096*int64(ranks+2), bytes)}})
+		if w.Aggregator() {
+			electedCost = w.Stats().ElectionCost
+			electedRank = c.Rank()
+		}
+		w.WriteAll()
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return electedCost, electedRank
+}
+
+// TestTopologyAwareNoWorseThanWorstBothPlatforms asserts the election
+// invariant on both of the paper's platforms: the cost-model minimum can
+// never exceed the adversarial maximum.
+func TestTopologyAwareNoWorseThanWorstBothPlatforms(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo topology.Topology
+	}{
+		{"mira", topology.MiraTorus(128)},
+		{"theta", topology.ThetaDragonfly(64, topology.RouteMinimal)},
+	} {
+		best, _ := electedCostOn(t, tc.topo, PlacementTopologyAware)
+		worst, _ := electedCostOn(t, tc.topo, PlacementWorst)
+		if best <= 0 || worst <= 0 {
+			t.Fatalf("%s: missing elected costs (best %v, worst %v)", tc.name, best, worst)
+		}
+		if best > worst {
+			t.Fatalf("%s: topology-aware cost %v exceeds adversarial %v", tc.name, best, worst)
+		}
+	}
+}
+
+// TestPlacementDeterministicAcrossRuns re-runs each election and demands the
+// same winner — the repository's virtual-time reproducibility contract.
+func TestPlacementDeterministicAcrossRuns(t *testing.T) {
+	for _, placement := range []cost.Placement{
+		PlacementTopologyAware, PlacementRankOrder, PlacementRandom,
+		PlacementWorst, PlacementTwoLevel,
+	} {
+		_, first := electedCostOn(t, topology.MiraTorus(128), placement)
+		for i := 0; i < 2; i++ {
+			if _, got := electedCostOn(t, topology.MiraTorus(128), placement); got != first {
+				t.Fatalf("%s: elected rank %d then %d", placement.Name(), first, got)
+			}
+		}
+	}
+}
+
+// TestTwoLevelElectsNodeLeader checks that the intra-node variant only
+// elects each node's first partition member.
+func TestTwoLevelElectsNodeLeader(t *testing.T) {
+	leaders := map[int]bool{}
+	runFlat(t, 16, 4, func(c *mpi.Comm, sys storage.System) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("f", storage.FileOptions{})
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		w := New(c, sys, f, Config{Aggregators: 2, Placement: PlacementTwoLevel, BufferSize: 4096})
+		w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*1024, 1024)}})
+		if w.Aggregator() {
+			leaders[c.Rank()] = true
+		}
+		if w.Stats().Placement != "two-level" {
+			t.Errorf("stats placement = %q", w.Stats().Placement)
+		}
+		w.WriteAll()
+		c.Barrier()
+	})
+	for r := range leaders {
+		// 4 ranks per node: leaders are partition-local first members, which
+		// with 2 partitions of 8 ranks land on ranks ≡ 0 (mod 4).
+		if r%4 != 0 {
+			t.Fatalf("two-level elected rank %d, not a node leader", r)
+		}
+	}
+	if len(leaders) != 2 {
+		t.Fatalf("elected %d aggregators, want 2", len(leaders))
 	}
 }
 

@@ -1,65 +1,41 @@
 package core
 
 import (
-	"tapioca/internal/sim"
-	"tapioca/internal/topology"
+	"tapioca/internal/cost"
 )
 
 // elect chooses the partition's aggregator (a partition-comm rank) under the
-// configured placement strategy. Collective on the partition communicator.
+// configured placement strategy. Collective on the partition communicator:
+// every member evaluates its own candidacy against the shared cost model
+// (internal/cost) and the placement's reduction picks the winner. The C1/C2
+// arithmetic itself lives in cost.Model — the same engine the MPI-IO
+// baseline consumes — so this file only wires the partition's data into an
+// election.
 func (w *Writer) elect() int {
 	pc := w.pc
-	switch w.cfg.Placement {
-	case PlacementRankOrder:
-		pc.Barrier()
-		return 0
-	case PlacementRandom:
-		pc.Barrier()
-		h := uint64(w.part+1) * 0x9E3779B97F4A7C15
-		h ^= h >> 33
-		return int(h % uint64(pc.Size()))
-	case PlacementWorst:
-		cost := w.candidacyCost()
-		w.stats.ElectionCost = cost
-		_, loc := pc.AllreduceMaxLoc(cost, pc.Rank())
-		return loc
-	default: // PlacementTopologyAware
-		cost := w.candidacyCost()
-		w.stats.ElectionCost = cost
-		_, loc := pc.AllreduceMinLoc(cost, pc.Rank())
-		return loc
+	pp := &w.plan.parts[w.part]
+
+	members := make([]cost.Member, pc.Size())
+	for local := range members {
+		members[local] = cost.Member{Node: pc.NodeOfRank(local), Bytes: pp.omega[local]}
 	}
+	e := &cost.Election{
+		Model:       w.model(),
+		Members:     members,
+		IOBytes:     pp.bytes,
+		Partition:   w.part,
+		Self:        pc.Rank(),
+		MinLoc:      pc.AllreduceMinLoc,
+		MaxLoc:      pc.AllreduceMaxLoc,
+		Barrier:     pc.Barrier,
+		ObserveCost: func(c float64) { w.stats.ElectionCost = c },
+	}
+	return w.cfg.Placement.Elect(e)
 }
 
-// candidacyCost evaluates this rank's own TopoAware(A) = C1 + C2 (paper
-// Fig. 3): the cost of every partition member shipping its data to this
-// rank, plus the cost of forwarding the aggregate to the I/O node. Costs
-// are seconds. When the platform hides I/O-node locality (Theta), C2 = 0,
-// exactly as the paper prescribes.
-func (w *Writer) candidacyCost() float64 {
-	topo := w.topoOf()
-	pp := &w.plan.parts[w.part]
-	pc := w.pc
-	myNode := pc.Node()
-	latency := sim.ToSeconds(topo.Latency())
-	fabricBW := topo.Bandwidth(topology.LevelFabric)
-
-	// C1: aggregation cost, summed over members that would send to me.
-	var c1 float64
-	for local, omega := range pp.omega {
-		if local == pc.Rank() || omega == 0 {
-			continue
-		}
-		node := pc.NodeOfRank(local)
-		d := float64(topo.Distance(node, myNode))
-		c1 += latency*d + float64(omega)/fabricBW
-	}
-
-	// C2: I/O-phase cost from me to the storage gateway.
-	var c2 float64
-	if ion := topo.IONodeOf(myNode); ion != topology.IONUnknown {
-		d := float64(topo.DistanceToION(myNode, ion))
-		c2 = latency*d + float64(pp.bytes)/topo.Bandwidth(topology.LevelIOUplink)
-	}
-	return c1 + c2
+// model builds the session's cost model: the machine-wide memoized distance
+// cache plus the storage tier's C2 hook (a burst buffer absorbs flushes at
+// ingest speed, so its cost opinion overrides the uplink formula).
+func (w *Writer) model() *cost.Model {
+	return cost.MachineModel(w.c.World().Fabric().Distances(), w.sys)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/storage"
 )
 
@@ -133,9 +134,10 @@ func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
 }
 
 func partStart(part, nAggr, nRanks int) int {
-	// Inverse of partOf: first rank with r*nAggr/nRanks == part.
-	// Ceil(part*nRanks/nAggr) is exactly that boundary.
-	return (part*nRanks + nAggr - 1) / nAggr
+	// Inverse of partOf: first rank with r*nAggr/nRanks == part. The shared
+	// formula lives in internal/cost so the MPI-IO baseline's per-block
+	// elections use the identical rank→partition map.
+	return cost.PartitionStart(part, nAggr, nRanks)
 }
 
 func buildPartition(p *plan, part, rankLo, rankHi int, all [][]storage.Seg, bufSize, alignUnit int64) {

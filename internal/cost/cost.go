@@ -1,0 +1,240 @@
+// Package cost owns TAPIOCA's topology-aware cost model (paper §IV-B,
+// Fig. 3) as a reusable layer: the aggregation cost C1 and the I/O cost C2
+// that together price a rank's candidacy to become its partition's
+// aggregator, plus the pluggable placement engine (Placement) that turns
+// those prices into an election.
+//
+// The model prices moving data through the interconnect:
+//
+//	C1(A) = Σ_i  l·d(i, A) + ω(i)/B_fabric      (members ship to candidate A)
+//	C2(A) = l·d(A, IO) + Ω/B_uplink             (A forwards to the I/O node)
+//
+// where l is the per-hop latency, d the hop distance, ω(i) member i's data
+// volume and Ω the partition total. When the platform hides I/O-node
+// locality (Lustre LNET on Theta), C2 is zero, exactly as the paper
+// prescribes. Storage tiers that absorb writes faster than the generic
+// uplink formula — a burst buffer — can refine C2 through the TierCost hook.
+//
+// Both TAPIOCA proper (internal/core) and the ROMIO-style baseline
+// (internal/mpiio) consume this package, so a single implementation of the
+// arithmetic serves every collective path. Distances are memoized through
+// topology.DistanceCache: an election evaluates the same node pairs once per
+// candidate, and repeated sessions on one machine reuse the cache, so the
+// O(P²) repeated Distance calls of a naive election become cached reads.
+package cost
+
+import (
+	"tapioca/internal/sim"
+	"tapioca/internal/topology"
+)
+
+// Member is one partition member from the cost model's point of view: where
+// it lives and how much data it contributes to the aggregation stream.
+type Member struct {
+	// Node is the member's compute node.
+	Node int
+	// Bytes is the member's declared data volume ω(i). Elections run before
+	// any data movement, so consumers that cannot know volumes yet (MPI-IO
+	// chooses aggregators at open time) use uniform weights instead.
+	Bytes int64
+}
+
+// TierCost is implemented by storage tiers that can price the I/O phase
+// better than the generic uplink formula — a burst buffer absorbs a flush at
+// NVMe speed regardless of the backing file system. The interface is
+// structural so storage need not import this package.
+type TierCost interface {
+	// TierIOCost returns the seconds to move bytes from node into the tier,
+	// or ok=false when the tier has no opinion and the topology formula
+	// should apply.
+	TierIOCost(node int, bytes int64) (seconds float64, ok bool)
+}
+
+// TierOf extracts the TierCost hook from an arbitrary storage system, or nil.
+func TierOf(sys any) TierCost {
+	if t, ok := sys.(TierCost); ok {
+		return t
+	}
+	return nil
+}
+
+// Model evaluates the paper's cost formulas over one topology.
+type Model struct {
+	topo     topology.Topology
+	dist     *topology.DistanceCache // nil when uncached
+	uncached bool
+	latency  float64 // seconds per hop
+	fabricBW float64
+	uplinkBW float64
+	tier     TierCost
+}
+
+// Option customizes a Model.
+type Option func(*Model)
+
+// WithDistanceCache shares an existing memoized distance cache (one per
+// machine, so every rank and session reuses the same rows).
+func WithDistanceCache(dc *topology.DistanceCache) Option {
+	return func(m *Model) { m.dist = dc }
+}
+
+// Uncached disables distance memoization: every lookup walks the topology's
+// Distance. Exists to quantify what the cache buys (BenchmarkCostModel).
+func Uncached() Option {
+	return func(m *Model) { m.dist, m.uncached = nil, true }
+}
+
+// WithTier installs a storage-tier hook refining the C2 I/O cost.
+func WithTier(t TierCost) Option {
+	return func(m *Model) { m.tier = t }
+}
+
+// NewModel builds a cost model over the topology. Without options it owns a
+// private distance cache.
+func NewModel(topo topology.Topology, opts ...Option) *Model {
+	m := &Model{
+		topo:     topo,
+		latency:  sim.ToSeconds(topo.Latency()),
+		fabricBW: topo.Bandwidth(topology.LevelFabric),
+		uplinkBW: topo.Bandwidth(topology.LevelIOUplink),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.dist == nil && !m.uncached {
+		m.dist = topology.NewDistanceCache(topo)
+	}
+	return m
+}
+
+// Topology returns the model's topology.
+func (m *Model) Topology() topology.Topology { return m.topo }
+
+// distance is the (possibly memoized) hop count.
+func (m *Model) distance(a, b int) int {
+	if m.dist != nil {
+		return m.dist.Distance(a, b)
+	}
+	return m.topo.Distance(a, b)
+}
+
+// AggregationCost is C1: the cost of every member except the candidate
+// itself shipping its declared data to the candidate's node (paper Fig. 3).
+// candidate indexes members; members with no data are free.
+func (m *Model) AggregationCost(members []Member, candidate int) float64 {
+	candNode := members[candidate].Node
+	var c1 float64
+	for i, mb := range members {
+		if i == candidate || mb.Bytes == 0 {
+			continue
+		}
+		d := float64(m.distance(mb.Node, candNode))
+		c1 += m.latency*d + float64(mb.Bytes)/m.fabricBW
+	}
+	return c1
+}
+
+// IOCost is C2: forwarding bytes from a node to its storage gateway. A tier
+// hook (burst buffer) takes precedence; otherwise the topology's I/O-node
+// map prices the uplink, and platforms that hide I/O-node locality cost
+// zero, as in the paper.
+func (m *Model) IOCost(node int, bytes int64) float64 {
+	if m.tier != nil {
+		if s, ok := m.tier.TierIOCost(node, bytes); ok {
+			return s
+		}
+	}
+	ion := m.topo.IONodeOf(node)
+	if ion == topology.IONUnknown {
+		return 0
+	}
+	d := float64(m.topo.DistanceToION(node, ion))
+	return m.latency*d + float64(bytes)/m.uplinkBW
+}
+
+// CandidacyCost is the full objective TopoAware(A) = C1 + C2 for electing
+// members[candidate] as the aggregator of a partition moving ioBytes.
+func (m *Model) CandidacyCost(members []Member, candidate int, ioBytes int64) float64 {
+	return m.AggregationCost(members, candidate) +
+		m.IOCost(members[candidate].Node, ioBytes)
+}
+
+// nodeGroup is the per-node view used by the two-level placement: members
+// collapsed onto their node, with the first member as leader.
+type nodeGroup struct {
+	node   int
+	leader int // member index of the node's first member
+	bytes  int64
+}
+
+// groupByNode collapses members into per-node groups, preserving first-seen
+// (member index) order so elections stay deterministic.
+func groupByNode(members []Member) []nodeGroup {
+	idx := map[int]int{}
+	var groups []nodeGroup
+	for i, mb := range members {
+		g, ok := idx[mb.Node]
+		if !ok {
+			g = len(groups)
+			idx[mb.Node] = g
+			groups = append(groups, nodeGroup{node: mb.Node, leader: i})
+		}
+		groups[g].bytes += mb.Bytes
+	}
+	return groups
+}
+
+// TwoLevelCost prices electing members[candidate] under intra-node
+// pre-aggregation (Kang et al.'s direction): co-located members first merge
+// their data on the candidate's node (distance 0, fabric bandwidth), then
+// each remote node ships one aggregate message, then C2. The candidate must
+// be its node's leader for the price to be meaningful; callers restrict the
+// electorate to leaders.
+func (m *Model) TwoLevelCost(members []Member, candidate int, ioBytes int64) float64 {
+	return m.twoLevelCost(members, groupByNode(members), candidate, ioBytes)
+}
+
+// twoLevelCost is TwoLevelCost with the node grouping precomputed, so an
+// election over N leaders builds it once instead of once per candidate.
+func (m *Model) twoLevelCost(members []Member, groups []nodeGroup, candidate int, ioBytes int64) float64 {
+	candNode := members[candidate].Node
+	var c float64
+	for _, g := range groups {
+		if g.node == candNode {
+			// Intra-node pre-aggregation: everyone but the candidate copies
+			// its data across the node's memory at fabric speed, no hops.
+			c += float64(g.bytes-members[candidate].Bytes) / m.fabricBW
+			continue
+		}
+		if g.bytes == 0 {
+			// Nodes with no data send nothing: free, like empty members in C1.
+			continue
+		}
+		// One aggregated inter-node message per remote node.
+		d := float64(m.distance(g.node, candNode))
+		c += m.latency*d + float64(g.bytes)/m.fabricBW
+	}
+	return c + m.IOCost(candNode, ioBytes)
+}
+
+// PartitionStart returns the first rank of partition part when n ranks are
+// split into parts contiguous blocks by rank→partition map r*parts/n — the
+// inverse boundary, ceil(part*n/parts). Both TAPIOCA's planner
+// (internal/core) and the MPI-IO baseline's per-block elections
+// (internal/mpiio) partition ranks through this one formula, so their
+// aggregator blocks stay provably identical.
+func PartitionStart(part, parts, n int) int {
+	return (part*n + parts - 1) / parts
+}
+
+// MachineModel is the construction both I/O paths share: the machine-wide
+// memoized distance cache plus the storage tier's C2 hook when the system
+// provides one. Keeping the wiring here guarantees TAPIOCA proper and the
+// MPI-IO baseline price candidacies identically.
+func MachineModel(dc *topology.DistanceCache, sys any, extra ...Option) *Model {
+	opts := append([]Option{WithDistanceCache(dc)}, extra...)
+	if tier := TierOf(sys); tier != nil {
+		opts = append(opts, WithTier(tier))
+	}
+	return NewModel(dc.Topology(), opts...)
+}

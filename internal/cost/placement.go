@@ -1,0 +1,330 @@
+package cost
+
+import (
+	"math"
+	"sort"
+)
+
+// Election is one partition's aggregator-election context. It supports two
+// execution modes:
+//
+//   - Collective mode (MinLoc != nil): every member computes its own
+//     candidacy cost and an Allreduce-style reduction elects the winner —
+//     TAPIOCA's in-band election, which charges the reduction's virtual
+//     time. Self identifies the caller and the reduction hooks are wired to
+//     the partition communicator.
+//   - Local mode (MinLoc == nil): the caller holds the whole member table
+//     and evaluates every candidate itself, deterministically — how the
+//     MPI-IO baseline picks aggregators at open time, outside any timed
+//     phase.
+type Election struct {
+	// Model prices candidacies. Required by cost-driven placements.
+	Model *Model
+	// Members lists the partition's members in partition-rank order.
+	Members []Member
+	// IOBytes is the partition's total volume Ω, shipped by the winner in
+	// the I/O phase (C2). Zero when unknown.
+	IOBytes int64
+	// Partition is the partition's index (seeds deterministic randomness).
+	Partition int
+
+	// Self is the caller's member index (collective mode); ignored in local
+	// mode.
+	Self int
+	// MinLoc and MaxLoc reduce (value, member index) across the partition in
+	// collective mode. Nil selects local mode.
+	MinLoc func(v float64, loc int) (float64, int)
+	MaxLoc func(v float64, loc int) (float64, int)
+	// Barrier synchronizes the partition; placements that skip the cost
+	// reduction still rendezvous through it in collective mode. May be nil.
+	Barrier func()
+	// ObserveCost, when set, receives the caller's own candidacy cost (the
+	// session's ElectionCost statistic).
+	ObserveCost func(float64)
+}
+
+func (e *Election) collective() bool { return e.MinLoc != nil }
+
+func (e *Election) observe(c float64) {
+	if e.ObserveCost != nil {
+		e.ObserveCost(c)
+	}
+}
+
+func (e *Election) barrier() {
+	if e.Barrier != nil {
+		e.Barrier()
+	}
+}
+
+// Placement elects one aggregator per partition. Implementations must be
+// deterministic: the same Election data elects the same member on every
+// caller.
+type Placement interface {
+	// Name identifies the strategy (reports, figure labels).
+	Name() string
+	// Elect returns the winning member's index.
+	Elect(e *Election) int
+}
+
+// SetElection is the whole-communicator view used by SetStrategy: MPI-IO's
+// classic heuristics pick a global aggregator set rather than running
+// per-partition elections.
+type SetElection struct {
+	// Nodes maps each comm rank to its compute node.
+	Nodes []int
+	// Want is the number of aggregators to select.
+	Want int
+	// Bridge reports whether a node is an I/O bridge node (BG/Q); nil when
+	// the platform has none.
+	Bridge func(node int) bool
+}
+
+// SetStrategy is an optional Placement extension: strategies that choose the
+// full aggregator set at once. Consumers (internal/mpiio) prefer SelectSet
+// when available and fall back to partitioned Elect calls otherwise.
+type SetStrategy interface {
+	// SelectSet returns Want comm ranks in ascending order.
+	SelectSet(e *SetElection) []int
+}
+
+// argBest scans every candidate locally and returns the extreme-cost member
+// (ties break toward the lowest index). worst flips the objective.
+func argBest(e *Election, worst bool) int {
+	best, bestCost := 0, math.Inf(1)
+	if worst {
+		bestCost = math.Inf(-1)
+	}
+	for i := range e.Members {
+		c := e.Model.CandidacyCost(e.Members, i, e.IOBytes)
+		if (!worst && c < bestCost) || (worst && c > bestCost) {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// TopologyAware returns the paper's cost-model election: the member with the
+// minimum C1+C2 candidacy cost wins (§IV-B, Allreduce MINLOC).
+func TopologyAware() Placement { return topologyAware{} }
+
+type topologyAware struct{}
+
+func (topologyAware) Name() string { return "topology-aware" }
+
+func (topologyAware) Elect(e *Election) int {
+	if e.collective() {
+		c := e.Model.CandidacyCost(e.Members, e.Self, e.IOBytes)
+		e.observe(c)
+		_, loc := e.MinLoc(c, e.Self)
+		return loc
+	}
+	return argBest(e, false)
+}
+
+// TwoLevel returns the intra-node pre-aggregation variant: members first
+// merge within their node, then one aggregate flow per node competes in the
+// inter-node election, so only each node's first member (its leader) is
+// electable. This follows Kang et al.'s intra-node request aggregation
+// direction on top of the paper's cost model.
+func TwoLevel() Placement { return twoLevel{} }
+
+type twoLevel struct{}
+
+func (twoLevel) Name() string { return "two-level" }
+
+func (twoLevel) Elect(e *Election) int {
+	groups := groupByNode(e.Members)
+	if e.collective() {
+		// Non-leaders are not electable: they carry +Inf into the reduction
+		// but report no candidacy cost of their own.
+		c := math.Inf(1)
+		for _, g := range groups {
+			if g.leader == e.Self {
+				c = e.Model.twoLevelCost(e.Members, groups, e.Self, e.IOBytes)
+				e.observe(c)
+				break
+			}
+		}
+		_, loc := e.MinLoc(c, e.Self)
+		return loc
+	}
+	best, bestCost := groups[0].leader, math.Inf(1)
+	for _, g := range groups {
+		if c := e.Model.twoLevelCost(e.Members, groups, g.leader, e.IOBytes); c < bestCost {
+			best, bestCost = g.leader, c
+		}
+	}
+	return best
+}
+
+// Worst returns the adversarial ablation bound: the maximum-cost candidate
+// wins, quantifying how much placement can possibly matter.
+func Worst() Placement { return worst{} }
+
+type worst struct{}
+
+func (worst) Name() string { return "worst" }
+
+func (worst) Elect(e *Election) int {
+	if e.collective() {
+		c := e.Model.CandidacyCost(e.Members, e.Self, e.IOBytes)
+		e.observe(c)
+		if e.MaxLoc != nil {
+			_, loc := e.MaxLoc(c, e.Self)
+			return loc
+		}
+		// Collective mode is keyed on MinLoc alone; reducing the negated
+		// cost elects the maximum with the same lowest-rank tie-breaking.
+		_, loc := e.MinLoc(-c, e.Self)
+		return loc
+	}
+	return argBest(e, true)
+}
+
+// Random returns a deterministic pseudo-random pick seeded by the partition
+// index — the statistically neutral baseline.
+func Random() Placement { return random{} }
+
+type random struct{}
+
+func (random) Name() string { return "random" }
+
+func (random) Elect(e *Election) int {
+	if e.collective() {
+		e.barrier()
+	}
+	h := uint64(e.Partition+1) * 0x9E3779B97F4A7C15
+	h ^= h >> 33
+	return int(h % uint64(len(e.Members)))
+}
+
+// firstMember is the shared Elect body of the heuristics that run no cost
+// election per partition: every member rendezvous at the barrier in
+// collective mode, then the partition's first member wins.
+type firstMember struct{}
+
+func (firstMember) Elect(e *Election) int {
+	if e.collective() {
+		e.barrier()
+	}
+	return 0
+}
+
+// RankOrder returns the naive baseline. Per partition it elects the first
+// member; as an MPI-IO set strategy it picks comm ranks 0..Want-1 regardless
+// of node — the stacking pathology the paper criticizes.
+func RankOrder() Placement { return rankOrder{} }
+
+type rankOrder struct{ firstMember }
+
+func (rankOrder) Name() string { return "rank-order" }
+
+func (rankOrder) SelectSet(e *SetElection) []int {
+	out := make([]int, e.Want)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// nodeRanks returns, per node in ascending node order, the ranks hosted
+// there (ascending), for the spread heuristics.
+func nodeRanks(nodes []int) (order []int, byNode map[int][]int) {
+	byNode = map[int][]int{}
+	for r, nd := range nodes {
+		if len(byNode[nd]) == 0 {
+			order = append(order, nd)
+		}
+		byNode[nd] = append(byNode[nd], r)
+	}
+	sort.Ints(order)
+	return order, byNode
+}
+
+// NodeSpread returns the common MPICH/Cray default: one rank per node,
+// strided evenly across the allocation. Per-partition elections fall back to
+// the first member.
+func NodeSpread() Placement { return nodeSpread{} }
+
+type nodeSpread struct{ firstMember }
+
+func (nodeSpread) Name() string { return "node-spread" }
+
+func (nodeSpread) SelectSet(e *SetElection) []int {
+	order, byNode := nodeRanks(e.Nodes)
+	var out []int
+	if e.Want <= len(order) {
+		// Evenly strided across the allocation, one rank per chosen node —
+		// what tuned ROMIO configurations do.
+		for i := 0; i < e.Want; i++ {
+			nd := order[i*len(order)/e.Want]
+			out = append(out, byNode[nd][0])
+		}
+		sort.Ints(out)
+		return out
+	}
+	for depth := 0; len(out) < e.Want; depth++ {
+		added := false
+		for _, nd := range order {
+			if depth < len(byNode[nd]) {
+				out = append(out, byNode[nd][depth])
+				added = true
+				if len(out) == e.Want {
+					break
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BridgeFirst returns the MPICH BG/Q strategy: prefer ranks on I/O bridge
+// nodes, then spread the remainder. Without bridge information it degrades
+// to NodeSpread.
+func BridgeFirst() Placement { return bridgeFirst{} }
+
+type bridgeFirst struct{ firstMember }
+
+func (bridgeFirst) Name() string { return "bridge-first" }
+
+func (bridgeFirst) SelectSet(e *SetElection) []int {
+	if e.Bridge == nil {
+		return nodeSpread{}.SelectSet(e)
+	}
+	var bridgeRanks, otherFirstRanks []int
+	seen := map[int]bool{}
+	for r, nd := range e.Nodes {
+		if seen[nd] {
+			continue
+		}
+		seen[nd] = true
+		if e.Bridge(nd) {
+			bridgeRanks = append(bridgeRanks, r)
+		} else {
+			otherFirstRanks = append(otherFirstRanks, r)
+		}
+	}
+	out := bridgeRanks
+	if len(out) > e.Want {
+		out = out[:e.Want]
+	}
+	// Fill the remainder evenly across the non-bridge nodes. When more slots
+	// remain than distinct nodes, take every node once rather than striding
+	// into duplicates — a duplicated rank would leave one collective-
+	// buffering file domain with no owner.
+	need := e.Want - len(out)
+	if need >= len(otherFirstRanks) {
+		out = append(out, otherFirstRanks...)
+	} else {
+		for i := 0; i < need; i++ {
+			out = append(out, otherFirstRanks[i*len(otherFirstRanks)/need])
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,219 @@
+package cost
+
+import (
+	"testing"
+
+	"tapioca/internal/topology"
+)
+
+// torusElection builds a local-mode election on a Mira-like torus with the
+// data volume skewed toward high node indices.
+func torusElection(t *testing.T) *Election {
+	t.Helper()
+	topo := topology.MiraTorus(128)
+	members := make([]Member, 64)
+	for i := range members {
+		members[i] = Member{Node: i * 2, Bytes: int64(i+1) * 4096}
+	}
+	return &Election{
+		Model:   NewModel(topo),
+		Members: members,
+		IOBytes: 1 << 20,
+	}
+}
+
+func TestTopologyAwareLocalElectsMinimum(t *testing.T) {
+	e := torusElection(t)
+	winner := TopologyAware().Elect(e)
+	wc := e.Model.CandidacyCost(e.Members, winner, e.IOBytes)
+	for i := range e.Members {
+		if c := e.Model.CandidacyCost(e.Members, i, e.IOBytes); c < wc {
+			t.Fatalf("member %d costs %v < winner %d at %v", i, c, winner, wc)
+		}
+	}
+	// The skew pulls the aggregator away from the first member.
+	if winner == 0 {
+		t.Fatal("topology-aware election ignored the data skew")
+	}
+}
+
+func TestWorstLocalElectsMaximum(t *testing.T) {
+	e := torusElection(t)
+	winner := Worst().Elect(e)
+	wc := e.Model.CandidacyCost(e.Members, winner, e.IOBytes)
+	for i := range e.Members {
+		if c := e.Model.CandidacyCost(e.Members, i, e.IOBytes); c > wc {
+			t.Fatalf("member %d costs %v > adversarial winner %v", i, c, wc)
+		}
+	}
+	// Invariant the ablation depends on: best ≤ worst.
+	best := TopologyAware().Elect(e)
+	if e.Model.CandidacyCost(e.Members, best, e.IOBytes) > wc {
+		t.Fatal("topology-aware candidate costs more than the adversarial one")
+	}
+}
+
+func TestTwoLevelElectsANodeLeader(t *testing.T) {
+	topo := topology.MiraTorus(128)
+	// 4 ranks per node across 16 nodes; leaders are indices ≡ 0 (mod 4).
+	members := make([]Member, 64)
+	for i := range members {
+		members[i] = Member{Node: i / 4, Bytes: int64(i+1) * 1024}
+	}
+	e := &Election{Model: NewModel(topo), Members: members, IOBytes: 1 << 20}
+	winner := TwoLevel().Elect(e)
+	if winner%4 != 0 {
+		t.Fatalf("two-level elected member %d, not a node leader", winner)
+	}
+}
+
+func TestRandomDeterministicPerPartition(t *testing.T) {
+	e := torusElection(t)
+	e.Partition = 7
+	a := Random().Elect(e)
+	if b := Random().Elect(e); a != b {
+		t.Fatalf("random election not deterministic: %d vs %d", a, b)
+	}
+	e.Partition = 8
+	if c := Random().Elect(e); c == a {
+		// Not impossible, but with 64 members two consecutive seeds
+		// colliding would indicate a broken hash.
+		t.Logf("partitions 7 and 8 elected the same member %d", a)
+	}
+	if got := RankOrder().Elect(e); got != 0 {
+		t.Fatalf("rank order elected %d, want 0", got)
+	}
+}
+
+func TestElectionDeterministicAcrossRepeats(t *testing.T) {
+	for _, p := range []Placement{TopologyAware(), TwoLevel(), Worst(), Random(), RankOrder()} {
+		e := torusElection(t)
+		first := p.Elect(e)
+		for i := 0; i < 3; i++ {
+			e2 := torusElection(t)
+			if got := p.Elect(e2); got != first {
+				t.Fatalf("%s: elected %d then %d", p.Name(), first, got)
+			}
+		}
+	}
+}
+
+func TestCollectiveModeAgreesWithLocalScan(t *testing.T) {
+	// Simulate the Allreduce MINLOC/MAXLOC by evaluating the collective
+	// path once per member and reducing by hand; the result must match the
+	// local-mode scan (ties break toward the lowest index in both).
+	base := torusElection(t)
+	for _, tc := range []struct {
+		p   Placement
+		max bool
+	}{{TopologyAware(), false}, {Worst(), true}, {TwoLevel(), false}} {
+		localWinner := tc.p.Elect(base)
+		bestLoc, bestVal, have := -1, 0.0, false
+		for self := range base.Members {
+			e := torusElection(t)
+			e.Self = self
+			var observed float64
+			e.MinLoc = func(v float64, loc int) (float64, int) {
+				observed = v
+				return v, loc // loc echoes back: we reduce by hand below
+			}
+			e.MaxLoc = e.MinLoc
+			gotLoc := tc.p.Elect(e)
+			if gotLoc != self {
+				t.Fatalf("%s: collective elect returned %d for self %d without reduction", tc.p.Name(), gotLoc, self)
+			}
+			v := observed
+			if !have || (!tc.max && v < bestVal) || (tc.max && v > bestVal) {
+				bestLoc, bestVal, have = self, v, true
+			}
+		}
+		if bestLoc != localWinner {
+			t.Fatalf("%s: collective reduction elects %d, local scan %d", tc.p.Name(), bestLoc, localWinner)
+		}
+	}
+}
+
+func TestNodeSpreadSetMatchesSeedHeuristic(t *testing.T) {
+	// 4 nodes × 2 ranks, want 4: first rank of each node.
+	nodes := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	got := NodeSpread().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 4})
+	want := []int{0, 2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node spread = %v, want %v", got, want)
+		}
+	}
+	// Oversubscribed: want 6 from 4 nodes → second ranks fill in.
+	got = NodeSpread().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 6})
+	if len(got) != 6 {
+		t.Fatalf("oversubscribed spread returned %v", got)
+	}
+}
+
+func TestRankOrderSetStacks(t *testing.T) {
+	nodes := []int{0, 0, 1, 1, 2, 2}
+	got := RankOrder().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 3})
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("rank order set = %v, want 0..2", got)
+		}
+	}
+}
+
+func TestBridgeFirstSetPrefersBridges(t *testing.T) {
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	bridge := func(nd int) bool { return nd == 2 || nd == 5 }
+	got := BridgeFirst().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 2, Bridge: bridge})
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("bridge-first set = %v, want [2 5]", got)
+	}
+	// Without bridge info it degrades to node spread.
+	got = BridgeFirst().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 2})
+	if len(got) != 2 {
+		t.Fatalf("fallback set = %v", got)
+	}
+}
+
+func TestBridgeFirstSetNeverDuplicates(t *testing.T) {
+	// More slots than distinct non-bridge nodes: the fill must take each
+	// node once (a duplicated rank would orphan a file domain), returning a
+	// smaller set rather than repeating ranks.
+	nodes := make([]int, 8) // 8 ranks on 4 nodes, node 0 is a bridge
+	for r := range nodes {
+		nodes[r] = r / 2
+	}
+	bridge := func(nd int) bool { return nd == 0 }
+	got := BridgeFirst().(SetStrategy).SelectSet(&SetElection{Nodes: nodes, Want: 7, Bridge: bridge})
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r] {
+			t.Fatalf("duplicate rank %d in %v", r, got)
+		}
+		seen[r] = true
+	}
+	if len(got) != 4 { // 1 bridge first-rank + 3 non-bridge first-ranks
+		t.Fatalf("set = %v, want the 4 distinct first ranks", got)
+	}
+}
+
+func TestTwoLevelCollectiveNonLeaderObservesNothing(t *testing.T) {
+	// A non-leader must not report +Inf as its own candidacy cost.
+	topo := topology.MiraTorus(128)
+	members := []Member{{Node: 0, Bytes: 100}, {Node: 0, Bytes: 200}, {Node: 1, Bytes: 300}}
+	e := &Election{
+		Model: NewModel(topo), Members: members, Self: 1, // not node 0's leader
+		MinLoc:      func(v float64, loc int) (float64, int) { return v, 0 },
+		MaxLoc:      func(v float64, loc int) (float64, int) { return v, 0 },
+		ObserveCost: func(v float64) { t.Fatalf("non-leader observed cost %v", v) },
+	}
+	TwoLevel().Elect(e)
+}
+
+func TestTopologyAwareHasNoSetStrategy(t *testing.T) {
+	if _, ok := TopologyAware().(SetStrategy); ok {
+		t.Fatal("topology-aware should elect per partition, not pick global sets")
+	}
+	if _, ok := TwoLevel().(SetStrategy); ok {
+		t.Fatal("two-level should elect per partition, not pick global sets")
+	}
+}

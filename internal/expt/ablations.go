@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"tapioca/internal/core"
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
+	"tapioca/internal/mpiio"
 	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
@@ -25,14 +27,15 @@ func AblationPlacement(full bool) Result {
 		ID:     "abl-placement",
 		Title:  fmt.Sprintf("Placement strategies, skewed write on Mira (%d nodes × %d ranks)", nodes, rpn),
 		XLabel: "MB/rank(avg)",
-		Labels: []string{"TopologyAware", "RankOrder", "Random", "Worst"},
+		Labels: []string{"TopologyAware", "RankOrder", "Random", "Worst", "TwoLevel"},
 	}
 	for _, mb := range []float64{1, 2} {
 		base := int64(mb * (1 << 20) / 2)
 		row := Row{X: mb}
-		for _, placement := range []int{
+		for _, placement := range []cost.Placement{
 			core.PlacementTopologyAware, core.PlacementRankOrder,
 			core.PlacementRandom, core.PlacementWorst,
+			core.PlacementTwoLevel,
 		} {
 			r := miraRig(nodes, rpn, storage.LockShared)
 			// Isolate the aggregation phase: an infinitely fast storage
@@ -73,6 +76,50 @@ func AblationPlacement(full bool) Result {
 	}
 	res.Notes = append(res.Notes,
 		"aggregation phase isolated with a null storage tier; end-to-end, the storage path dominates and placement deltas shrink below 2%")
+	return res
+}
+
+// AblationMPIIOPlacement compares MPI-IO aggregator placement strategies on
+// a Theta collective write: the classic heuristics (rank order stacks
+// aggregators on the first nodes; node spread ignores distances) against the
+// cost-model strategies that reuse TAPIOCA's engine (internal/cost) — the
+// first scenario where the tuned ROMIO baseline sees the interconnect.
+func AblationMPIIOPlacement(full bool) Result {
+	nodes := pick(full, 512, 128)
+	rpn := 16
+	osts := pick(full, 48, 12)
+	cb := pick(full, 96, 24)
+	res := Result{
+		ID:     "abl-mpiio-placement",
+		Title:  fmt.Sprintf("MPI-IO aggregator strategies, IOR write on Theta (%d nodes × %d ranks)", nodes, rpn),
+		XLabel: "MB/rank",
+		Labels: []string{"RankOrder", "NodeSpread", "TopologyAware", "TwoLevel"},
+	}
+	for _, mb := range []float64{1, 2} {
+		size := int64(mb * (1 << 20))
+		row := Row{X: mb}
+		for _, strategy := range []cost.Placement{
+			mpiio.AggrRankOrder, mpiio.AggrNodeSpread,
+			mpiio.AggrTopologyAware, mpiio.AggrTwoLevel,
+		} {
+			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+			j := ioJob{
+				r:       r,
+				fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+				hints: mpiio.Hints{
+					CBNodes: cb, CBBufferSize: 8 << 20,
+					Strategy: strategy, AlignDomains: true, CyclicDomains: true,
+				},
+				declared: func(rank, ranks int) [][]storage.Seg {
+					return [][]storage.Seg{workload.IORSegs(rank, size)}
+				},
+			}
+			row.Values = append(row.Values, mustIO(j, methodMPIIO))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"rank order funnels every aggregator onto the first nodes (NIC incast); the cost-model strategies spread elections across blocks and minimize hop distance")
 	return res
 }
 

@@ -57,6 +57,7 @@ func All() []Spec {
 		{"fig13", "HACC-IO on Theta, 1,024 nodes × 16", Fig13},
 		{"fig14", "HACC-IO on Theta, 2,048 nodes × 16", Fig14},
 		{"abl-placement", "Ablation: aggregator placement strategies", AblationPlacement},
+		{"abl-mpiio-placement", "Ablation: MPI-IO aggregator strategies on Theta", AblationMPIIOPlacement},
 		{"abl-pipeline", "Ablation: double vs single aggregation buffer", AblationPipeline},
 		{"abl-declared", "Ablation: declared I/O vs per-call aggregation", AblationDeclared},
 		{"abl-aggrcount", "Ablation: aggregator count on Theta", AblationAggregators},

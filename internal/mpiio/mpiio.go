@@ -10,30 +10,46 @@
 //     aggregation buffers (paper Fig. 2);
 //   - aggregation and I/O phases of a round are synchronous — no
 //     double-buffered overlap;
-//   - aggregator placement ignores the interconnect topology (rank order /
-//     node spread / bridge-first heuristics, not a cost model).
+//   - with the classic hints, aggregator placement ignores the interconnect
+//     topology (rank order / node spread / bridge-first heuristics). The
+//     AggrTopologyAware and AggrTwoLevel strategies lift that limitation by
+//     reusing TAPIOCA's cost engine (internal/cost) for the tuned baseline.
 package mpiio
 
 import (
 	"fmt"
-	"sort"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
 )
 
-// Aggregator placement strategies for collective buffering.
-const (
+// Aggregator placement strategies for collective buffering, re-exported from
+// the shared cost engine (internal/cost). Any cost.Placement works as
+// Hints.Strategy; strategies implementing cost.SetStrategy pick the whole
+// set with the classic ROMIO heuristics, the rest run one cost-model
+// election per aggregator partition.
+var (
 	// AggrNodeSpread picks the first rank of each node in node order (the
 	// common MPICH/Cray default).
-	AggrNodeSpread = iota
+	AggrNodeSpread = cost.NodeSpread()
 	// AggrRankOrder picks ranks 0..cb_nodes-1 regardless of node, which can
 	// stack all aggregators on the first nodes.
-	AggrRankOrder
+	AggrRankOrder = cost.RankOrder()
 	// AggrBridgeFirst prefers ranks on BG/Q bridge nodes, then spreads
 	// (the MPICH strategy the paper describes for Mira).
-	AggrBridgeFirst
+	AggrBridgeFirst = cost.BridgeFirst()
+	// AggrTopologyAware elects one aggregator per contiguous rank block by
+	// minimizing the paper's C1+C2 cost model — the first scenario where
+	// the tuned ROMIO baseline sees the interconnect. Volumes are unknown
+	// at open time, so members carry uniform weights and the election
+	// optimizes hop distance.
+	AggrTopologyAware = cost.TopologyAware()
+	// AggrTwoLevel is the intra-node variant (Kang et al.): members
+	// pre-aggregate within their node and one leader per node competes in
+	// the inter-node election.
+	AggrTwoLevel = cost.TwoLevel()
 )
 
 // Hints mirror the ROMIO controls the paper tunes (cb_nodes,
@@ -44,8 +60,9 @@ type Hints struct {
 	CBNodes int
 	// CBBufferSize is the per-aggregator staging buffer. Default 16 MB.
 	CBBufferSize int64
-	// Strategy selects the aggregator placement heuristic.
-	Strategy int
+	// Strategy selects the aggregator placement strategy. Default:
+	// AggrNodeSpread.
+	Strategy cost.Placement
 	// AlignDomains aligns file domains to the file system's optimal unit
 	// (stripe/block), as tuned ROMIO does. Default off (set by the
 	// "optimized" configurations).
@@ -89,6 +106,9 @@ func (h *Hints) setDefaults(c *mpi.Comm) {
 	if h.CBNodes > c.Size() {
 		h.CBNodes = c.Size()
 	}
+	if h.Strategy == nil {
+		h.Strategy = AggrNodeSpread
+	}
 }
 
 // File is one rank's handle on an MPI-IO file.
@@ -115,7 +135,7 @@ func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions,
 		return f
 	}())
 	f := res.(*storage.File)
-	aggrs := chooseAggregators(c, hints)
+	aggrs := chooseAggregators(c, hints, sys)
 	myAgg := -1
 	for i, a := range aggrs {
 		if a == c.Rank() {
@@ -132,99 +152,81 @@ func (fh *File) Storage() *storage.File { return fh.f }
 // aggregators.
 func (fh *File) Aggregators() []int { return append([]int(nil), fh.aggrs...) }
 
-// chooseAggregators implements the placement heuristics.
-func chooseAggregators(c *mpi.Comm, h Hints) []int {
-	n := c.Size()
-	switch h.Strategy {
-	case AggrRankOrder:
-		out := make([]int, h.CBNodes)
-		for i := range out {
-			out[i] = i
+// chooseAggregators picks the collective-buffering aggregator set.
+// Strategies implementing cost.SetStrategy (the classic ROMIO heuristics)
+// select the whole set locally — cheap and identical on every rank. The
+// rest run one cost-model election per contiguous rank block; those scan
+// every candidate, so rank 0 computes the set once and broadcasts it.
+func chooseAggregators(c *mpi.Comm, h Hints, sys storage.System) []int {
+	if ss, ok := h.Strategy.(cost.SetStrategy); ok {
+		return ss.SelectSet(&cost.SetElection{
+			Nodes:  rankNodes(c),
+			Want:   h.CBNodes,
+			Bridge: bridgeFn(c),
+		})
+	}
+	res := c.Bcast(0, int64(8*h.CBNodes), func() any {
+		if c.Rank() != 0 {
+			return nil
 		}
-		return out
-	case AggrBridgeFirst:
-		return bridgeFirst(c, h.CBNodes)
-	default: // AggrNodeSpread
-		byNode := map[int][]int{}
-		var nodeOrder []int
-		for r := 0; r < n; r++ {
-			nd := c.NodeOfRank(r)
-			if len(byNode[nd]) == 0 {
-				nodeOrder = append(nodeOrder, nd)
-			}
-			byNode[nd] = append(byNode[nd], r)
-		}
-		sort.Ints(nodeOrder)
-		var out []int
-		if h.CBNodes <= len(nodeOrder) {
-			// Evenly strided across the allocation, one rank per chosen
-			// node — what tuned ROMIO configurations do.
-			for i := 0; i < h.CBNodes; i++ {
-				nd := nodeOrder[i*len(nodeOrder)/h.CBNodes]
-				out = append(out, byNode[nd][0])
-			}
-			sort.Ints(out)
-			return out
-		}
-		for depth := 0; len(out) < h.CBNodes; depth++ {
-			added := false
-			for _, nd := range nodeOrder {
-				if depth < len(byNode[nd]) {
-					out = append(out, byNode[nd][depth])
-					added = true
-					if len(out) == h.CBNodes {
-						break
-					}
-				}
-			}
-			if !added {
-				break
+		return electAggregators(c, h, sys)
+	}())
+	return res.([]int)
+}
+
+// rankNodes maps each comm rank to its compute node.
+func rankNodes(c *mpi.Comm) []int {
+	nodes := make([]int, c.Size())
+	for r := range nodes {
+		nodes[r] = c.NodeOfRank(r)
+	}
+	return nodes
+}
+
+// bridgeFn reports BG/Q bridge nodes for the bridge-first heuristic, or nil
+// when the platform has none (the strategy then degrades to node spread).
+// The bridge map materializes on first call, so strategies that never ask
+// (rank order, node spread) pay nothing.
+func bridgeFn(c *mpi.Comm) func(node int) bool {
+	tor, ok := c.World().Fabric().Topology().(*topology.Torus5D)
+	if !ok {
+		return nil
+	}
+	var isBridge map[int]bool
+	return func(node int) bool {
+		if isBridge == nil {
+			isBridge = map[int]bool{}
+			for pset := 0; pset < tor.IONodes(); pset++ {
+				br := tor.BridgeNodes(pset)
+				isBridge[br[0]] = true
+				isBridge[br[1]] = true
 			}
 		}
-		sort.Ints(out)
-		return out
+		return isBridge[node]
 	}
 }
 
-// bridgeFirst prefers ranks on bridge nodes (BG/Q), then falls back to node
-// spread for the remainder.
-func bridgeFirst(c *mpi.Comm, want int) []int {
-	topo := c.World().Fabric().Topology()
-	tor, ok := topo.(*topology.Torus5D)
-	if !ok {
-		h := Hints{CBNodes: want, Strategy: AggrNodeSpread}
-		return chooseAggregators(c, h)
-	}
-	isBridge := map[int]bool{}
-	for pset := 0; pset < tor.IONodes(); pset++ {
-		br := tor.BridgeNodes(pset)
-		isBridge[br[0]] = true
-		isBridge[br[1]] = true
-	}
-	var bridgeRanks, otherFirstRanks []int
-	seenNode := map[int]bool{}
-	for r := 0; r < c.Size(); r++ {
-		nd := c.NodeOfRank(r)
-		if seenNode[nd] {
-			continue
+// electAggregators partitions the comm's ranks into CBNodes contiguous
+// blocks (the same rank→partition map TAPIOCA's planner uses) and elects
+// one aggregator per block through the shared cost engine. Data volumes are
+// unknown at open time, so members weigh in uniformly and the model
+// optimizes interconnect distance; C2 still steers toward bridge-proximate
+// nodes where the platform exposes I/O-node locality.
+func electAggregators(c *mpi.Comm, h Hints, sys storage.System) []int {
+	model := cost.MachineModel(c.World().Fabric().Distances(), sys)
+	n := c.Size()
+	nodes := rankNodes(c)
+	out := make([]int, 0, h.CBNodes)
+	for part := 0; part < h.CBNodes; part++ {
+		lo := cost.PartitionStart(part, h.CBNodes, n)
+		hi := cost.PartitionStart(part+1, h.CBNodes, n)
+		members := make([]cost.Member, hi-lo)
+		for i := range members {
+			members[i] = cost.Member{Node: nodes[lo+i], Bytes: 1}
 		}
-		seenNode[nd] = true
-		if isBridge[nd] {
-			bridgeRanks = append(bridgeRanks, r)
-		} else {
-			otherFirstRanks = append(otherFirstRanks, r)
-		}
+		e := &cost.Election{Model: model, Members: members, Partition: part}
+		out = append(out, lo+h.Strategy.Elect(e))
 	}
-	out := bridgeRanks
-	if len(out) > want {
-		out = out[:want]
-	}
-	// Fill the remainder evenly across the non-bridge nodes.
-	need := want - len(out)
-	for i := 0; i < need && len(otherFirstRanks) > 0; i++ {
-		out = append(out, otherFirstRanks[i*len(otherFirstRanks)/need])
-	}
-	sort.Ints(out)
 	return out
 }
 

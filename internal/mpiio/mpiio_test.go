@@ -3,6 +3,7 @@ package mpiio
 import (
 	"testing"
 
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
 	"tapioca/internal/sim"
@@ -96,7 +97,7 @@ func TestBuildScheduleEmpty(t *testing.T) {
 
 func TestChooseAggregatorsNodeSpread(t *testing.T) {
 	runFlat(t, 8, 2, func(c *mpi.Comm, sys storage.System) {
-		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrNodeSpread})
+		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrNodeSpread}, sys)
 		want := []int{0, 2, 4, 6} // first rank of each node
 		for i, a := range aggrs {
 			if a != want[i] {
@@ -109,7 +110,7 @@ func TestChooseAggregatorsNodeSpread(t *testing.T) {
 
 func TestChooseAggregatorsRankOrder(t *testing.T) {
 	runFlat(t, 8, 2, func(c *mpi.Comm, sys storage.System) {
-		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrRankOrder})
+		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrRankOrder}, sys)
 		for i, a := range aggrs {
 			if a != i {
 				t.Errorf("aggrs = %v, want 0..3", aggrs)
@@ -124,7 +125,7 @@ func TestChooseAggregatorsBridgeFirstOnTorus(t *testing.T) {
 	fab := netsim.New(topo, netsim.Config{})
 	sys := storage.NewNullFS()
 	_, err := mpi.Run(mpi.Config{Ranks: 512, RanksPerNode: 2, Fabric: fab}, func(c *mpi.Comm) {
-		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrBridgeFirst})
+		aggrs := chooseAggregators(c, Hints{CBNodes: 4, Strategy: AggrBridgeFirst}, sys)
 		tor := topo
 		for _, a := range aggrs {
 			node := c.NodeOfRank(a)
@@ -137,6 +138,113 @@ func TestChooseAggregatorsBridgeFirstOnTorus(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestChooseAggregatorsTopologyAware(t *testing.T) {
+	// The cost-model strategies elect one aggregator per contiguous rank
+	// block; the set must be well-formed, sorted and deterministic.
+	topo := topology.MiraTorus(128)
+	fab := netsim.New(topo, netsim.Config{})
+	sys := storage.NewNullFS()
+	var first []int
+	for trial := 0; trial < 2; trial++ {
+		var got []int
+		_, err := mpi.Run(mpi.Config{Ranks: 256, RanksPerNode: 2, Fabric: fab}, func(c *mpi.Comm) {
+			aggrs := chooseAggregators(c, Hints{CBNodes: 8, Strategy: AggrTopologyAware}, sys)
+			if c.Rank() == 0 {
+				got = aggrs
+			} else if len(aggrs) != 8 {
+				t.Errorf("rank %d sees %d aggregators", c.Rank(), len(aggrs))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 8 {
+			t.Fatalf("aggregator set = %v", got)
+		}
+		for i, a := range got {
+			lo, hi := i*256/8, (i+1)*256/8
+			if a < lo || a >= hi {
+				t.Fatalf("aggregator %d = rank %d outside its block [%d,%d)", i, a, lo, hi)
+			}
+		}
+		if trial == 0 {
+			first = got
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("election not deterministic: %v vs %v", got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyAwareStrategyParity(t *testing.T) {
+	// AggrTopologyAware and AggrTwoLevel must be drop-in strategies:
+	// identical file coverage and byte totals to the classic heuristics on
+	// the same workload, with only the aggregator identities changing.
+	const ranks = 16
+	const chunk = 1 << 14
+	for _, strategy := range []cost.Placement{
+		AggrNodeSpread, AggrRankOrder, AggrTopologyAware, AggrTwoLevel,
+	} {
+		var file *storage.File
+		runFlat(t, ranks, 4, func(c *mpi.Comm, sys storage.System) {
+			fh := Open(c, sys, "p-"+strategy.Name(), storage.FileOptions{}, Hints{
+				CBNodes: 4, CBBufferSize: 1 << 15, Strategy: strategy,
+			})
+			if c.Rank() == 0 {
+				fh.Storage().SetCapture(true)
+				file = fh.Storage()
+			}
+			c.Barrier()
+			fh.WriteAtAll([]storage.Seg{storage.Contig(int64(c.Rank())*chunk, chunk)})
+			fh.Close()
+		})
+		if err := file.VerifyCoverage(0, ranks*chunk); err != nil {
+			t.Fatalf("%s: %v", strategy.Name(), err)
+		}
+		if file.BytesWritten() != ranks*chunk {
+			t.Fatalf("%s: wrote %d bytes, want %d", strategy.Name(), file.BytesWritten(), ranks*chunk)
+		}
+	}
+}
+
+// elapsedWithStrategy runs one Theta collective write under the strategy and
+// returns the virtual elapsed time.
+func elapsedWithStrategy(t *testing.T, strategy cost.Placement) int64 {
+	t.Helper()
+	topo := topology.ThetaDragonfly(64, topology.RouteMinimal)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewNullFS()
+	eng, err := mpi.Run(mpi.Config{Ranks: 256, RanksPerNode: 4, Fabric: fab}, func(c *mpi.Comm) {
+		fh := Open(c, sys, "w", storage.FileOptions{}, Hints{
+			CBNodes: 16, CBBufferSize: 1 << 20, Strategy: strategy,
+		})
+		fh.WriteAtAll([]storage.Seg{storage.Contig(int64(c.Rank())<<18, 1<<18)})
+		fh.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Now()
+}
+
+func TestTopologyAwareBeatsRankOrderElapsed(t *testing.T) {
+	// The acceptance bar for the shared cost engine: the topology-aware
+	// baseline finishes a collective write faster than rank-order stacking
+	// (which funnels all 16 aggregators onto the first 4 nodes).
+	stacked := elapsedWithStrategy(t, AggrRankOrder)
+	aware := elapsedWithStrategy(t, AggrTopologyAware)
+	if aware >= stacked {
+		t.Fatalf("topology-aware elapsed %d >= rank-order %d", aware, stacked)
+	}
+	twoLevel := elapsedWithStrategy(t, AggrTwoLevel)
+	if twoLevel >= stacked {
+		t.Fatalf("two-level elapsed %d >= rank-order %d", twoLevel, stacked)
 	}
 }
 

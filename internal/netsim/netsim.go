@@ -13,6 +13,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"tapioca/internal/sim"
 	"tapioca/internal/topology"
@@ -61,6 +62,9 @@ type Fabric struct {
 
 	scratch []*sim.GapResource // reusable per-transfer resource list
 
+	distOnce sync.Once
+	dist     *topology.DistanceCache
+
 	transfers  int64
 	totalBytes int64
 }
@@ -99,6 +103,15 @@ func New(topo topology.Topology, cfg Config) *Fabric {
 
 // Topology returns the underlying topology.
 func (f *Fabric) Topology() topology.Topology { return f.topo }
+
+// Distances returns the machine-wide memoized distance cache over the
+// fabric's topology. Every rank, session and cost model on the machine
+// shares the same rows, so aggregator elections pay each node-pair distance
+// once per machine rather than once per lookup.
+func (f *Fabric) Distances() *topology.DistanceCache {
+	f.distOnce.Do(func() { f.dist = topology.NewDistanceCache(f.topo) })
+	return f.dist
+}
 
 // Config returns the fabric configuration actually in effect.
 func (f *Fabric) Config() Config { return f.cfg }

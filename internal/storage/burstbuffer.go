@@ -103,6 +103,15 @@ func (bb *BurstBuffer) Flush(p *sim.Proc) int64 {
 // StagedBytes returns the bytes ingested by the buffer tier.
 func (bb *BurstBuffer) StagedBytes() int64 { return bb.staged }
 
+// TierIOCost prices the I/O phase for the placement cost model (the
+// cost.TierCost hook, satisfied structurally): a write completes when it
+// lands on a burst-buffer server, so the C2 a candidate aggregator pays is
+// the per-request overhead plus ingest time — independent of the backing
+// file system's uplink geometry.
+func (bb *BurstBuffer) TierIOCost(node int, bytes int64) (float64, bool) {
+	return sim.ToSeconds(bb.cfg.PerOp) + float64(bytes)/bb.cfg.ServerBW, true
+}
+
 func (bb *BurstBuffer) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	// recordWrite happens in the backing WriteAsync inside stage.
 	return blockingWrite(p, bb.stage(p, node, f, segs))

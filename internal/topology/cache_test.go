@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDistanceCacheMatchesTopology(t *testing.T) {
+	for _, topo := range []Topology{
+		NewFlat(16),
+		MiraTorus(128),
+		ThetaDragonfly(64, RouteMinimal),
+	} {
+		c := NewDistanceCache(topo)
+		n := topo.Nodes()
+		for a := 0; a < n; a += 3 {
+			for b := 0; b < n; b++ {
+				if got, want := c.Distance(a, b), topo.Distance(a, b); got != want {
+					t.Fatalf("%s: cached d(%d,%d) = %d, want %d", topo.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceCacheDirectional(t *testing.T) {
+	// Dragonfly gateway selection hashes the ordered pair, so the cache must
+	// not assume symmetry. Verify both directions independently.
+	topo := ThetaDragonfly(256, RouteMinimal)
+	c := NewDistanceCache(topo)
+	for a := 0; a < 64; a += 7 {
+		for b := 100; b < 164; b += 7 {
+			if c.Distance(a, b) != topo.Distance(a, b) || c.Distance(b, a) != topo.Distance(b, a) {
+				t.Fatalf("directional mismatch at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestDistanceCacheRowsLazy(t *testing.T) {
+	topo := MiraTorus(256)
+	c := NewDistanceCache(topo)
+	if c.Rows() != 0 {
+		t.Fatalf("fresh cache has %d rows", c.Rows())
+	}
+	c.Distance(5, 9)
+	c.Distance(5, 200) // same row
+	c.Distance(7, 0)
+	if c.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2 (lazy per-source materialization)", c.Rows())
+	}
+}
+
+func TestDistanceCacheConcurrent(t *testing.T) {
+	// The cache is shared by every simulated rank; hammer it from real
+	// goroutines so the race detector can vet the row publication.
+	topo := MiraTorus(128)
+	c := NewDistanceCache(topo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for a := 0; a < 128; a++ {
+				for b := g; b < 128; b += 8 {
+					if c.Distance(a, b) != topo.Distance(a, b) {
+						t.Errorf("g%d: d(%d,%d) wrong", g, a, b)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"tapioca/internal/core"
+	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
 	"tapioca/internal/mpiio"
 	"tapioca/internal/netsim"
@@ -62,22 +63,36 @@ type Writer = core.Writer
 // MPIIOFile is an MPI-IO (ROMIO-style baseline) file handle.
 type MPIIOFile = mpiio.File
 
+// Placement is a pluggable aggregator-election strategy (see internal/cost):
+// both Config.Placement and Hints.Strategy accept one.
+type Placement = cost.Placement
+
 // Placement strategies for Config.Placement.
-const (
+var (
 	PlacementTopologyAware = core.PlacementTopologyAware
 	PlacementRankOrder     = core.PlacementRankOrder
 	PlacementWorst         = core.PlacementWorst
 	PlacementRandom        = core.PlacementRandom
+	// PlacementTwoLevel pre-aggregates within each node before the
+	// inter-node cost-model election (Kang et al.'s intra-node direction).
+	PlacementTwoLevel = core.PlacementTwoLevel
 )
 
 // Hints tunes the MPI-IO baseline (see internal/mpiio.Hints).
 type Hints = mpiio.Hints
 
 // MPI-IO aggregator strategies for Hints.Strategy.
-const (
+var (
 	AggrNodeSpread  = mpiio.AggrNodeSpread
 	AggrRankOrder   = mpiio.AggrRankOrder
 	AggrBridgeFirst = mpiio.AggrBridgeFirst
+	// AggrTopologyAware gives the tuned ROMIO baseline TAPIOCA's cost-model
+	// placement: one election per aggregator block over the interconnect
+	// distances.
+	AggrTopologyAware = mpiio.AggrTopologyAware
+	// AggrTwoLevel additionally pre-aggregates within each node before the
+	// inter-node election.
+	AggrTwoLevel = mpiio.AggrTwoLevel
 )
 
 // MachineOption customizes a Machine preset.
