@@ -15,6 +15,7 @@ package tapioca_test
 import (
 	"testing"
 
+	"tapioca"
 	"tapioca/internal/cost"
 	"tapioca/internal/expt"
 	"tapioca/internal/topology"
@@ -159,6 +160,29 @@ func BenchmarkAblationAggregators(b *testing.B) {
 // network models (storage-bound workloads should agree).
 func BenchmarkAblationContention(b *testing.B) {
 	runFigure(b, expt.ByID("abl-contention"), 0, 1)
+}
+
+// BenchmarkAutotune measures the model-driven configuration search itself —
+// scoring the whole candidate grid (plan estimation, elections, flush
+// pricing) for a Theta collective write, with zero simulations. The picked
+// aggregator count and buffer size are reported as metrics so trajectory
+// tracking catches a silently changed pick.
+func BenchmarkAutotune(b *testing.B) {
+	m := tapioca.Theta(128)
+	w := tapioca.IORWorkload(128*16, 1<<20)
+	var cfg tapioca.Config
+	for i := 0; i < b.N; i++ {
+		cfg, _, _ = tapioca.Autotune(m, w)
+	}
+	b.ReportMetric(float64(cfg.Aggregators), "aggregators")
+	b.ReportMetric(float64(cfg.BufferSize>>20), "buffer_MB")
+}
+
+// BenchmarkAutotuneEndToEnd races the tuned configuration against the
+// library defaults end to end (the abl-autotune grid): tapioca_GB/s is the
+// tuned write, baseline_GB/s the defaults, speedup their ratio.
+func BenchmarkAutotuneEndToEnd(b *testing.B) {
+	runFigure(b, expt.ByID("abl-autotune"), 1, 0)
 }
 
 // electionMembers spreads nRanks members across a topology's nodes with a

@@ -5,13 +5,17 @@
 //	tapiocabench -list
 //	tapiocabench -experiment fig10
 //	tapiocabench -experiment all -full -csv out/
+//	tapiocabench -experiment all -json results.json
 //
 // Without -full, experiments run at a reduced scale (≈1/4 the nodes, 4
 // ranks/node) that preserves the paper's shapes; -full uses the paper's node
-// counts (up to 65,536 simulated ranks — minutes per figure).
+// counts (up to 65,536 simulated ranks — minutes per figure). -json writes
+// one machine-readable file covering every experiment run, so benchmark
+// trajectories can be tracked across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +25,29 @@ import (
 	"tapioca/internal/expt"
 )
 
+// jsonResult is the machine-readable record of one experiment run.
+type jsonResult struct {
+	ID             string    `json:"id"`
+	Title          string    `json:"title"`
+	XLabel         string    `json:"xlabel"`
+	Labels         []string  `json:"labels"`
+	Rows           []jsonRow `json:"rows"`
+	Notes          []string  `json:"notes,omitempty"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+}
+
+type jsonRow struct {
+	X      float64   `json:"x"`
+	Values []float64 `json:"values"`
+}
+
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		id     = flag.String("experiment", "all", "experiment id (fig7…fig14, table1, abl-*, or all)")
-		full   = flag.Bool("full", false, "run at the paper's full scale")
-		csvDir = flag.String("csv", "", "also write CSV files into this directory")
+		list     = flag.Bool("list", false, "list available experiments")
+		id       = flag.String("experiment", "all", "experiment id (fig7…fig14, table1, abl-*, or all)")
+		full     = flag.Bool("full", false, "run at the paper's full scale")
+		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
+		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -49,11 +70,13 @@ func main() {
 		specs = []expt.Spec{*s}
 	}
 
+	var records []jsonResult
 	for _, s := range specs {
 		start := time.Now()
 		res := s.Run(*full)
+		elapsed := time.Since(start).Seconds()
 		fmt.Print(expt.Render(res))
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(wall time %.1fs)\n\n", elapsed)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -64,6 +87,30 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *jsonPath != "" {
+			rec := jsonResult{
+				ID:             res.ID,
+				Title:          res.Title,
+				XLabel:         res.XLabel,
+				Labels:         res.Labels,
+				Notes:          res.Notes,
+				ElapsedSeconds: elapsed,
+			}
+			for _, row := range res.Rows {
+				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})
+			}
+			records = append(records, rec)
+		}
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

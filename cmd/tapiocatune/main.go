@@ -1,0 +1,110 @@
+// Command tapiocatune runs the model-driven autotuner against a simulated
+// platform and workload, printing the chosen TAPIOCA configuration,
+// file-creation options and matching MPI-IO hints.
+//
+// Usage:
+//
+//	tapiocatune -machine theta -nodes 512 -rpn 16 -workload ior -mb 1
+//	tapiocatune -machine mira -nodes 1024 -workload hacc-aos -particles 25000
+//	tapiocatune -workload ior -probes 3 -verify
+//
+// -probes enables the closed-loop mode (short simulated probe rounds
+// re-ground the model before the final pick); -verify additionally runs the
+// tuned and default configurations end to end and reports both bandwidths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapioca"
+)
+
+func main() {
+	var (
+		machine   = flag.String("machine", "theta", "platform: theta or mira")
+		nodes     = flag.Int("nodes", 128, "compute node count")
+		rpn       = flag.Int("rpn", 16, "ranks per node")
+		wl        = flag.String("workload", "ior", "workload: ior, hacc-aos, hacc-soa")
+		mb        = flag.Float64("mb", 1, "per-rank data size in MB (ior)")
+		particles = flag.Int64("particles", 25000, "particles per rank (hacc)")
+		read      = flag.Bool("read", false, "tune a collective read instead of a write")
+		probes    = flag.Int("probes", 0, "closed-loop probe count (0 = pure model)")
+		verify    = flag.Bool("verify", false, "run tuned vs default end to end")
+	)
+	flag.Parse()
+
+	build := func() *tapioca.Machine {
+		if *machine == "mira" {
+			return tapioca.Mira(*nodes, tapioca.WithLockSharing())
+		}
+		return tapioca.Theta(*nodes)
+	}
+	m := build()
+	ranks := *nodes * *rpn
+
+	var w tapioca.Workload
+	switch *wl {
+	case "ior":
+		w = tapioca.IORWorkload(ranks, int64(*mb*(1<<20)))
+	case "hacc-aos":
+		w = tapioca.HACCWorkload(ranks, *particles, true)
+	case "hacc-soa":
+		w = tapioca.HACCWorkload(ranks, *particles, false)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	w.Read = *read
+
+	var opts []tapioca.AutotuneOption
+	if *probes > 0 {
+		opts = append(opts, tapioca.WithProbes(*probes))
+	}
+	cfg, fopt, hints := tapioca.Autotune(m, w, opts...)
+
+	fmt.Printf("Autotuned %s on %s (%d ranks, %.2f MB/rank)\n\n",
+		w.Name, m.Name(), ranks, float64(w.TotalBytes())/float64(ranks)/(1<<20))
+	fmt.Printf("  Config       Aggregators=%d BufferSize=%dMB Placement=%s SingleBuffer=%v\n",
+		cfg.Aggregators, cfg.BufferSize>>20, cfg.Placement.Name(), cfg.SingleBuffer)
+	fmt.Printf("  FileOptions  StripeCount=%d StripeSize=%dMB\n",
+		fopt.StripeCount, fopt.StripeSize>>20)
+	fmt.Printf("  Hints        CBNodes=%d CBBufferSize=%dMB Strategy=%s AlignDomains=%v CyclicDomains=%v\n",
+		hints.CBNodes, hints.CBBufferSize>>20, hints.Strategy.Name(), hints.AlignDomains, hints.CyclicDomains)
+
+	if !*verify {
+		return
+	}
+	run := func(c tapioca.Config, fo tapioca.FileOptions) float64 {
+		vm := build()
+		var elapsed float64
+		_, err := vm.Run(*rpn, func(ctx *tapioca.Ctx) {
+			f := ctx.CreateFile("verify", fo)
+			wr := ctx.Tapioca(f, c)
+			decl := w.Declared(ctx.Rank(), ctx.Size())
+			ctx.Barrier()
+			t0 := ctx.Now()
+			wr.Init(decl)
+			if w.Read {
+				wr.ReadAll()
+			} else {
+				wr.WriteAll()
+			}
+			ctx.Barrier()
+			if ctx.Rank() == 0 {
+				elapsed = ctx.Now() - t0
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return elapsed
+	}
+	total := float64(w.TotalBytes())
+	tuned := run(cfg, fopt)
+	def := run(tapioca.Config{}, tapioca.FileOptions{})
+	fmt.Printf("\n  verify: tuned %8.1f ms (%6.2f GB/s)   defaults %8.1f ms (%6.2f GB/s)   %.2fx\n",
+		tuned*1e3, total/tuned/1e9, def*1e3, total/def/1e9, def/tuned)
+}

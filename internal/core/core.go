@@ -54,6 +54,11 @@ var (
 	PlacementTwoLevel = cost.TwoLevel()
 )
 
+// ElectionDisabled is the Config.ElectionOverhead sentinel that charges no
+// election compute time at all. A plain zero means "use the default"; before
+// the sentinel existed, zero overhead was unrepresentable.
+const ElectionDisabled = -1
+
 // Config tunes a TAPIOCA writer/reader.
 type Config struct {
 	// Aggregators is the number of aggregators == partitions
@@ -70,29 +75,38 @@ type Config struct {
 	// blocks on each flush before the next round's fence.
 	SingleBuffer bool
 	// ElectionOverhead is the local cost-model computation time charged per
-	// rank during Init. Default 50 µs.
+	// rank during Init, in nanoseconds. Zero selects the 50 µs default;
+	// ElectionDisabled (or any negative value) charges nothing.
 	ElectionOverhead int64
 }
 
-func (c *Config) setDefaults(comm *mpi.Comm) {
+// ApplyDefaults resolves the zero-value fields to the library defaults for a
+// session over the given rank count — the same resolution New performs, made
+// public so tools (the autotuner, reports) can inspect what a configuration
+// will actually run with.
+func (c *Config) ApplyDefaults(ranks int) {
 	if c.BufferSize <= 0 {
 		c.BufferSize = 16 << 20
 	}
 	if c.Aggregators <= 0 {
-		c.Aggregators = comm.Size() / 16
+		c.Aggregators = ranks / 16
 	}
 	if c.Aggregators < 1 {
 		c.Aggregators = 1
 	}
-	if c.Aggregators > comm.Size() {
-		c.Aggregators = comm.Size()
+	if c.Aggregators > ranks {
+		c.Aggregators = ranks
 	}
-	if c.ElectionOverhead <= 0 {
+	if c.ElectionOverhead == 0 {
 		c.ElectionOverhead = 50_000
 	}
 	if c.Placement == nil {
 		c.Placement = PlacementTopologyAware
 	}
+}
+
+func (c *Config) setDefaults(comm *mpi.Comm) {
+	c.ApplyDefaults(comm.Size())
 }
 
 // Writer is one rank's handle on a TAPIOCA collective I/O session against
@@ -196,8 +210,11 @@ func (w *Writer) Init(declared [][]storage.Seg) {
 	w.part = w.plan.partOf[c.Rank()]
 	w.pc = c.Split(w.part, c.Rank())
 
-	// Election (each rank computes its own candidacy cost locally).
-	c.Compute(w.cfg.ElectionOverhead)
+	// Election (each rank computes its own candidacy cost locally; the
+	// ElectionDisabled sentinel charges nothing).
+	if w.cfg.ElectionOverhead > 0 {
+		c.Compute(w.cfg.ElectionOverhead)
+	}
 	w.aggLocal = w.elect()
 	w.isAgg = w.pc.Rank() == w.aggLocal
 	w.stats.Partition = w.part

@@ -475,6 +475,82 @@ func TestRoundsMatchFormula(t *testing.T) {
 	})
 }
 
+func TestElectionOverheadSentinel(t *testing.T) {
+	// Zero means "default" (50 µs); the ElectionDisabled sentinel charges
+	// nothing — before it existed, zero overhead was unrepresentable.
+	var cfg Config
+	cfg.ApplyDefaults(64)
+	if cfg.ElectionOverhead != 50_000 {
+		t.Fatalf("default overhead = %d, want 50µs", cfg.ElectionOverhead)
+	}
+	cfg = Config{ElectionOverhead: ElectionDisabled}
+	cfg.ApplyDefaults(64)
+	if cfg.ElectionOverhead >= 0 {
+		t.Fatalf("sentinel resolved to %d, must stay disabled", cfg.ElectionOverhead)
+	}
+	// End to end: a disabled election finishes Init strictly earlier.
+	elapsed := func(overhead int64) int64 {
+		var now int64
+		runFlat(t, 4, 2, func(c *mpi.Comm, sys storage.System) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("f", storage.FileOptions{})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			w := New(c, sys, f, Config{Aggregators: 1, ElectionOverhead: overhead})
+			w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*100, 100)}})
+			if c.Rank() == 0 {
+				now = c.Now()
+			}
+			w.WriteAll()
+			c.Barrier()
+		})
+		return now
+	}
+	def, disabled := elapsed(0), elapsed(ElectionDisabled)
+	if disabled >= def {
+		t.Fatalf("disabled election Init (%d ns) not earlier than default (%d ns)", disabled, def)
+	}
+	if def-disabled < 50_000 {
+		t.Fatalf("default charged only %d ns over disabled, want >= 50µs", def-disabled)
+	}
+}
+
+func TestEstimatePlanMatchesPlanner(t *testing.T) {
+	const mb = 1 << 20
+	all := make([][]storage.Seg, 8)
+	for r := range all {
+		all[r] = []storage.Seg{storage.Contig(int64(r)*mb, mb)}
+	}
+	est := EstimatePlan(all, Config{Aggregators: 2, BufferSize: 2 * mb}, 0)
+	if est.Aggregators != 2 || est.Rounds != 2 || est.TotalBytes != 8*mb {
+		t.Fatalf("estimate = %+v", est)
+	}
+	for pi, pe := range est.Parts {
+		if pe.Ranks != 4 || pe.Bytes != 4*mb || pe.Rounds != 2 {
+			t.Fatalf("part %d = %+v", pi, pe)
+		}
+		if pe.FirstRank != pi*4 {
+			t.Fatalf("part %d first rank = %d", pi, pe.FirstRank)
+		}
+		for r, fb := range pe.FlushBytes {
+			if fb != 2*mb || pe.FlushRuns[r] != 1 {
+				t.Fatalf("part %d round %d: %d bytes in %d runs", pi, r, fb, pe.FlushRuns[r])
+			}
+		}
+		for i, om := range pe.MemberBytes {
+			if om != mb {
+				t.Fatalf("part %d member %d omega = %d", pi, i, om)
+			}
+		}
+	}
+	// Defaults resolve like a live session: zero config on 64 ranks.
+	est = EstimatePlan(make([][]storage.Seg, 64), Config{}, 0)
+	if est.Aggregators != 4 {
+		t.Fatalf("default aggregators = %d, want 64/16", est.Aggregators)
+	}
+}
+
 func TestReadPipelineCompletes(t *testing.T) {
 	const ranks = 8
 	const chunk = 1 << 14

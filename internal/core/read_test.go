@@ -1,0 +1,215 @@
+package core
+
+// Read-path parity: the read pipeline mirrors the write pipeline (same
+// planner, same partitions, same rounds, prefetch instead of flush), so the
+// plan-facing guarantees the write tests assert must hold symmetrically.
+
+import (
+	"strings"
+	"testing"
+
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+)
+
+// TestReadPlanMatchesWritePlan: a read session over the same declared
+// pattern must produce the identical schedule — partition, rounds, elected
+// aggregator — and move the same bytes through the buffers.
+func TestReadPlanMatchesWritePlan(t *testing.T) {
+	const ranks = 8
+	const chunk = 1 << 16
+	type view struct {
+		partition, rounds, aggregator int
+		put, flushed                  int64
+	}
+	collect := func(read bool) map[int]view {
+		views := map[int]view{}
+		runFlat(t, ranks, 2, func(c *mpi.Comm, sys storage.System) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("f", storage.FileOptions{})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			w := New(c, sys, f, Config{Aggregators: 2, BufferSize: 1 << 17})
+			w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*chunk, chunk)}})
+			if read {
+				w.ReadAll()
+			} else {
+				w.WriteAll()
+			}
+			st := w.Stats()
+			views[c.Rank()] = view{
+				partition:  st.Partition,
+				rounds:     st.Rounds,
+				aggregator: st.AggregatorWorldRank,
+				put:        st.BytesPut,
+				flushed:    st.BytesFlushed,
+			}
+			c.Barrier()
+		})
+		return views
+	}
+	writes, reads := collect(false), collect(true)
+	for r := 0; r < ranks; r++ {
+		if writes[r] != reads[r] {
+			t.Fatalf("rank %d: write view %+v != read view %+v", r, writes[r], reads[r])
+		}
+	}
+}
+
+// TestReadAllCoversDeclaredBytes: the aggregators' prefetches must read
+// exactly the declared volume, in as few storage operations as the round
+// structure dictates.
+func TestReadAllCoversDeclaredBytes(t *testing.T) {
+	const ranks = 8
+	const chunk = 1 << 16
+	var file *storage.File
+	runFlat(t, ranks, 2, func(c *mpi.Comm, sys storage.System) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("f", storage.FileOptions{})
+			file = f
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		w := New(c, sys, f, Config{Aggregators: 2, BufferSize: 1 << 17})
+		w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*chunk, chunk)}})
+		w.ReadAll()
+		c.Barrier()
+	})
+	if file.BytesRead() != ranks*chunk {
+		t.Fatalf("read %d bytes, declared %d", file.BytesRead(), ranks*chunk)
+	}
+	if file.BytesWritten() != 0 {
+		t.Fatalf("read session wrote %d bytes", file.BytesWritten())
+	}
+	// 2 partitions × (4×64 KB declared / 128 KB buffer) = 4 prefetches.
+	if file.ReadOps() != 4 {
+		t.Fatalf("read ops = %d, want 4", file.ReadOps())
+	}
+}
+
+// TestReadDeterministicAcrossRuns mirrors the write-path determinism
+// contract: identical read programs complete at identical virtual times.
+func TestReadDeterministicAcrossRuns(t *testing.T) {
+	run := func() int64 {
+		topo := topology.NewFlat(4)
+		fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+		sys := storage.NewNullFS()
+		sys.PerOp = sim.Millisecond
+		eng, err := mpi.Run(mpi.Config{Ranks: 8, RanksPerNode: 2, Fabric: fab}, func(c *mpi.Comm) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("f", storage.FileOptions{})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			w := New(c, sys, f, Config{Aggregators: 2, BufferSize: 1 << 15})
+			w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())<<14, 1<<14)}})
+			w.ReadAll()
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic read elapsed: %d vs %d", a, b)
+	}
+}
+
+// TestReadMultiVariableDeclared mirrors the declared-I/O write test: three
+// strided variables read in declared order, with the pipeline running on
+// the final Read call.
+func TestReadMultiVariableDeclared(t *testing.T) {
+	const ranks = 4
+	const n = 512
+	var file *storage.File
+	runFlat(t, ranks, 2, func(c *mpi.Comm, sys storage.System) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("aos", storage.FileOptions{})
+			file = f
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		base := int64(c.Rank()) * n * 12
+		declared := [][]storage.Seg{
+			{storage.Strided(base+0, 4, 12, n)},
+			{storage.Strided(base+4, 4, 12, n)},
+			{storage.Strided(base+8, 4, 12, n)},
+		}
+		w := New(c, sys, f, Config{Aggregators: 2, BufferSize: 4096})
+		w.Init(declared)
+		before := c.Now()
+		w.Read(0)
+		w.Read(1)
+		if c.Now() != before {
+			t.Error("pipeline ran before the final declared Read")
+		}
+		w.Read(2)
+		if c.Now() <= before {
+			t.Error("read pipeline consumed no virtual time")
+		}
+		c.Barrier()
+	})
+	if file.BytesRead() != ranks*n*12 {
+		t.Fatalf("read %d bytes, declared %d", file.BytesRead(), ranks*n*12)
+	}
+}
+
+// TestReadOutOfOrderPanics mirrors the write-path ordering contract.
+func TestReadOutOfOrderPanics(t *testing.T) {
+	topo := topology.NewFlat(2)
+	fab := netsim.New(topo, netsim.Config{})
+	sys := storage.NewNullFS()
+	_, err := mpi.Run(mpi.Config{Ranks: 2, RanksPerNode: 1, Fabric: fab}, func(c *mpi.Comm) {
+		f := sys.Lookup("f")
+		if c.Rank() == 0 && f == nil {
+			f = sys.Create("f", storage.FileOptions{})
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		w := New(c, sys, f, Config{Aggregators: 1})
+		base := int64(c.Rank()) * 20
+		w.Init([][]storage.Seg{{storage.Contig(base, 10)}, {storage.Contig(base+10, 10)}})
+		w.Read(1) // out of order
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of declared order") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestReadSingleBufferSlower: without the prefetch overlap the read
+// pipeline must take strictly longer, mirroring the write-path ablation.
+func TestReadSingleBufferSlower(t *testing.T) {
+	run := func(single bool) int64 {
+		topo := topology.NewFlat(16)
+		topo.LinkBW = 2e9
+		fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+		sys := storage.NewNullFS()
+		sys.PerOp = 2 * sim.Millisecond
+		eng, err := mpi.Run(mpi.Config{Ranks: 16, RanksPerNode: 1, Fabric: fab}, func(c *mpi.Comm) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("f", storage.FileOptions{})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			const chunk = 4 << 20
+			w := New(c, sys, f, Config{Aggregators: 2, BufferSize: 4 << 20, SingleBuffer: single})
+			w.Init([][]storage.Seg{{storage.Contig(int64(c.Rank())*chunk, chunk)}})
+			w.ReadAll()
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	double := run(false)
+	single := run(true)
+	if double >= single {
+		t.Fatalf("prefetch overlap (%d) not faster than single buffer (%d)", double, single)
+	}
+}

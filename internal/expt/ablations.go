@@ -10,6 +10,7 @@ import (
 	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tune"
 	"tapioca/internal/workload"
 )
 
@@ -258,6 +259,81 @@ func AblationAggregators(full bool) Result {
 		res.Rows = append(res.Rows, Row{X: float64(aggr), Values: []float64{mustIO(j, methodTapioca)}})
 	}
 	return res
+}
+
+// AblationAutotune closes the tuning loop: on the Theta collective write it
+// compares the library defaults, the model-driven autotuner's pick
+// (internal/tune), and the best configuration found by an exhaustive
+// simulated sweep over the same search space. The tuner only predicts — it
+// runs zero simulations — yet its pick must be no slower than the defaults
+// and within 10% of the sweep's measured optimum.
+func AblationAutotune(full bool) Result {
+	nodes := pick(full, 512, 128)
+	rpn := 16
+	osts := pick(full, 48, 12)
+	size := int64(1 << 20)
+	w := workload.IOR(nodes*rpn, size)
+	aggs := []int{osts, 2 * osts, 4 * osts, 8 * osts}
+	bufs := []int64{4 << 20, 8 << 20, 16 << 20}
+
+	// The tuner prices candidates off a rig's calibration without touching
+	// its resource state; measurements below each use a fresh rig.
+	r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+	res := tune.Autotune(tune.Platform{
+		Topo:         r.topo,
+		Dist:         r.fab.Distances(),
+		Sys:          r.sys,
+		RanksPerNode: rpn,
+	}, w, tune.Options{
+		Aggregators: aggs,
+		BufferSizes: bufs,
+		Placements:  []cost.Placement{core.PlacementTopologyAware},
+		NoRefine:    true,
+	})
+
+	measure := func(cfg core.Config, fopt storage.FileOptions) float64 {
+		rr := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       rr,
+			fileOpt: fopt,
+			cfg:     cfg,
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		return mustIO(j, methodTapioca)
+	}
+
+	defGB := measure(core.Config{}, storage.FileOptions{})
+	tunedGB := measure(res.Config, res.FileOptions)
+	advisor := storage.StripeAdvisorOf(r.sys)
+	var sweepGB float64
+	var sweepCfg core.Config
+	for _, a := range aggs {
+		for _, b := range bufs {
+			cfg := core.Config{Aggregators: a, BufferSize: b}
+			if gb := measure(cfg, advisor.RecommendStripe(w.TotalBytes(), b, a)); gb > sweepGB {
+				sweepGB, sweepCfg = gb, cfg
+			}
+		}
+	}
+
+	return Result{
+		ID:     "abl-autotune",
+		Title:  fmt.Sprintf("Autotuned vs default vs exhaustive sweep, IOR write on Theta (%d nodes × %d ranks)", nodes, rpn),
+		XLabel: "MB/rank",
+		Labels: []string{"Default", "Autotuned", "SweepBest"},
+		Rows:   []Row{{X: float64(size) / (1 << 20), Values: []float64{defGB, tunedGB, sweepGB}}},
+		Notes: []string{
+			fmt.Sprintf("tuner picked %d aggregators, %d MB buffers, %d×%d MB stripes (%d candidates scored, %.1f ms predicted)",
+				res.Config.Aggregators, res.Config.BufferSize>>20,
+				res.FileOptions.StripeCount, res.FileOptions.StripeSize>>20,
+				res.Evaluated, res.Predicted*1e3),
+			fmt.Sprintf("sweep best: %d aggregators, %d MB buffers over %d simulated configurations",
+				sweepCfg.Aggregators, sweepCfg.BufferSize>>20, len(aggs)*len(bufs)),
+			"defaults write a 1-OST file with 1 MB stripes — the Figure 8 pathology the tuner must escape",
+		},
+	}
 }
 
 // AblationContention compares the per-link and endpoint-only network

@@ -61,6 +61,7 @@ func All() []Spec {
 		{"abl-pipeline", "Ablation: double vs single aggregation buffer", AblationPipeline},
 		{"abl-declared", "Ablation: declared I/O vs per-call aggregation", AblationDeclared},
 		{"abl-aggrcount", "Ablation: aggregator count on Theta", AblationAggregators},
+		{"abl-autotune", "Ablation: autotuned vs default vs exhaustive sweep", AblationAutotune},
 		{"abl-contention", "Ablation: link vs endpoint contention model", AblationContention},
 	}
 }

@@ -136,6 +136,32 @@ func TestAblationDeclaredShape(t *testing.T) {
 	}
 }
 
+// TestAblationAutotuneShape holds the autotuner to its acceptance bar on
+// the Theta collective write: the tuned configuration must be (a) no slower
+// than the library defaults and (b) within 10% of the best configuration an
+// exhaustive sweep over the same search space finds — and the pick itself
+// must be deterministic across runs.
+func TestAblationAutotuneShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	res := AblationAutotune(false)
+	row := res.Rows[0]
+	def, tuned, sweep := row.Values[0], row.Values[1], row.Values[2]
+	if tuned < def {
+		t.Errorf("tuned %v GB/s slower than defaults %v GB/s", tuned, def)
+	}
+	if tuned < 0.9*sweep {
+		t.Errorf("tuned %v GB/s not within 10%% of sweep best %v GB/s", tuned, sweep)
+	}
+	// The pick is deterministic: re-running the (simulation-free) search
+	// lands on the identical configuration.
+	again := AblationAutotune(false)
+	if res.Notes[0] != again.Notes[0] {
+		t.Errorf("non-deterministic pick:\n%s\n%s", res.Notes[0], again.Notes[0])
+	}
+}
+
 func TestExperimentsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment grid")

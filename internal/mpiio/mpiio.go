@@ -52,6 +52,22 @@ var (
 	AggrTwoLevel = cost.TwoLevel()
 )
 
+// TunedHints converts a TAPIOCA aggregation configuration into the
+// equivalent collective-buffering hints: cb_nodes and cb_buffer_size follow
+// the aggregator count and buffer size, the placement strategy carries over
+// unchanged (both paths share internal/cost), and domains are aligned and
+// stripe-cyclic as every tuned ROMIO configuration in the paper is. This is
+// how the autotuner's pick (internal/tune) reaches the baseline I/O path.
+func TunedHints(aggregators int, bufSize int64, strategy cost.Placement) Hints {
+	return Hints{
+		CBNodes:       aggregators,
+		CBBufferSize:  bufSize,
+		Strategy:      strategy,
+		AlignDomains:  true,
+		CyclicDomains: true,
+	}
+}
+
 // Hints mirror the ROMIO controls the paper tunes (cb_nodes,
 // cb_buffer_size, aggregator placement, data sieving).
 type Hints struct {

@@ -243,6 +243,51 @@ func (g *GPFS) reserve(now int64, node int, f *File, segs []Seg, read bool) int6
 	return t4
 }
 
+// EstimateFlush prices a single client stream analytically, mirroring
+// reserve's staged path: per-run marshaling, the per-op server overhead, and
+// the bytes through the slowest stage a lone stream sees (its bridge link).
+// Lock traffic is not charged — the autotuner targets the shared-lock,
+// aligned configurations where it vanishes. (The storage.FlushModel hook.)
+func (g *GPFS) EstimateFlush(opt FileOptions, bytes, runs int64, read bool) float64 {
+	if bytes <= 0 {
+		return sim.ToSeconds(g.cfg.PerOpOverhead)
+	}
+	ion := g.cfg.IONBandwidth
+	if read {
+		ion *= g.cfg.ReadFactor
+	}
+	rate := g.cfg.BridgeLinkBW
+	if ion < rate {
+		rate = ion
+	}
+	return sim.ToSeconds(runs*g.cfg.PerRunCost+g.cfg.PerOpOverhead) + float64(bytes)/rate
+}
+
+// AggregateBandwidth is the concurrent-flush ceiling for one shared file:
+// every Pset's bridge links and ION uplink in parallel, capped by the
+// per-file backend limit — the single-shared-file bound that motivates the
+// paper's file-per-Pset subfiling. (The storage.FlushModel hook.)
+func (g *GPFS) AggregateBandwidth(opt FileOptions, read bool) float64 {
+	psets := float64(g.topo.IONodes())
+	ion, file, back := g.cfg.IONBandwidth, g.cfg.FileBW, g.cfg.BackendBW
+	if read {
+		ion *= g.cfg.ReadFactor
+		file *= g.cfg.ReadFactor
+		back *= g.cfg.ReadFactor
+	}
+	agg := psets * 2 * g.cfg.BridgeLinkBW
+	for _, cap := range []float64{psets * ion, file, back} {
+		if cap < agg {
+			agg = cap
+		}
+	}
+	return agg
+}
+
+// AlignUnit is the GPFS block size regardless of options. (The
+// storage.FlushModel hook.)
+func (g *GPFS) AlignUnit(opt FileOptions) int64 { return g.cfg.BlockSize }
+
 func (g *GPFS) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
 	return blockingWrite(p, g.reserve(p.Now(), node, f, segs, false))

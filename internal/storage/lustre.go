@@ -245,6 +245,85 @@ func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) in
 	return cur
 }
 
+// resolveOpt applies the creation-time clamping to options that may not have
+// been resolved yet (the autotuner prices candidate files before creating
+// them).
+func (l *Lustre) resolveOpt(opt FileOptions) (count int, size int64) {
+	count, size = opt.StripeCount, opt.StripeSize
+	if count <= 0 {
+		count = l.cfg.DefaultStripeCount
+	}
+	if count > l.cfg.NumOST {
+		count = l.cfg.NumOST
+	}
+	if size <= 0 {
+		size = l.cfg.DefaultStripeSize
+	}
+	return count, size
+}
+
+// EstimateFlush prices a single client stream analytically, mirroring
+// reserve: per-run marshaling, LNET staging, then per OST object a stream
+// setup plus latency-bound serial RPCs. (The storage.FlushModel hook.)
+func (l *Lustre) EstimateFlush(opt FileOptions, bytes, runs int64, read bool) float64 {
+	if bytes <= 0 {
+		return sim.ToSeconds(l.cfg.RPCLatency)
+	}
+	count, size := l.resolveOpt(opt)
+	ostRate := l.cfg.OSTBandwidth
+	if read {
+		ostRate *= l.cfg.ReadFactor
+	}
+	stripes := (bytes + size - 1) / size
+	objects := stripes
+	if objects > int64(count) {
+		objects = int64(count) // reserve groups same-OST stripes into one chunk
+	}
+	perObject := (bytes + objects - 1) / objects
+	rpcs := (perObject + l.cfg.RPCSize - 1) / l.cfg.RPCSize
+	sec := sim.ToSeconds(runs*l.cfg.PerRunCost) + float64(bytes)/l.cfg.LNETBandwidth
+	sec += float64(objects) * (sim.ToSeconds(l.cfg.ObjectSetup) +
+		float64(perObject)/ostRate + float64(rpcs)*sim.ToSeconds(l.cfg.RPCLatency))
+	return sec
+}
+
+// AggregateBandwidth is the concurrent-flush ceiling for one file: its OSTs'
+// combined rate, capped by the LNET routers. (The storage.FlushModel hook.)
+func (l *Lustre) AggregateBandwidth(opt FileOptions, read bool) float64 {
+	count, _ := l.resolveOpt(opt)
+	ostRate := l.cfg.OSTBandwidth
+	if read {
+		ostRate *= l.cfg.ReadFactor
+	}
+	agg := float64(count) * ostRate
+	if lnet := float64(len(l.lnet)) * l.cfg.LNETBandwidth; lnet < agg {
+		agg = lnet
+	}
+	return agg
+}
+
+// AlignUnit is OptimalUnit for a file that need not exist yet. (The
+// storage.FlushModel hook.)
+func (l *Lustre) AlignUnit(opt FileOptions) int64 {
+	_, size := l.resolveOpt(opt)
+	return size
+}
+
+// RecommendStripe implements storage.StripeAdvisor: stripe size matches the
+// aggregation buffer 1:1 (the paper's Table I optimum — every flush is one
+// OST object, no super-stripe setup costs, no sub-stripe lock sharing) and
+// the file stripes across every OST it can keep busy.
+func (l *Lustre) RecommendStripe(totalBytes, bufSize int64, aggregators int) FileOptions {
+	if bufSize <= 0 {
+		bufSize = l.cfg.DefaultStripeSize
+	}
+	count := l.cfg.NumOST
+	if stripes := (totalBytes + bufSize - 1) / bufSize; stripes > 0 && stripes < int64(count) {
+		count = int(stripes)
+	}
+	return FileOptions{StripeCount: count, StripeSize: bufSize}
+}
+
 func (l *Lustre) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
 	return blockingWrite(p, l.reserve(p.Now(), node, f, segs, false))

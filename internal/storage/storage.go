@@ -18,6 +18,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tapioca/internal/sim"
@@ -184,6 +185,21 @@ func (n *NullFS) Create(name string, opt FileOptions) *File {
 func (n *NullFS) Lookup(name string) *File { return n.files[name] }
 
 func (n *NullFS) OptimalUnit(f *File) int64 { return 1 << 20 }
+
+// EstimateFlush prices the fixed per-op latency. (The storage.FlushModel
+// hook; NullFS has no bandwidth to model.)
+func (n *NullFS) EstimateFlush(opt FileOptions, bytes, runs int64, read bool) float64 {
+	return sim.ToSeconds(n.PerOp)
+}
+
+// AggregateBandwidth is unbounded: NullFS absorbs any concurrency. (The
+// storage.FlushModel hook.)
+func (n *NullFS) AggregateBandwidth(opt FileOptions, read bool) float64 {
+	return math.Inf(1)
+}
+
+// AlignUnit matches OptimalUnit. (The storage.FlushModel hook.)
+func (n *NullFS) AlignUnit(opt FileOptions) int64 { return 1 << 20 }
 
 func (n *NullFS) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)

@@ -1,0 +1,180 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"tapioca/internal/core"
+	"tapioca/internal/cost"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// predictor prices one candidate configuration analytically. It combines
+// three calibrated sources so a prediction and a live run agree on
+// structure, not just trend:
+//
+//   - the real declared-I/O planner (core.EstimatePlan) supplies partitions,
+//     rounds and per-round flush extents;
+//   - the §IV-B cost model (internal/cost) supplies the aggregation phase
+//     and runs the same election the live session would, so the predicted
+//     aggregator is the elected aggregator;
+//   - the storage system's FlushModel supplies single-stream flush time and
+//     the concurrency ceiling (falling back to the cost model's C2 uplink
+//     formula when a system has no hook).
+//
+// Rounds then compose exactly like the pipeline in internal/core: double
+// buffering overlaps round r's aggregation with round r-1's flush, the
+// single-buffer ablation serializes them.
+type predictor struct {
+	p          Platform
+	model      *cost.Model
+	fm         storage.FlushModel
+	all        [][]storage.Seg
+	totalBytes int64
+	nodes      []int // rank → compute node (the runtime's block mapping)
+	read       bool
+	latency    float64 // per-hop seconds
+}
+
+func newPredictor(p Platform, w workload.Pattern) *predictor {
+	if w.Ranks <= 0 {
+		panic("tune: workload declares no ranks")
+	}
+	if w.Ranks > p.Topo.Nodes()*p.RanksPerNode {
+		panic(fmt.Sprintf("tune: %d ranks exceed %d nodes × %d ranks/node",
+			w.Ranks, p.Topo.Nodes(), p.RanksPerNode))
+	}
+	dist := p.Dist
+	if dist == nil {
+		dist = topology.NewDistanceCache(p.Topo)
+	}
+	pr := &predictor{
+		p:       p,
+		model:   cost.MachineModel(dist, p.Sys),
+		fm:      storage.FlushModelOf(p.Sys),
+		all:     w.AllSegs(),
+		nodes:   make([]int, w.Ranks),
+		read:    w.Read,
+		latency: sim.ToSeconds(p.Topo.Latency()),
+	}
+	for r := range pr.nodes {
+		pr.nodes[r] = r / p.RanksPerNode
+	}
+	for _, segs := range pr.all {
+		pr.totalBytes += storage.TotalBytes(segs)
+	}
+	return pr
+}
+
+// alpha is the per-message control-plane cost of a fence or reduction step:
+// software overhead plus a typical route's hop latency.
+const softwareOverhead = 2e-6
+
+func (pr *predictor) alpha() float64 { return softwareOverhead + 5*pr.latency }
+
+// alignUnit resolves the file system's optimal write granularity for a
+// candidate file without creating it.
+func (pr *predictor) alignUnit(fopt storage.FileOptions) int64 {
+	if pr.fm != nil {
+		return pr.fm.AlignUnit(fopt)
+	}
+	return 0
+}
+
+// aggregationSeconds is the network cost of one partition's full aggregation
+// stream into the elected member — C1 for the flat election, the intra-node
+// pre-merge variant for two-level. The I/O term C2 is deliberately excluded:
+// the flush estimator prices the storage path.
+func (pr *predictor) aggregationSeconds(pl cost.Placement, members []cost.Member, win int) float64 {
+	if pl.Name() == cost.TwoLevel().Name() {
+		return pr.model.TwoLevelCost(members, win, 0)
+	}
+	return pr.model.AggregationCost(members, win)
+}
+
+// flushSeconds is one aggregator's single-stream time for one round's flush.
+func (pr *predictor) flushSeconds(fopt storage.FileOptions, bytes, runs int64, aggNode int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	if pr.fm != nil {
+		return pr.fm.EstimateFlush(fopt, bytes, runs, pr.read)
+	}
+	return pr.model.IOCost(aggNode, bytes)
+}
+
+// predict returns the estimated end-to-end seconds of the collective phase
+// under cfg/fopt, for both pipeline variants (double-buffered and the
+// single-buffer ablation) in one pass.
+func (pr *predictor) predict(cfg core.Config, fopt storage.FileOptions) (double, single float64) {
+	cfg.ApplyDefaults(len(pr.all))
+	est := core.EstimatePlan(pr.all, cfg, pr.alignUnit(fopt))
+	n := est.Rounds
+	if n == 0 {
+		return 0, 0
+	}
+
+	aggRound := make([]float64, n)    // slowest partition's aggregation per round
+	flushStream := make([]float64, n) // slowest single aggregator stream per round
+	flushBytes := make([]int64, n)    // system-wide payload per round
+	for pi := range est.Parts {
+		pe := &est.Parts[pi]
+		if pe.Bytes == 0 || pe.Rounds == 0 {
+			continue
+		}
+		members := make([]cost.Member, pe.Ranks)
+		for i := range members {
+			members[i] = cost.Member{Node: pr.nodes[pe.FirstRank+i], Bytes: pe.MemberBytes[i]}
+		}
+		win := cfg.Placement.Elect(&cost.Election{
+			Model:     pr.model,
+			Members:   members,
+			IOBytes:   pe.Bytes,
+			Partition: pi,
+		})
+		fence := 2 * math.Log2(float64(pe.Ranks)+1) * pr.alpha()
+		perRound := pr.aggregationSeconds(cfg.Placement, members, win)/float64(pe.Rounds) + fence
+		for r := 0; r < pe.Rounds; r++ {
+			if perRound > aggRound[r] {
+				aggRound[r] = perRound
+			}
+			if fs := pr.flushSeconds(fopt, pe.FlushBytes[r], pe.FlushRuns[r], members[win].Node); fs > flushStream[r] {
+				flushStream[r] = fs
+			}
+			flushBytes[r] += pe.FlushBytes[r]
+		}
+	}
+
+	// Concurrent streams cannot beat the system ceiling: a round's flush wall
+	// time is the slower of its slowest stream and the saturated rate.
+	aggBW := math.Inf(1)
+	if pr.fm != nil {
+		aggBW = pr.fm.AggregateBandwidth(fopt, pr.read)
+	}
+	flushRound := make([]float64, n)
+	for r := range flushRound {
+		flushRound[r] = flushStream[r]
+		if lim := float64(flushBytes[r]) / aggBW; lim > flushRound[r] {
+			flushRound[r] = lim
+		}
+	}
+
+	// Init: the plan collective and election, then the pipeline.
+	init := 4 * math.Log2(float64(len(pr.all))+1) * pr.alpha()
+	if cfg.ElectionOverhead > 0 {
+		init += sim.ToSeconds(cfg.ElectionOverhead)
+	}
+	double, single = init, init
+	double += aggRound[0]
+	for r := 1; r < n; r++ {
+		double += math.Max(aggRound[r], flushRound[r-1])
+	}
+	double += flushRound[n-1]
+	for r := 0; r < n; r++ {
+		single += aggRound[r] + flushRound[r]
+	}
+	return double, single
+}

@@ -1,0 +1,384 @@
+// Package tune is TAPIOCA's model-driven autotuner: given a machine's
+// topology and storage calibration plus a workload descriptor
+// (workload.Pattern), it searches the configuration space the paper tunes
+// by hand per platform (§V) — aggregator count, aggregation buffer size,
+// placement strategy, Lustre striping, and the pipelining mode — and
+// returns the configuration the cost model predicts fastest.
+//
+// The search is deterministic: a coarse grid over aggregator count × buffer
+// size × placement (striping follows each candidate through the storage
+// system's StripeAdvisor, and both pipeline variants are priced in every
+// pass), followed by local refinement around the best grid point. An
+// optional closed-loop mode re-grounds the model before the final pick:
+// the top candidates each run a short simulated probe (a few aggregation
+// rounds of the real workload), and each candidate's prediction is scaled
+// by its observed/predicted probe ratio — Kang et al.'s and TASIO's
+// measure-then-choose direction on top of the analytic model.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"tapioca/internal/core"
+	"tapioca/internal/cost"
+	"tapioca/internal/mpiio"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// Platform is the autotuner's read-only view of a machine. Nothing here is
+// mutated by a search: predictions price candidates arithmetically, and
+// probes (when enabled) run on fresh machines supplied by the Probe hook.
+type Platform struct {
+	// Topo is the machine's interconnect.
+	Topo topology.Topology
+	// Dist optionally shares the machine-wide memoized distance cache; a
+	// private cache is built when nil.
+	Dist *topology.DistanceCache
+	// Sys is the machine's storage system (its FlushModel / StripeAdvisor
+	// hooks calibrate the flush and striping terms when implemented).
+	Sys storage.System
+	// RanksPerNode is the job's rank→node density. Default 1.
+	RanksPerNode int
+	// Probe, when set, runs a short real simulation of workload w under the
+	// candidate configuration and returns the measured collective seconds.
+	// Required for the closed-loop mode (Options.Probes > 0).
+	Probe func(cfg core.Config, fopt storage.FileOptions, w workload.Pattern) float64
+}
+
+// Options tunes the search itself. The zero value is the recommended
+// pure-model search.
+type Options struct {
+	// Aggregators is an explicit aggregator-count grid; nil derives one
+	// from the rank count and the storage system's striping.
+	Aggregators []int
+	// BufferSizes is an explicit buffer-size grid; nil selects 2–32 MB in
+	// powers of two.
+	BufferSizes []int64
+	// Placements lists the election strategies to consider; nil selects
+	// topology-aware and two-level.
+	Placements []cost.Placement
+	// NoRefine restricts the search to the exact grid — what an exhaustive
+	// sweep over the same space evaluates, so ablations compare
+	// like-for-like.
+	NoRefine bool
+	// Probes enables the closed-loop mode: the top Probes candidates each
+	// run a short simulated probe and the final pick minimizes the
+	// probe-corrected prediction. Requires Platform.Probe.
+	Probes int
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Config      core.Config
+	FileOptions storage.FileOptions
+	// Predicted is the model's end-to-end estimate in seconds.
+	Predicted float64
+	// Probed is the measured seconds of the truncated probe run (0 when the
+	// candidate was not probed).
+	Probed float64
+	// Corrected is Predicted scaled by the probe's observed/predicted ratio
+	// (equal to Predicted when not probed).
+	Corrected float64
+}
+
+// Result is a completed search.
+type Result struct {
+	// Config, FileOptions and Hints are the winning configuration for the
+	// TAPIOCA path, file creation, and the MPI-IO baseline respectively.
+	Config      core.Config
+	FileOptions storage.FileOptions
+	Hints       mpiio.Hints
+	// Predicted is the winner's (probe-corrected, in closed-loop mode)
+	// end-to-end estimate in seconds.
+	Predicted float64
+	// Calibration is the winner's observed/predicted probe ratio (1 in
+	// pure-model mode).
+	Calibration float64
+	// Evaluated counts scored candidates; Candidates lists them ranked
+	// best-first.
+	Evaluated  int
+	Candidates []Candidate
+}
+
+// probeRounds is how many aggregation rounds a closed-loop probe simulates.
+const probeRounds = 3
+
+// Autotune searches the configuration space for workload w on platform p
+// and returns the predicted-fastest configuration. Deterministic: the same
+// inputs always produce the same pick.
+func Autotune(p Platform, w workload.Pattern, opt Options) Result {
+	if p.RanksPerNode <= 0 {
+		p.RanksPerNode = 1
+	}
+	pr := newPredictor(p, w)
+	advisor := storage.StripeAdvisorOf(p.Sys)
+
+	aggGrid := opt.Aggregators
+	if len(aggGrid) == 0 {
+		aggGrid = defaultAggregators(w.Ranks, advisor, pr.totalBytes)
+	}
+	bufGrid := opt.BufferSizes
+	if len(bufGrid) == 0 {
+		bufGrid = []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
+	}
+	placements := opt.Placements
+	if len(placements) == 0 {
+		placements = []cost.Placement{cost.TopologyAware(), cost.TwoLevel()}
+	}
+
+	s := &search{p: p, pr: pr, advisor: advisor, seen: map[string]bool{}}
+	for _, a := range aggGrid {
+		for _, b := range bufGrid {
+			for _, pl := range placements {
+				s.evaluate(a, b, pl)
+			}
+		}
+	}
+	if len(s.cands) == 0 {
+		panic(fmt.Sprintf("tune: no valid candidates in search space (aggregators %v, buffers %v)", aggGrid, bufGrid))
+	}
+	s.rank()
+
+	// Local refinement: probe the geometric neighborhood of the best grid
+	// point along each axis, twice, keeping the winner's placement.
+	if !opt.NoRefine {
+		for iter := 0; iter < 2; iter++ {
+			best := s.cands[0]
+			a, b := best.Config.Aggregators, best.Config.BufferSize
+			for _, na := range neighborInts(a, aggGrid) {
+				s.evaluate(na, b, best.Config.Placement)
+			}
+			for _, nb := range neighborSizes(b, bufGrid) {
+				s.evaluate(a, nb, best.Config.Placement)
+			}
+			s.rank()
+		}
+	}
+
+	// Closed loop: re-ground the top candidates with short probe rounds.
+	if opt.Probes > 0 && p.Probe != nil {
+		s.probe(w, opt.Probes)
+		s.rank()
+	}
+
+	best := s.cands[0]
+	// The ratio actually applied to the winner: its own probe's ratio, the
+	// mean probe ratio when it went unprobed, or 1 in pure-model mode.
+	calibration := 1.0
+	if best.Predicted > 0 {
+		calibration = best.Corrected / best.Predicted
+	}
+	return Result{
+		Config:      best.Config,
+		FileOptions: best.FileOptions,
+		Hints:       mpiio.TunedHints(best.Config.Aggregators, best.Config.BufferSize, best.Config.Placement),
+		Predicted:   best.Corrected,
+		Calibration: calibration,
+		Evaluated:   len(s.cands),
+		Candidates:  s.cands,
+	}
+}
+
+// search accumulates scored candidates.
+type search struct {
+	p       Platform
+	pr      *predictor
+	advisor storage.StripeAdvisor
+	cands   []Candidate
+	seen    map[string]bool
+}
+
+// fileOptions derives the candidate's file-creation options: the storage
+// advisor couples striping to the aggregation configuration (stripe size =
+// buffer size, the Table I 1:1 optimum); systems without striping get
+// platform defaults.
+func (s *search) fileOptions(bufSize int64, aggregators int) storage.FileOptions {
+	if s.advisor == nil {
+		return storage.FileOptions{}
+	}
+	return s.advisor.RecommendStripe(s.pr.totalBytes, bufSize, aggregators)
+}
+
+func key(a int, b int64, pl cost.Placement) string {
+	return fmt.Sprintf("%d/%d/%s", a, b, pl.Name())
+}
+
+// evaluate scores one (aggregators, buffer, placement) point; both pipeline
+// variants come out of a single prediction pass.
+func (s *search) evaluate(a int, b int64, pl cost.Placement) {
+	if a < 1 || b < 1 {
+		return
+	}
+	if a > len(s.pr.all) {
+		a = len(s.pr.all)
+	}
+	k := key(a, b, pl)
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	fopt := s.fileOptions(b, a)
+	cfg := core.Config{Aggregators: a, BufferSize: b, Placement: pl}
+	double, single := s.pr.predict(cfg, fopt)
+	s.cands = append(s.cands, Candidate{Config: cfg, FileOptions: fopt, Predicted: double, Corrected: double})
+	scfg := cfg
+	scfg.SingleBuffer = true
+	s.cands = append(s.cands, Candidate{Config: scfg, FileOptions: fopt, Predicted: single, Corrected: single})
+}
+
+// rank orders candidates best-first, deterministically: corrected time, then
+// fewer aggregators, smaller buffers, double-buffered before single, and
+// placement name as the last resort.
+func (s *search) rank() {
+	sort.SliceStable(s.cands, func(i, j int) bool {
+		a, b := s.cands[i], s.cands[j]
+		if a.Corrected != b.Corrected {
+			return a.Corrected < b.Corrected
+		}
+		if a.Config.Aggregators != b.Config.Aggregators {
+			return a.Config.Aggregators < b.Config.Aggregators
+		}
+		if a.Config.BufferSize != b.Config.BufferSize {
+			return a.Config.BufferSize < b.Config.BufferSize
+		}
+		if a.Config.SingleBuffer != b.Config.SingleBuffer {
+			return !a.Config.SingleBuffer
+		}
+		return a.Config.Placement.Name() < b.Config.Placement.Name()
+	})
+}
+
+// probe runs the closed loop over the current top-k candidates: each runs a
+// truncated workload (≈probeRounds rounds per partition) on a fresh machine,
+// and its full prediction is rescaled by the observed/predicted ratio of the
+// probe. Mispriced candidates (an optimistic storage term, an underestimated
+// incast) are pulled back toward reality before the final pick.
+func (s *search) probe(w workload.Pattern, k int) {
+	if k > len(s.cands) {
+		k = len(s.cands)
+	}
+	var ratioSum float64
+	var probed int
+	for i := 0; i < k; i++ {
+		c := &s.cands[i]
+		perRank := probeRounds * c.Config.BufferSize * int64(c.Config.Aggregators) / int64(w.Ranks)
+		if perRank < 64<<10 {
+			perRank = 64 << 10
+		}
+		probeW := w.Truncate(perRank)
+		probePr := newPredictor(s.p, probeW)
+		predicted, predictedSingle := probePr.predict(c.Config, c.FileOptions)
+		if c.Config.SingleBuffer {
+			predicted = predictedSingle
+		}
+		measured := s.p.Probe(c.Config, c.FileOptions, probeW)
+		if predicted <= 0 || measured <= 0 {
+			continue
+		}
+		c.Probed = measured
+		c.Corrected = c.Predicted * (measured / predicted)
+		ratioSum += measured / predicted
+		probed++
+	}
+	// Unprobed candidates get the mean observed/predicted ratio, so a
+	// systematically optimistic model cannot hand the final pick to a
+	// candidate only because it escaped probing.
+	if probed > 0 {
+		mean := ratioSum / float64(probed)
+		for i := range s.cands {
+			if s.cands[i].Probed == 0 {
+				s.cands[i].Corrected = s.cands[i].Predicted * mean
+			}
+		}
+	}
+}
+
+// defaultAggregators derives the coarse aggregator grid: powers of two
+// across the plausible range, the library's own default (ranks/16), and the
+// storage advisor's stripe width with 1–8 aggregators per stripe (the
+// paper's 2–8-per-OST observation).
+func defaultAggregators(ranks int, advisor storage.StripeAdvisor, totalBytes int64) []int {
+	set := map[int]bool{}
+	add := func(a int) {
+		if a >= 1 && a <= ranks {
+			set[a] = true
+		}
+	}
+	lo := ranks / 1024
+	if lo < 4 {
+		lo = 4
+	}
+	for a := lo; a <= ranks/4; a *= 2 {
+		add(a)
+	}
+	add(ranks / 16)
+	if advisor != nil {
+		c := advisor.RecommendStripe(totalBytes, 8<<20, 0).StripeCount
+		for m := 1; m <= 8; m *= 2 {
+			add(m * c)
+		}
+	}
+	if len(set) == 0 {
+		add(1)
+	}
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// neighborInts proposes midpoints between v and its nearest grid neighbors
+// (the refinement step along the aggregator axis). A best point at either
+// edge of the grid refines inward only — refinement never leaves the
+// searched range.
+func neighborInts(v int, grid []int) []int {
+	below, above := 0, 0
+	for _, g := range grid {
+		if g < v && g > below {
+			below = g
+		}
+		if g > v && (above == 0 || g < above) {
+			above = g
+		}
+	}
+	var out []int
+	if below > 0 && (v+below)/2 != v {
+		out = append(out, (v+below)/2)
+	}
+	if above > 0 && (v+above)/2 != v {
+		out = append(out, (v+above)/2)
+	}
+	return out
+}
+
+// neighborSizes proposes midpoints along the buffer axis, rounded to 1 MB so
+// stripe-matched candidates stay sane.
+func neighborSizes(v int64, grid []int64) []int64 {
+	const mb = 1 << 20
+	var below, above int64 = 0, 1 << 62
+	for _, g := range grid {
+		if g < v && g > below {
+			below = g
+		}
+		if g > v && g < above {
+			above = g
+		}
+	}
+	var out []int64
+	if below > 0 {
+		if m := (v + below) / 2 / mb * mb; m >= mb && m != v {
+			out = append(out, m)
+		}
+	}
+	if above < 1<<62 {
+		if m := (v + above) / 2 / mb * mb; m >= mb && m != v {
+			out = append(out, m)
+		}
+	}
+	return out
+}

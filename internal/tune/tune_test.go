@@ -1,0 +1,258 @@
+package tune
+
+import (
+	"testing"
+
+	"tapioca/internal/core"
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// measureTheta runs one real collective phase of w on a fresh Theta-like
+// rig and returns the timed seconds — the ground truth predictions are
+// judged against.
+func measureTheta(nodes, rpn, osts int, cfg core.Config, fopt storage.FileOptions, w workload.Pattern) float64 {
+	topo := topology.ThetaDragonfly(nodes, topology.RouteMinimal)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: osts})
+	var t0, t1 int64
+	_, err := mpi.Run(mpi.Config{Ranks: w.Ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("f", fopt)
+		}
+		f = c.Bcast(0, 32, f).(*storage.File)
+		decl := w.Declared(c.Rank(), c.Size())
+		wr := core.New(c, sys, f, cfg)
+		c.Barrier()
+		if c.Rank() == 0 {
+			t0 = c.Now()
+		}
+		wr.Init(decl)
+		if w.Read {
+			wr.ReadAll()
+		} else {
+			wr.WriteAll()
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			t1 = c.Now()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return sim.ToSeconds(t1 - t0)
+}
+
+// thetaPlatform builds the tuner's view of the same rig, with a probe hook
+// running real truncated simulations.
+func thetaPlatform(nodes, rpn, osts int) Platform {
+	topo := topology.ThetaDragonfly(nodes, topology.RouteMinimal)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: osts})
+	return Platform{
+		Topo:         topo,
+		Dist:         fab.Distances(),
+		Sys:          sys,
+		RanksPerNode: rpn,
+		Probe: func(cfg core.Config, fopt storage.FileOptions, w workload.Pattern) float64 {
+			return measureTheta(nodes, rpn, osts, cfg, fopt, w)
+		},
+	}
+}
+
+func TestAutotuneDeterministic(t *testing.T) {
+	p := thetaPlatform(32, 4, 8)
+	w := workload.IOR(128, 1<<19)
+	a := Autotune(p, w, Options{})
+	b := Autotune(p, w, Options{})
+	if a.Config != b.Config || a.FileOptions != b.FileOptions || a.Predicted != b.Predicted {
+		t.Fatalf("non-deterministic pick: %+v vs %+v", a, b)
+	}
+	if a.Evaluated == 0 || len(a.Candidates) != a.Evaluated {
+		t.Fatalf("candidate accounting: evaluated %d, listed %d", a.Evaluated, len(a.Candidates))
+	}
+	for i := 1; i < len(a.Candidates); i++ {
+		if a.Candidates[i].Corrected < a.Candidates[i-1].Corrected {
+			t.Fatalf("candidates not ranked at %d", i)
+		}
+	}
+}
+
+func TestAutotunePicksSaneConfig(t *testing.T) {
+	p := thetaPlatform(32, 4, 8)
+	w := workload.IOR(128, 1<<19)
+	res := Autotune(p, w, Options{})
+	cfg := res.Config
+	if cfg.Aggregators < 1 || cfg.Aggregators > w.Ranks {
+		t.Fatalf("aggregators = %d", cfg.Aggregators)
+	}
+	if cfg.BufferSize < 1<<20 {
+		t.Fatalf("buffer = %d", cfg.BufferSize)
+	}
+	if cfg.SingleBuffer {
+		t.Fatal("picked the single-buffer ablation over the pipeline")
+	}
+	if res.FileOptions.StripeSize != cfg.BufferSize {
+		t.Fatalf("stripe %d not matched 1:1 to buffer %d (Table I)", res.FileOptions.StripeSize, cfg.BufferSize)
+	}
+	if res.Hints.CBNodes != cfg.Aggregators || res.Hints.CBBufferSize != cfg.BufferSize {
+		t.Fatalf("hints %+v do not mirror config %+v", res.Hints, cfg)
+	}
+	if res.Predicted <= 0 {
+		t.Fatalf("predicted = %v", res.Predicted)
+	}
+}
+
+// TestAutotuneBeatsDefaults is the tuner's reason to exist: the measured
+// time of the tuned configuration must not exceed the measured time of the
+// library defaults (default Config and platform-default striping).
+func TestAutotuneBeatsDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation comparison")
+	}
+	const nodes, rpn, osts = 64, 4, 8
+	w := workload.IOR(nodes*rpn, 1<<20)
+	res := Autotune(thetaPlatform(nodes, rpn, osts), w, Options{})
+	tuned := measureTheta(nodes, rpn, osts, res.Config, res.FileOptions, w)
+	def := measureTheta(nodes, rpn, osts, core.Config{}, storage.FileOptions{}, w)
+	if tuned > def {
+		t.Fatalf("tuned %.4fs slower than defaults %.4fs (picked %+v / %+v)",
+			tuned, def, res.Config, res.FileOptions)
+	}
+}
+
+// TestAutotuneWithinSweep holds the tuner to the acceptance bar: over an
+// explicit grid, the tuned configuration's measured time must be within 10%
+// of the best configuration an exhaustive simulated sweep of the same space
+// finds.
+func TestAutotuneWithinSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	const nodes, rpn, osts = 64, 4, 8
+	w := workload.IOR(nodes*rpn, 1<<20)
+	opt := Options{
+		Aggregators: []int{8, 16, 32, 64},
+		BufferSizes: []int64{2 << 20, 4 << 20, 8 << 20},
+		NoRefine:    true,
+	}
+	p := thetaPlatform(nodes, rpn, osts)
+	res := Autotune(p, w, opt)
+
+	advisor := storage.StripeAdvisorOf(p.Sys)
+	best := -1.0
+	for _, a := range opt.Aggregators {
+		for _, b := range opt.BufferSizes {
+			fopt := advisor.RecommendStripe(w.TotalBytes(), b, a)
+			sec := measureTheta(nodes, rpn, osts, core.Config{Aggregators: a, BufferSize: b}, fopt, w)
+			if best < 0 || sec < best {
+				best = sec
+			}
+		}
+	}
+	tuned := measureTheta(nodes, rpn, osts, res.Config, res.FileOptions, w)
+	if tuned > 1.10*best {
+		t.Fatalf("tuned %.4fs not within 10%% of sweep best %.4fs (picked %+v)", tuned, best, res.Config)
+	}
+}
+
+// TestClosedLoopProbes checks the probe mode: it must run, stay
+// deterministic, and record a calibration ratio for the winner.
+func TestClosedLoopProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe simulations")
+	}
+	p := thetaPlatform(32, 4, 8)
+	w := workload.IOR(128, 1<<20)
+	a := Autotune(p, w, Options{Probes: 3})
+	b := Autotune(p, w, Options{Probes: 3})
+	if a.Config != b.Config || a.Predicted != b.Predicted {
+		t.Fatalf("closed loop non-deterministic: %+v vs %+v", a.Config, b.Config)
+	}
+	if a.Calibration <= 0 {
+		t.Fatalf("calibration = %v", a.Calibration)
+	}
+	probed := 0
+	for _, c := range a.Candidates {
+		if c.Probed > 0 {
+			probed++
+		}
+	}
+	if probed == 0 {
+		t.Fatal("no candidate was probed")
+	}
+}
+
+// TestReadTuning exercises the read path end to end: a read workload tunes
+// and its configuration completes a measured read phase.
+func TestReadTuning(t *testing.T) {
+	p := thetaPlatform(32, 4, 8)
+	w := workload.IOR(128, 1<<19)
+	w.Read = true
+	res := Autotune(p, w, Options{})
+	if res.Predicted <= 0 {
+		t.Fatalf("predicted = %v", res.Predicted)
+	}
+	if testing.Short() {
+		return
+	}
+	if sec := measureTheta(32, 4, 8, res.Config, res.FileOptions, w); sec <= 0 {
+		t.Fatalf("measured read = %v", sec)
+	}
+}
+
+func TestTruncatePattern(t *testing.T) {
+	w := workload.HACC(8, 10_000, workload.AoS)
+	full := w.TotalBytes()
+	tr := w.Truncate(1 << 10)
+	got := tr.TotalBytes()
+	if got >= full || got == 0 {
+		t.Fatalf("truncated bytes = %d of %d", got, full)
+	}
+	// Truncation keeps at least one run per budget-exhausted rank and never
+	// grows a segment.
+	if got > 8*(2<<10) {
+		t.Fatalf("truncation overshot: %d", got)
+	}
+}
+
+func TestRefinementStaysInsideGrid(t *testing.T) {
+	// A best point at the top of the grid must refine inward only: the
+	// search never proposes aggregator counts outside the supplied space.
+	for _, v := range neighborInts(16, []int{8, 16}) {
+		if v < 8 || v > 16 {
+			t.Fatalf("refinement proposed %d outside grid [8,16]", v)
+		}
+	}
+	for _, v := range neighborInts(8, []int{8, 16}) {
+		if v < 8 || v > 16 {
+			t.Fatalf("refinement proposed %d outside grid [8,16]", v)
+		}
+	}
+	if got := neighborInts(8, []int{8}); len(got) != 0 {
+		t.Fatalf("single-point grid proposed %v", got)
+	}
+}
+
+func TestDefaultAggregatorGrid(t *testing.T) {
+	grid := defaultAggregators(2048, nil, 1<<31)
+	if len(grid) == 0 {
+		t.Fatal("empty grid")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not strictly ascending: %v", grid)
+		}
+	}
+	for _, a := range grid {
+		if a < 1 || a > 2048 {
+			t.Fatalf("out-of-range aggregator count %d", a)
+		}
+	}
+}

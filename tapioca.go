@@ -36,6 +36,8 @@ import (
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tune"
+	"tapioca/internal/workload"
 )
 
 // Seg describes a (possibly strided) file access pattern: Count runs of Len
@@ -148,12 +150,13 @@ func WithBurstBuffer(cfg storage.BurstBufferConfig) MachineOption {
 // Machines are single-use: each Run consumes fresh resource state, so build
 // a new Machine per measurement.
 type Machine struct {
-	name  string
-	topo  topology.Topology
-	fab   *netsim.Fabric
-	sys   storage.System
-	burst *storage.BurstBuffer // non-nil with WithBurstBuffer
-	nodes int
+	name    string
+	topo    topology.Topology
+	fab     *netsim.Fabric
+	sys     storage.System
+	burst   *storage.BurstBuffer // non-nil with WithBurstBuffer
+	nodes   int
+	rebuild func() *Machine // fresh identical machine (autotune probes)
 }
 
 // Mira builds a Mira-like IBM BG/Q + GPFS machine with the given compute
@@ -178,6 +181,7 @@ func Mira(nodes int, opts ...MachineOption) *Machine {
 		m.burst = storage.NewBurstBuffer(m.sys, *mc.burst)
 		m.sys = m.burst
 	}
+	m.rebuild = func() *Machine { return Mira(nodes, opts...) }
 	return m
 }
 
@@ -200,6 +204,7 @@ func Theta(nodes int, opts ...MachineOption) *Machine {
 		m.burst = storage.NewBurstBuffer(m.sys, *mc.burst)
 		m.sys = m.burst
 	}
+	m.rebuild = func() *Machine { return Theta(nodes, opts...) }
 	return m
 }
 
@@ -342,4 +347,95 @@ func (x *Ctx) DrainBurstBuffer() float64 {
 		return x.Now()
 	}
 	return sim.ToSeconds(x.m.burst.Flush(x.c.Proc()))
+}
+
+// Workload is a portable workload descriptor for the autotuner: the
+// complete declared access pattern of a collective I/O phase (see
+// internal/workload.Pattern). Build one with IORWorkload/HACCWorkload or
+// fill the fields directly for custom patterns.
+type Workload = workload.Pattern
+
+// IORWorkload describes the IOR-style pattern: ranks ranks each writing
+// bytesPerRank contiguous bytes.
+func IORWorkload(ranks int, bytesPerRank int64) Workload {
+	return workload.IOR(ranks, bytesPerRank)
+}
+
+// HACCWorkload describes the HACC-IO checkpoint: 9 particle variables per
+// rank, array-of-structures when aos is true, structure-of-arrays otherwise.
+func HACCWorkload(ranks int, particles int64, aos bool) Workload {
+	layout := workload.SoA
+	if aos {
+		layout = workload.AoS
+	}
+	return workload.HACC(ranks, particles, layout)
+}
+
+// AutotuneOption customizes an Autotune search.
+type AutotuneOption func(*tune.Options)
+
+// WithProbes enables the closed-loop mode: the top n candidates each run a
+// short simulated probe (a few aggregation rounds of the real workload on a
+// fresh machine) and the final pick minimizes the probe-corrected
+// prediction.
+func WithProbes(n int) AutotuneOption {
+	return func(o *tune.Options) { o.Probes = n }
+}
+
+// Autotune picks a TAPIOCA configuration, file-creation options and
+// matching MPI-IO hints for running workload w on machine m, by searching
+// the space the paper tunes by hand per platform — aggregator count, buffer
+// size, placement, Lustre striping, and the pipelining mode — with the
+// §IV-B cost model plus the planner's round/flush estimators. The search is
+// deterministic and does not consume the machine: probes (WithProbes) run
+// on fresh identical machines.
+//
+// The workload's rank count must be a multiple of the machine's node count
+// (the rank→node mapping is block-wise, as in Run).
+func Autotune(m *Machine, w Workload, opts ...AutotuneOption) (Config, FileOptions, Hints) {
+	if w.Ranks <= 0 || w.Ranks%m.nodes != 0 {
+		panic(fmt.Sprintf("tapioca: Autotune workload has %d ranks, not a positive multiple of %d nodes", w.Ranks, m.nodes))
+	}
+	rpn := w.Ranks / m.nodes
+	var topt tune.Options
+	for _, o := range opts {
+		o(&topt)
+	}
+	p := tune.Platform{
+		Topo:         m.topo,
+		Dist:         m.fab.Distances(),
+		Sys:          m.sys,
+		RanksPerNode: rpn,
+	}
+	if topt.Probes > 0 {
+		p.Probe = func(cfg core.Config, fopt storage.FileOptions, pw Workload) float64 {
+			pm := m.rebuild()
+			var t0, t1 float64
+			_, err := pm.Run(rpn, func(ctx *Ctx) {
+				f := ctx.CreateFile("autotune-probe", fopt)
+				wr := ctx.Tapioca(f, cfg)
+				decl := pw.Declared(ctx.Rank(), ctx.Size())
+				ctx.Barrier()
+				if ctx.Rank() == 0 {
+					t0 = ctx.Now()
+				}
+				wr.Init(decl)
+				if pw.Read {
+					wr.ReadAll()
+				} else {
+					wr.WriteAll()
+				}
+				ctx.Barrier()
+				if ctx.Rank() == 0 {
+					t1 = ctx.Now()
+				}
+			})
+			if err != nil {
+				panic(fmt.Sprintf("tapioca: autotune probe failed: %v", err))
+			}
+			return t1 - t0
+		}
+	}
+	res := tune.Autotune(p, w, topt)
+	return res.Config, res.FileOptions, res.Hints
 }

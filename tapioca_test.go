@@ -105,3 +105,44 @@ func TestStridedHelper(t *testing.T) {
 		t.Fatalf("seg = %+v", s)
 	}
 }
+
+func TestAutotunePublicAPI(t *testing.T) {
+	m := tapioca.Theta(32)
+	w := tapioca.IORWorkload(32*4, 1<<19)
+	cfg, fopt, hints := tapioca.Autotune(m, w)
+	cfg2, fopt2, _ := tapioca.Autotune(m, w)
+	if cfg != cfg2 || fopt != fopt2 {
+		t.Fatalf("non-deterministic pick: %+v/%+v vs %+v/%+v", cfg, fopt, cfg2, fopt2)
+	}
+	if cfg.Aggregators < 1 || cfg.BufferSize < 1 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if hints.CBNodes != cfg.Aggregators || hints.CBBufferSize != cfg.BufferSize {
+		t.Fatalf("hints %+v do not mirror config %+v", hints, cfg)
+	}
+	// Tuning must not consume the machine: the tuned configuration runs on
+	// the same instance afterwards.
+	rep, err := m.Run(4, func(ctx *tapioca.Ctx) {
+		f := ctx.CreateFile("tuned", fopt)
+		wr := ctx.Tapioca(f, cfg)
+		wr.Init(w.Declared(ctx.Rank(), ctx.Size()))
+		wr.WriteAll()
+		ctx.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestAutotuneWithProbes(t *testing.T) {
+	m := tapioca.Theta(16)
+	w := tapioca.HACCWorkload(16*2, 5000, true)
+	cfg, _, _ := tapioca.Autotune(m, w, tapioca.WithProbes(2))
+	cfg2, _, _ := tapioca.Autotune(m, w, tapioca.WithProbes(2))
+	if cfg != cfg2 {
+		t.Fatalf("closed loop non-deterministic: %+v vs %+v", cfg, cfg2)
+	}
+}
