@@ -9,8 +9,11 @@ package tapioca_test
 //	baseline_GBps  the MPI-IO (or untuned) comparison point
 //	speedup        their ratio — the paper's headline claim per figure
 //
-// Full-scale runs (the paper's node counts, up to 65,536 simulated ranks)
-// are available through cmd/tapiocabench -full.
+// Figure grids execute their independent cells on the bounded worker pool
+// (internal/par) by default, so ns/op here tracks the parallel wall clock;
+// BenchmarkFig10_MicroThetaSerial pins the serial reference. Full-scale runs
+// (the paper's node counts, up to 65,536 simulated ranks) are available
+// through cmd/tapiocabench -full.
 
 import (
 	"testing"
@@ -62,6 +65,16 @@ func BenchmarkFig09_MicroMira(b *testing.B) {
 // BenchmarkFig10_MicroTheta regenerates Fig. 10: the micro-benchmark on
 // Theta (paper: TAPIOCA ~2x at 3.6 MB/rank).
 func BenchmarkFig10_MicroTheta(b *testing.B) {
+	runFigure(b, expt.ByID("fig10"), 0, 1)
+}
+
+// BenchmarkFig10_MicroThetaSerial runs the same grid with the worker pool
+// disabled: the serial reference for the parallel runner's wall-clock win
+// (results are identical by construction — see TestParallelRunMatchesSerial
+// in internal/expt).
+func BenchmarkFig10_MicroThetaSerial(b *testing.B) {
+	expt.SetParallelism(1)
+	defer expt.SetParallelism(0)
 	runFigure(b, expt.ByID("fig10"), 0, 1)
 }
 

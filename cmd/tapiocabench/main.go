@@ -6,12 +6,16 @@
 //	tapiocabench -experiment fig10
 //	tapiocabench -experiment all -full -csv out/
 //	tapiocabench -experiment all -json results.json
+//	tapiocabench -experiment all -parallel=false   # serial reference run
 //
 // Without -full, experiments run at a reduced scale (≈1/4 the nodes, 4
 // ranks/node) that preserves the paper's shapes; -full uses the paper's node
-// counts (up to 65,536 simulated ranks — minutes per figure). -json writes
-// one machine-readable file covering every experiment run, so benchmark
-// trajectories can be tracked across changes.
+// counts (up to 65,536 simulated ranks). Each figure's independent grid
+// cells execute on a bounded worker pool by default (-parallel); results are
+// identical to the serial order. -json writes one machine-readable file
+// covering every experiment run — including per-figure wall-clock seconds,
+// so benchmark trajectories capture simulator speed, not just simulated
+// GB/s.
 package main
 
 import (
@@ -34,6 +38,7 @@ type jsonResult struct {
 	Rows           []jsonRow `json:"rows"`
 	Notes          []string  `json:"notes,omitempty"`
 	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	Workers        int       `json:"workers"`
 }
 
 type jsonRow struct {
@@ -48,8 +53,16 @@ func main() {
 		full     = flag.Bool("full", false, "run at the paper's full scale")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
+		parallel = flag.Bool("parallel", true, "run each figure's independent grid cells on a worker pool (identical results)")
+		workers  = flag.Int("workers", 0, "worker-pool width with -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *parallel {
+		expt.SetParallelism(*workers)
+	} else {
+		expt.SetParallelism(1)
+	}
 
 	if *list {
 		for _, s := range expt.All() {
@@ -76,7 +89,7 @@ func main() {
 		res := s.Run(*full)
 		elapsed := time.Since(start).Seconds()
 		fmt.Print(expt.Render(res))
-		fmt.Printf("(wall time %.1fs)\n\n", elapsed)
+		fmt.Printf("(wall time %.1fs, %d workers)\n\n", elapsed, expt.Parallelism())
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -96,6 +109,7 @@ func main() {
 				Labels:         res.Labels,
 				Notes:          res.Notes,
 				ElapsedSeconds: elapsed,
+				Workers:        expt.Parallelism(),
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})

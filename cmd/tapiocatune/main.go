@@ -9,8 +9,10 @@
 //	tapiocatune -workload ior -probes 3 -verify
 //
 // -probes enables the closed-loop mode (short simulated probe rounds
-// re-ground the model before the final pick); -verify additionally runs the
-// tuned and default configurations end to end and reports both bandwidths.
+// re-ground the model before the final pick); the probes are independent
+// simulations and run on a bounded worker pool by default (-parallel).
+// -verify additionally runs the tuned and default configurations end to end
+// and reports both bandwidths.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"tapioca"
+	"tapioca/internal/par"
 )
 
 func main() {
@@ -31,9 +34,14 @@ func main() {
 		particles = flag.Int64("particles", 25000, "particles per rank (hacc)")
 		read      = flag.Bool("read", false, "tune a collective read instead of a write")
 		probes    = flag.Int("probes", 0, "closed-loop probe count (0 = pure model)")
+		parallel  = flag.Bool("parallel", true, "run closed-loop probes on a worker pool (identical pick)")
 		verify    = flag.Bool("verify", false, "run tuned vs default end to end")
 	)
 	flag.Parse()
+
+	if !*parallel {
+		par.SetLimit(1)
+	}
 
 	build := func() *tapioca.Machine {
 		if *machine == "mira" {

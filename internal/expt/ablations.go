@@ -30,51 +30,49 @@ func AblationPlacement(full bool) Result {
 		XLabel: "MB/rank(avg)",
 		Labels: []string{"TopologyAware", "RankOrder", "Random", "Worst", "TwoLevel"},
 	}
-	for _, mb := range []float64{1, 2} {
-		base := int64(mb * (1 << 20) / 2)
-		row := Row{X: mb}
-		for _, placement := range []cost.Placement{
-			core.PlacementTopologyAware, core.PlacementRankOrder,
-			core.PlacementRandom, core.PlacementWorst,
-			core.PlacementTwoLevel,
-		} {
-			r := miraRig(nodes, rpn, storage.LockShared)
-			// Isolate the aggregation phase: an infinitely fast storage
-			// tier exposes what placement does to the network phase
-			// (end-to-end, the storage path hides it — see the note).
-			r.sys = storage.NewNullFS()
-			j := ioJob{
-				r:       r,
-				subfile: true,
-				cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, Placement: placement},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					// The second half of each partition's ranks carries 3x
-					// the data of the first half (mean: 2x base).
-					size := base
-					if rank%(ranks/16) >= ranks/32 {
-						size = 3 * base
-					}
-					// Offsets: prefix layout is rank-dependent; compute the
-					// start of this rank's block.
-					var off int64
-					per := ranks / 16
-					half := per / 2
-					blockOf := func(rk int) int64 {
-						if rk%per >= half {
-							return 3 * base
-						}
-						return base
-					}
-					for i := 0; i < rank; i++ {
-						off += blockOf(i)
-					}
-					return [][]storage.Seg{{storage.Contig(off, size)}}
-				},
-			}
-			row.Values = append(row.Values, mustIO(j, methodTapioca))
-		}
-		res.Rows = append(res.Rows, row)
+	placements := []cost.Placement{
+		core.PlacementTopologyAware, core.PlacementRankOrder,
+		core.PlacementRandom, core.PlacementWorst,
+		core.PlacementTwoLevel,
 	}
+	mbs := []float64{1, 2}
+	res.Rows = runGrid(mbs, len(placements), func(row, col int) float64 {
+		base := int64(mbs[row] * (1 << 20) / 2)
+		r := miraRig(nodes, rpn, storage.LockShared)
+		// Isolate the aggregation phase: an infinitely fast storage
+		// tier exposes what placement does to the network phase
+		// (end-to-end, the storage path hides it — see the note).
+		r.sys = storage.NewNullFS()
+		j := ioJob{
+			r:       r,
+			subfile: true,
+			cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, Placement: placements[col]},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				// The second half of each partition's ranks carries 3x
+				// the data of the first half (mean: 2x base).
+				size := base
+				if rank%(ranks/16) >= ranks/32 {
+					size = 3 * base
+				}
+				// Offsets: prefix layout is rank-dependent; compute the
+				// start of this rank's block.
+				var off int64
+				per := ranks / 16
+				half := per / 2
+				blockOf := func(rk int) int64 {
+					if rk%per >= half {
+						return 3 * base
+					}
+					return base
+				}
+				for i := 0; i < rank; i++ {
+					off += blockOf(i)
+				}
+				return [][]storage.Seg{{storage.Contig(off, size)}}
+			},
+		}
+		return mustIO(j, methodTapioca)
+	})
 	res.Notes = append(res.Notes,
 		"aggregation phase isolated with a null storage tier; end-to-end, the storage path dominates and placement deltas shrink below 2%")
 	return res
@@ -96,29 +94,27 @@ func AblationMPIIOPlacement(full bool) Result {
 		XLabel: "MB/rank",
 		Labels: []string{"RankOrder", "NodeSpread", "TopologyAware", "TwoLevel"},
 	}
-	for _, mb := range []float64{1, 2} {
-		size := int64(mb * (1 << 20))
-		row := Row{X: mb}
-		for _, strategy := range []cost.Placement{
-			mpiio.AggrRankOrder, mpiio.AggrNodeSpread,
-			mpiio.AggrTopologyAware, mpiio.AggrTwoLevel,
-		} {
-			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
-			j := ioJob{
-				r:       r,
-				fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
-				hints: mpiio.Hints{
-					CBNodes: cb, CBBufferSize: 8 << 20,
-					Strategy: strategy, AlignDomains: true, CyclicDomains: true,
-				},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, size)}
-				},
-			}
-			row.Values = append(row.Values, mustIO(j, methodMPIIO))
-		}
-		res.Rows = append(res.Rows, row)
+	strategies := []cost.Placement{
+		mpiio.AggrRankOrder, mpiio.AggrNodeSpread,
+		mpiio.AggrTopologyAware, mpiio.AggrTwoLevel,
 	}
+	mbs := []float64{1, 2}
+	res.Rows = runGrid(mbs, len(strategies), func(row, col int) float64 {
+		size := int64(mbs[row] * (1 << 20))
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+			hints: mpiio.Hints{
+				CBNodes: cb, CBBufferSize: 8 << 20,
+				Strategy: strategies[col], AlignDomains: true, CyclicDomains: true,
+			},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		return mustIO(j, methodMPIIO)
+	})
 	res.Notes = append(res.Notes,
 		"rank order funnels every aggregator onto the first nodes (NIC incast); the cost-model strategies spread elections across blocks and minimize hop distance")
 	return res
@@ -138,36 +134,28 @@ func AblationPipeline(full bool) Result {
 		Labels: []string{"DoubleBuffer", "SingleBuffer"},
 	}
 	size := int64(2 << 20)
-	// Theta.
-	row := Row{X: 0}
-	for _, single := range []bool{false, true} {
-		r := thetaRig(nodesT, rpn, topology.RouteMinimal, osts)
-		j := ioJob{
-			r:       r,
-			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
-			cfg:     core.Config{Aggregators: osts, BufferSize: 8 << 20, SingleBuffer: single},
-			declared: func(rank, ranks int) [][]storage.Seg {
-				return [][]storage.Seg{workload.IORSegs(rank, size)}
-			},
-		}
-		row.Values = append(row.Values, mustIO(j, methodTapioca))
+	declared := func(rank, ranks int) [][]storage.Seg {
+		return [][]storage.Seg{workload.IORSegs(rank, size)}
 	}
-	res.Rows = append(res.Rows, row)
-	// Mira.
-	row = Row{X: 1}
-	for _, single := range []bool{false, true} {
-		r := miraRig(nodesM, rpn, storage.LockShared)
-		j := ioJob{
-			r:       r,
-			subfile: true,
-			cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, SingleBuffer: single},
-			declared: func(rank, ranks int) [][]storage.Seg {
-				return [][]storage.Seg{workload.IORSegs(rank, size)}
-			},
+	res.Rows = runGrid([]float64{0, 1}, 2, func(row, col int) float64 {
+		single := col == 1
+		var j ioJob
+		if row == 0 { // Theta
+			j = ioJob{
+				r:       thetaRig(nodesT, rpn, topology.RouteMinimal, osts),
+				fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
+				cfg:     core.Config{Aggregators: osts, BufferSize: 8 << 20, SingleBuffer: single},
+			}
+		} else { // Mira
+			j = ioJob{
+				r:       miraRig(nodesM, rpn, storage.LockShared),
+				subfile: true,
+				cfg:     core.Config{Aggregators: 16, BufferSize: 16 << 20, SingleBuffer: single},
+			}
 		}
-		row.Values = append(row.Values, mustIO(j, methodTapioca))
-	}
-	res.Rows = append(res.Rows, row)
+		j.declared = declared
+		return mustIO(j, methodTapioca)
+	})
 	return res
 }
 
@@ -185,45 +173,47 @@ func AblationDeclared(full bool) Result {
 		XLabel: "MB/rank",
 		Labels: []string{"Declared(1 Init)", "PerCall(9 Inits)"},
 	}
-	for _, particles := range []int64{25000, 100000} {
-		mb := float64(particles*workload.ParticleBytes) / (1 << 20)
-		row := Row{X: mb}
-		for _, perCall := range []bool{false, true} {
-			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
-			var totalBytes int64
-			elapsed, err := r.run(func(c *mpi.Comm, tm *timer) {
-				decl := workload.HACCDeclared(c.Rank(), c.Size(), particles, workload.AoS)
-				var mine int64
+	particlesList := []int64{25000, 100000}
+	xs := make([]float64, len(particlesList))
+	for i, particles := range particlesList {
+		xs[i] = float64(particles*workload.ParticleBytes) / (1 << 20)
+	}
+	res.Rows = runGrid(xs, 2, func(row, col int) float64 {
+		particles := particlesList[row]
+		perCall := col == 1
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		var totalBytes int64
+		elapsed, err := r.run(func(c *mpi.Comm, tm *timer) {
+			decl := workload.HACCDeclared(c.Rank(), c.Size(), particles, workload.AoS)
+			var mine int64
+			for _, segs := range decl {
+				mine += storage.TotalBytes(segs)
+			}
+			sum := c.AllreduceI64(mpi.OpSum, mine)
+			if c.Rank() == 0 {
+				totalBytes = sum
+			}
+			f := openShared(c, r.sys, "hacc", storage.FileOptions{StripeCount: osts, StripeSize: 16 << 20})
+			cfg := core.Config{Aggregators: aggr, BufferSize: 16 << 20}
+			tm.Start(c)
+			if perCall {
 				for _, segs := range decl {
-					mine += storage.TotalBytes(segs)
-				}
-				sum := c.AllreduceI64(mpi.OpSum, mine)
-				if c.Rank() == 0 {
-					totalBytes = sum
-				}
-				f := openShared(c, r.sys, "hacc", storage.FileOptions{StripeCount: osts, StripeSize: 16 << 20})
-				cfg := core.Config{Aggregators: aggr, BufferSize: 16 << 20}
-				tm.Start(c)
-				if perCall {
-					for _, segs := range decl {
-						w := core.New(c, r.sys, f, cfg)
-						w.Init([][]storage.Seg{segs})
-						w.WriteAll()
-					}
-				} else {
 					w := core.New(c, r.sys, f, cfg)
-					w.Init(decl)
+					w.Init([][]storage.Seg{segs})
 					w.WriteAll()
 				}
-				tm.Stop(c)
-			})
-			if err != nil {
-				panic(err)
+			} else {
+				w := core.New(c, r.sys, f, cfg)
+				w.Init(decl)
+				w.WriteAll()
 			}
-			row.Values = append(row.Values, gbps(totalBytes, elapsed))
+			tm.Stop(c)
+		})
+		if err != nil {
+			panic(err)
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return gbps(totalBytes, elapsed)
+	})
 	res.Notes = append(res.Notes,
 		"per-call sessions flush partially-filled, sparse buffers — the paper's Fig. 2 pathology")
 	return res
@@ -243,21 +233,28 @@ func AblationAggregators(full bool) Result {
 		Labels: []string{"TAPIOCA"},
 	}
 	size := int64(1 << 20)
+	var counts []int
 	for _, aggr := range []int{12, 24, 48, 96, 192, 384} {
-		if aggr > nodes*rpn {
-			continue
+		if aggr <= nodes*rpn {
+			counts = append(counts, aggr)
 		}
+	}
+	xs := make([]float64, len(counts))
+	for i, aggr := range counts {
+		xs[i] = float64(aggr)
+	}
+	res.Rows = runGrid(xs, 1, func(row, _ int) float64 {
 		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
 		j := ioJob{
 			r:       r,
 			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20},
-			cfg:     core.Config{Aggregators: aggr, BufferSize: 8 << 20},
+			cfg:     core.Config{Aggregators: counts[row], BufferSize: 8 << 20},
 			declared: func(rank, ranks int) [][]storage.Seg {
 				return [][]storage.Seg{workload.IORSegs(rank, size)}
 			},
 		}
-		res.Rows = append(res.Rows, Row{X: float64(aggr), Values: []float64{mustIO(j, methodTapioca)}})
-	}
+		return mustIO(j, methodTapioca)
+	})
 	return res
 }
 
@@ -304,17 +301,33 @@ func AblationAutotune(full bool) Result {
 		return mustIO(j, methodTapioca)
 	}
 
-	defGB := measure(core.Config{}, storage.FileOptions{})
-	tunedGB := measure(res.Config, res.FileOptions)
+	// The default, tuned and every sweep configuration are independent
+	// simulations: measure them all on the worker pool, then pick the sweep
+	// winner from the index-ordered values (first-best, as the serial loop).
 	advisor := storage.StripeAdvisorOf(r.sys)
-	var sweepGB float64
-	var sweepCfg core.Config
+	type cell struct {
+		cfg  core.Config
+		fopt storage.FileOptions
+	}
+	cells := []cell{
+		{core.Config{}, storage.FileOptions{}},
+		{res.Config, res.FileOptions},
+	}
 	for _, a := range aggs {
 		for _, b := range bufs {
 			cfg := core.Config{Aggregators: a, BufferSize: b}
-			if gb := measure(cfg, advisor.RecommendStripe(w.TotalBytes(), b, a)); gb > sweepGB {
-				sweepGB, sweepCfg = gb, cfg
-			}
+			cells = append(cells, cell{cfg, advisor.RecommendStripe(w.TotalBytes(), b, a)})
+		}
+	}
+	vals := runCells(len(cells), func(i int) float64 {
+		return measure(cells[i].cfg, cells[i].fopt)
+	})
+	defGB, tunedGB := vals[0], vals[1]
+	var sweepGB float64
+	var sweepCfg core.Config
+	for i, gb := range vals[2:] {
+		if gb > sweepGB {
+			sweepGB, sweepCfg = gb, cells[i+2].cfg
 		}
 	}
 
@@ -349,10 +362,10 @@ func AblationContention(full bool) Result {
 		Labels: []string{"PerLink", "EndpointOnly"},
 	}
 	size := int64(2 << 20)
-	row := Row{X: 2}
-	for _, mode := range []int{netsim.ContentionLinks, netsim.ContentionEndpoint} {
+	modes := []int{netsim.ContentionLinks, netsim.ContentionEndpoint}
+	res.Rows = runGrid([]float64{2}, len(modes), func(_, col int) float64 {
 		topo := topology.ThetaDragonfly(nodes, topology.RouteMinimal)
-		fab := netsim.New(topo, netsim.Config{Contention: mode})
+		fab := netsim.New(topo, netsim.Config{Contention: modes[col]})
 		sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: osts})
 		r := &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
 		j := ioJob{
@@ -363,8 +376,7 @@ func AblationContention(full bool) Result {
 				return [][]storage.Seg{workload.IORSegs(rank, size)}
 			},
 		}
-		row.Values = append(row.Values, mustIO(j, methodTapioca))
-	}
-	res.Rows = append(res.Rows, row)
+		return mustIO(j, methodTapioca)
+	})
 	return res
 }

@@ -15,6 +15,7 @@ import (
 
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
+	"tapioca/internal/par"
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
@@ -75,6 +76,39 @@ func ByID(id string) *Spec {
 		}
 	}
 	return nil
+}
+
+// SetParallelism bounds the worker pool every Spec.Run uses for its grid
+// cells (and that the autotuner uses for closed-loop probes): n = 1 forces
+// serial execution, n <= 0 restores the default (GOMAXPROCS). Each cell is
+// an independent simulation on a fresh platform, and rows are assembled by
+// index, so results are identical at any setting.
+func SetParallelism(n int) { par.SetLimit(n) }
+
+// Parallelism returns the effective grid worker-pool width.
+func Parallelism() int { return par.Limit() }
+
+// runGrid evaluates a uniform rows×cols grid of independent measurement
+// cells — one fresh simulated platform each — on the bounded worker pool and
+// assembles the rows by index, byte-identical to the serial loop order.
+func runGrid(xs []float64, cols int, cell func(row, col int) float64) []Row {
+	rows := make([]Row, len(xs))
+	for i, x := range xs {
+		rows[i] = Row{X: x, Values: make([]float64, cols)}
+	}
+	par.Map(len(xs)*cols, func(i int) {
+		rows[i/cols].Values[i%cols] = cell(i/cols, i%cols)
+	})
+	return rows
+}
+
+// runCells evaluates n independent cells on the worker pool, returning the
+// values in cell-index order (the flat variant of runGrid, for experiments
+// whose cells do not form a rectangle).
+func runCells(n int, cell func(i int) float64) []float64 {
+	out := make([]float64, n)
+	par.Map(n, func(i int) { out[i] = cell(i) })
+	return out
 }
 
 // rig is a fresh simulated platform for one measurement.

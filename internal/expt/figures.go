@@ -133,38 +133,36 @@ func Fig7(full bool) Result {
 		XLabel: "MB/rank",
 		Labels: []string{"Optimized-Read", "Optimized-Write", "Baseline-Read", "Baseline-Write"},
 	}
-	for _, mb := range iorSizesMB {
-		size := int64(mb * (1 << 20))
-		row := Row{X: mb}
-		for _, variant := range []struct {
-			lockMode int
-			align    bool
-			read     bool
-		}{
-			{storage.LockShared, true, true},
-			{storage.LockShared, true, false},
-			{storage.LockExclusive, false, true},
-			{storage.LockExclusive, false, false},
-		} {
-			r := miraRig(nodes, rpn, variant.lockMode)
-			j := ioJob{
-				r:       r,
-				subfile: true,
-				hints: mpiio.Hints{
-					CBNodes:      16,
-					CBBufferSize: 16 << 20,
-					Strategy:     mpiio.AggrBridgeFirst,
-					AlignDomains: variant.align,
-				},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, size)}
-				},
-				read: variant.read,
-			}
-			row.Values = append(row.Values, mustIO(j, methodMPIIO))
-		}
-		res.Rows = append(res.Rows, row)
+	variants := []struct {
+		lockMode int
+		align    bool
+		read     bool
+	}{
+		{storage.LockShared, true, true},
+		{storage.LockShared, true, false},
+		{storage.LockExclusive, false, true},
+		{storage.LockExclusive, false, false},
 	}
+	res.Rows = runGrid(iorSizesMB, len(variants), func(row, col int) float64 {
+		size := int64(iorSizesMB[row] * (1 << 20))
+		variant := variants[col]
+		r := miraRig(nodes, rpn, variant.lockMode)
+		j := ioJob{
+			r:       r,
+			subfile: true,
+			hints: mpiio.Hints{
+				CBNodes:      16,
+				CBBufferSize: 16 << 20,
+				Strategy:     mpiio.AggrBridgeFirst,
+				AlignDomains: variant.align,
+			},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+			read: variant.read,
+		}
+		return mustIO(j, methodMPIIO)
+	})
 	res.Notes = append(res.Notes,
 		"paper: optimized read +13%, optimized write ~3x baseline at 4 MB")
 	return res
@@ -184,35 +182,33 @@ func Fig8(full bool) Result {
 		XLabel: "MB/rank",
 		Labels: []string{"Optimized-Read", "Optimized-Write", "Baseline-Read", "Baseline-Write"},
 	}
-	for _, mb := range iorSizesMB {
-		size := int64(mb * (1 << 20))
-		row := Row{X: mb}
-		for _, variant := range []struct {
-			optimized bool
-			read      bool
-		}{{true, true}, {true, false}, {false, true}, {false, false}} {
-			routing := topology.RouteValiant
-			fileOpt := storage.FileOptions{} // platform defaults: 1 OST, 1 MB
-			hints := mpiio.Hints{CBNodes: nodes, CBBufferSize: 16 << 20, Strategy: mpiio.AggrNodeSpread}
-			if variant.optimized {
-				routing = topology.RouteMinimal
-				fileOpt = storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20}
-				hints = mpiio.Hints{CBNodes: cb, CBBufferSize: 8 << 20, Strategy: mpiio.AggrNodeSpread, AlignDomains: true, CyclicDomains: true}
-			}
-			r := thetaRig(nodes, rpn, routing, osts)
-			j := ioJob{
-				r:       r,
-				fileOpt: fileOpt,
-				hints:   hints,
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, size)}
-				},
-				read: variant.read,
-			}
-			row.Values = append(row.Values, mustIO(j, methodMPIIO))
+	variants := []struct {
+		optimized bool
+		read      bool
+	}{{true, true}, {true, false}, {false, true}, {false, false}}
+	res.Rows = runGrid(iorSizesMB, len(variants), func(row, col int) float64 {
+		size := int64(iorSizesMB[row] * (1 << 20))
+		variant := variants[col]
+		routing := topology.RouteValiant
+		fileOpt := storage.FileOptions{} // platform defaults: 1 OST, 1 MB
+		hints := mpiio.Hints{CBNodes: nodes, CBBufferSize: 16 << 20, Strategy: mpiio.AggrNodeSpread}
+		if variant.optimized {
+			routing = topology.RouteMinimal
+			fileOpt = storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20}
+			hints = mpiio.Hints{CBNodes: cb, CBBufferSize: 8 << 20, Strategy: mpiio.AggrNodeSpread, AlignDomains: true, CyclicDomains: true}
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		r := thetaRig(nodes, rpn, routing, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: fileOpt,
+			hints:   hints,
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+			read: variant.read,
+		}
+		return mustIO(j, methodMPIIO)
+	})
 	res.Notes = append(res.Notes,
 		"paper: baseline read ~0.8 GB/s -> optimized ~36; baseline write ~0.2 -> ~10 (log-scale figure)")
 	return res
@@ -230,27 +226,24 @@ func Fig9(full bool) Result {
 		XLabel: "MB/rank",
 		Labels: []string{"TAPIOCA", "MPI-IO"},
 	}
-	for _, mb := range microSizesMB {
-		size := int64(mb * (1 << 20))
-		row := Row{X: mb}
-		for _, method := range []int{methodTapioca, methodMPIIO} {
-			r := miraRig(nodes, rpn, storage.LockShared)
-			j := ioJob{
-				r:       r,
-				subfile: true,
-				hints: mpiio.Hints{
-					CBNodes: 16, CBBufferSize: 16 << 20,
-					Strategy: mpiio.AggrBridgeFirst, AlignDomains: true,
-				},
-				cfg: core.Config{Aggregators: 32, BufferSize: 32 << 20},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, size)}
-				},
-			}
-			row.Values = append(row.Values, mustIO(j, method))
+	methods := []int{methodTapioca, methodMPIIO}
+	res.Rows = runGrid(microSizesMB, len(methods), func(row, col int) float64 {
+		size := int64(microSizesMB[row] * (1 << 20))
+		r := miraRig(nodes, rpn, storage.LockShared)
+		j := ioJob{
+			r:       r,
+			subfile: true,
+			hints: mpiio.Hints{
+				CBNodes: 16, CBBufferSize: 16 << 20,
+				Strategy: mpiio.AggrBridgeFirst, AlignDomains: true,
+			},
+			cfg: core.Config{Aggregators: 32, BufferSize: 32 << 20},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return mustIO(j, methods[col])
+	})
 	res.Notes = append(res.Notes, "paper: both methods similar on Mira (Fig. 9)")
 	return res
 }
@@ -270,27 +263,24 @@ func Fig10(full bool) Result {
 		Labels: []string{"TAPIOCA", "MPI-IO"},
 	}
 	fileOpt := storage.FileOptions{StripeCount: osts, StripeSize: 8 << 20}
-	for _, mb := range microSizesMB {
-		size := int64(mb * (1 << 20))
-		row := Row{X: mb}
-		for _, method := range []int{methodTapioca, methodMPIIO} {
-			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
-			j := ioJob{
-				r:       r,
-				fileOpt: fileOpt,
-				hints: mpiio.Hints{
-					CBNodes: cb, CBBufferSize: 8 << 20,
-					Strategy: mpiio.AggrNodeSpread, AlignDomains: true, CyclicDomains: true,
-				},
-				cfg: core.Config{Aggregators: aggr, BufferSize: 8 << 20},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, size)}
-				},
-			}
-			row.Values = append(row.Values, mustIO(j, method))
+	methods := []int{methodTapioca, methodMPIIO}
+	res.Rows = runGrid(microSizesMB, len(methods), func(row, col int) float64 {
+		size := int64(microSizesMB[row] * (1 << 20))
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: fileOpt,
+			hints: mpiio.Hints{
+				CBNodes: cb, CBBufferSize: 8 << 20,
+				Strategy: mpiio.AggrNodeSpread, AlignDomains: true, CyclicDomains: true,
+			},
+			cfg: core.Config{Aggregators: aggr, BufferSize: 8 << 20},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return mustIO(j, methods[col])
+	})
 	res.Notes = append(res.Notes, "paper: TAPIOCA ~2x MPI-IO at 3.6 MB/rank (Fig. 10)")
 	return res
 }
@@ -318,20 +308,25 @@ func Table1(full bool) Result {
 	}
 	const sizePerRank = 1 << 20
 	buffers := []int64{4 << 20, 8 << 20, 16 << 20}
-	for _, ratio := range ratios {
+	vals := runCells(len(ratios)*len(buffers), func(i int) float64 {
+		ratio := ratios[i/len(buffers)]
+		buf := buffers[i%len(buffers)]
+		stripe := buf * ratio.den / ratio.num
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		j := ioJob{
+			r:       r,
+			fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: stripe},
+			cfg:     core.Config{Aggregators: aggr, BufferSize: buf},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, sizePerRank)}
+			},
+		}
+		return mustIO(j, methodTapioca)
+	})
+	for ri, ratio := range ratios {
 		var sum float64
-		for _, buf := range buffers {
-			stripe := buf * ratio.den / ratio.num
-			r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
-			j := ioJob{
-				r:       r,
-				fileOpt: storage.FileOptions{StripeCount: osts, StripeSize: stripe},
-				cfg:     core.Config{Aggregators: aggr, BufferSize: buf},
-				declared: func(rank, ranks int) [][]storage.Seg {
-					return [][]storage.Seg{workload.IORSegs(rank, sizePerRank)}
-				},
-			}
-			sum += mustIO(j, methodTapioca)
+		for bi := range buffers {
+			sum += vals[ri*len(buffers)+bi]
 		}
 		res.Rows = append(res.Rows, Row{
 			X:      float64(ratio.num) / float64(ratio.den),
@@ -351,21 +346,21 @@ func haccResult(id, title string, particlesList []int64, run func(layout int, pa
 		XLabel: "MB/rank",
 		Labels: []string{"TAPIOCA-AoS", "MPI-IO-AoS", "TAPIOCA-SoA", "MPI-IO-SoA"},
 	}
-	for _, particles := range particlesList {
-		mb := float64(particles*workload.ParticleBytes) / (1 << 20)
-		row := Row{X: mb}
-		for _, cell := range []struct {
-			layout, method int
-		}{
-			{workload.AoS, methodTapioca},
-			{workload.AoS, methodMPIIO},
-			{workload.SoA, methodTapioca},
-			{workload.SoA, methodMPIIO},
-		} {
-			row.Values = append(row.Values, run(cell.layout, particles, cell.method))
-		}
-		res.Rows = append(res.Rows, row)
+	cells := []struct {
+		layout, method int
+	}{
+		{workload.AoS, methodTapioca},
+		{workload.AoS, methodMPIIO},
+		{workload.SoA, methodTapioca},
+		{workload.SoA, methodMPIIO},
 	}
+	xs := make([]float64, len(particlesList))
+	for i, particles := range particlesList {
+		xs[i] = float64(particles*workload.ParticleBytes) / (1 << 20)
+	}
+	res.Rows = runGrid(xs, len(cells), func(row, col int) float64 {
+		return run(cells[col].layout, particlesList[row], cells[col].method)
+	})
 	return res
 }
 

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelRunMatchesSerial is the grid runner's determinism contract:
+// for every registered experiment, running the grid on the worker pool
+// produces output deep-equal to the serial order. Cells are independent
+// simulations assembled by index, so any divergence is a real isolation bug
+// (shared mutable state leaking between engines). Under the race detector
+// (~10-20x slower simulations) the matrix trims itself to a representative
+// subset so race CI finishes inside go test's default timeout; the full
+// matrix runs in every non-race pass.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	defer SetParallelism(0)
+	raceSubset := map[string]bool{"fig10": true, "table1": true, "abl-contention": true}
+	for _, s := range All() {
+		s := s
+		if raceEnabled && !raceSubset[s.ID] {
+			continue
+		}
+		t.Run(s.ID, func(t *testing.T) {
+			SetParallelism(1)
+			serial := s.Run(false)
+			SetParallelism(8)
+			parallel := s.Run(false)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("parallel run diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestWorkerPoolRaceExercise runs one small grid with a wide pool so even
+// -short -race runs drive concurrent engines through the worker pool.
+func TestWorkerPoolRaceExercise(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	res := AblationContention(false)
+	if len(res.Rows) != 1 || len(res.Rows[0].Values) != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	for i, v := range res.Rows[0].Values {
+		if v <= 0 {
+			t.Fatalf("cell %d returned %v GB/s", i, v)
+		}
+	}
+}
+
+// TestSetParallelismRoundTrip pins the knob the -parallel flag drives.
+func TestSetParallelismRoundTrip(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

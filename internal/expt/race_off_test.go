@@ -1,0 +1,6 @@
+//go:build !race
+
+package expt
+
+// raceEnabled reports whether the binary carries the race detector.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package expt
+
+// raceEnabled reports that this binary was built with the race detector,
+// which slows simulations ~10-20x; heavyweight matrix tests subset
+// themselves so race CI stays inside go test's default timeout.
+const raceEnabled = true

@@ -13,10 +13,14 @@ func simMessage(arrival, key, bytes int64, payload any) sim.Message {
 	return sim.Message{Arrival: arrival, Key: key, Bytes: bytes, Payload: payload}
 }
 
-// collState accumulates one in-flight collective on a communicator.
+// collState accumulates one in-flight collective on a communicator. States
+// are recycled through commShared.collFree: a reference count tracks how
+// many ranks still need to read the shared result, and the last reader
+// resets the state for reuse — steady-state collectives allocate nothing.
 type collState struct {
 	kind     string
 	arrived  int
+	refs     int
 	maxT     int64
 	contribs []any
 	waiters  []*sim.Proc
@@ -32,7 +36,15 @@ type collState struct {
 func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, maxT int64) (any, int64)) any {
 	s := c.s
 	if s.coll == nil {
-		s.coll = &collState{kind: kind, contribs: make([]any, c.Size())}
+		st := s.collFree
+		if st != nil {
+			s.collFree = nil
+			st.kind = kind
+		} else {
+			st = &collState{kind: kind, contribs: make([]any, c.Size())}
+		}
+		st.refs = c.Size()
+		s.coll = st
 	}
 	st := s.coll
 	if st.kind != kind {
@@ -45,8 +57,10 @@ func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, 
 	}
 	if st.arrived < c.Size() {
 		st.waiters = append(st.waiters, c.p)
-		c.p.Park("collective " + kind)
-		return st.result
+		c.p.Park(kind)
+		res := st.result
+		s.recycleColl(st)
+		return res
 	}
 	// Last arriver: compute, reset comm state for the next collective,
 	// release everyone at the common time.
@@ -59,7 +73,35 @@ func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, 
 		c.p.Engine().Unpark(w, st.release)
 	}
 	c.p.HoldUntil(st.release)
-	return st.result
+	res := st.result
+	s.recycleColl(st)
+	return res
+}
+
+// recycleColl releases one rank's reference on a finished collective state;
+// the last reference clears the state (dropping payload references) and
+// parks it for reuse. The comm may already be running its next collective
+// on a fresh state by then — the free slot only holds one spare.
+func (s *commShared) recycleColl(st *collState) {
+	st.refs--
+	if st.refs > 0 {
+		return
+	}
+	for i := range st.contribs {
+		st.contribs[i] = nil
+	}
+	for i := range st.waiters {
+		st.waiters[i] = nil
+	}
+	st.waiters = st.waiters[:0]
+	st.kind = ""
+	st.arrived = 0
+	st.maxT = 0
+	st.result = nil
+	st.release = 0
+	if s.collFree == nil {
+		s.collFree = st
+	}
 }
 
 // Collective runs a user-defined collective operation: every rank's contrib

@@ -149,12 +149,13 @@ func (w *World) NodeOf(rank int) int { return w.nodeOf[rank] }
 
 // commShared is the per-communicator state shared by all member handles.
 type commShared struct {
-	w      *World
-	id     int
-	ranks  []int // comm rank → world rank
-	boxes  []*sim.Mailbox
-	coll   *collState
-	member []*Comm // comm rank → handle
+	w        *World
+	id       int
+	ranks    []int // comm rank → world rank
+	boxes    []*sim.Mailbox
+	coll     *collState
+	collFree *collState // recycled state for the next collective
+	member   []*Comm    // comm rank → handle
 }
 
 func (w *World) newCommShared(worldRanks []int) *commShared {

@@ -168,22 +168,24 @@ func (fh *File) Storage() *storage.File { return fh.f }
 // aggregators.
 func (fh *File) Aggregators() []int { return append([]int(nil), fh.aggrs...) }
 
-// chooseAggregators picks the collective-buffering aggregator set.
-// Strategies implementing cost.SetStrategy (the classic ROMIO heuristics)
-// select the whole set locally — cheap and identical on every rank. The
-// rest run one cost-model election per contiguous rank block; those scan
-// every candidate, so rank 0 computes the set once and broadcasts it.
+// chooseAggregators picks the collective-buffering aggregator set. Every
+// strategy — the classic ROMIO heuristics (cost.SetStrategy) and the
+// cost-model elections alike — is deterministic and communicator-wide, so
+// rank 0 computes the set once and broadcasts it: recomputing the O(P)
+// selection on all P ranks would cost O(P²) work per open, and the Bcast's
+// virtual time lands at open, outside every experiment's timed phase (real
+// ROMIO likewise exchanges hints collectively at open).
 func chooseAggregators(c *mpi.Comm, h Hints, sys storage.System) []int {
-	if ss, ok := h.Strategy.(cost.SetStrategy); ok {
-		return ss.SelectSet(&cost.SetElection{
-			Nodes:  rankNodes(c),
-			Want:   h.CBNodes,
-			Bridge: bridgeFn(c),
-		})
-	}
 	res := c.Bcast(0, int64(8*h.CBNodes), func() any {
 		if c.Rank() != 0 {
 			return nil
+		}
+		if ss, ok := h.Strategy.(cost.SetStrategy); ok {
+			return ss.SelectSet(&cost.SetElection{
+				Nodes:  rankNodes(c),
+				Want:   h.CBNodes,
+				Bridge: bridgeFn(c),
+			})
 		}
 		return electAggregators(c, h, sys)
 	}())

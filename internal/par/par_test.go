@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, lim := range []int{0, 1, 3, 64} {
+		SetLimit(lim)
+		const n = 257
+		counts := make([]atomic.Int32, n)
+		Map(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("limit %d: index %d ran %d times", lim, i, c)
+			}
+		}
+	}
+	SetLimit(0)
+}
+
+func TestMapEmpty(t *testing.T) {
+	Map(0, func(int) { t.Fatal("called") })
+	Map(-5, func(int) { t.Fatal("called") })
+}
+
+func TestMapPanicIsLowestIndex(t *testing.T) {
+	for _, lim := range []int{1, 4} {
+		SetLimit(lim)
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			Map(16, func(i int) {
+				if i == 3 || i == 11 {
+					panic(i)
+				}
+			})
+			return nil
+		}()
+		if got != 3 {
+			t.Fatalf("limit %d: recovered %v, want 3 (lowest panicking index)", lim, got)
+		}
+	}
+	SetLimit(0)
+}
+
+func TestSetLimitClamps(t *testing.T) {
+	SetLimit(-7)
+	if Limit() <= 0 {
+		t.Fatalf("Limit() = %d, want positive default", Limit())
+	}
+	SetLimit(2)
+	if Limit() != 2 {
+		t.Fatalf("Limit() = %d, want 2", Limit())
+	}
+	SetLimit(0)
+}

@@ -175,6 +175,12 @@ func (r *GapResource) addGap(s, e int64) {
 }
 
 func (r *GapResource) insertGap(g gapInterval) {
+	if r.gaps == nil {
+		// One allocation for the resource's lifetime: the list is capped at
+		// maxGaps, and overflow below shifts in place rather than re-slicing
+		// (which would bleed capacity and re-allocate on later inserts).
+		r.gaps = make([]gapInterval, 0, maxGaps+1)
+	}
 	// Keep sorted by start; drop the oldest when over capacity.
 	pos := len(r.gaps)
 	for i, x := range r.gaps {
@@ -187,6 +193,7 @@ func (r *GapResource) insertGap(g gapInterval) {
 	copy(r.gaps[pos+1:], r.gaps[pos:])
 	r.gaps[pos] = g
 	if len(r.gaps) > maxGaps {
-		r.gaps = r.gaps[1:]
+		copy(r.gaps, r.gaps[1:])
+		r.gaps = r.gaps[:maxGaps]
 	}
 }

@@ -16,14 +16,21 @@
 // runnable procs. Procs therefore can never observe effects "from the
 // future".
 //
+// Scheduling is built for throughput: the run queue is a concrete 4-ary
+// min-heap over *Proc (no interface boxing), a proc that is still strictly
+// earliest after advancing its clock keeps running without any context
+// switch (the same-proc fast path), and when a switch is needed the yielding
+// proc resumes its successor directly — the engine goroutine is only woken
+// when the run queue empties or an error needs adjudication, so the steady
+// state pays one channel handoff per switch instead of two plus an engine
+// round-trip.
+//
 // Virtual time is int64 nanoseconds.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Handy duration constants in virtual nanoseconds.
@@ -63,8 +70,7 @@ func (abortError) Error() string { return "sim: proc aborted by engine shutdown"
 type procState int
 
 const (
-	stateNew procState = iota
-	stateRunnable
+	stateRunnable procState = iota
 	stateRunning
 	stateParked
 	stateFinished
@@ -72,8 +78,6 @@ const (
 
 func (s procState) String() string {
 	switch s {
-	case stateNew:
-		return "new"
 	case stateRunnable:
 		return "runnable"
 	case stateRunning:
@@ -89,6 +93,10 @@ func (s procState) String() string {
 // Proc is a simulated process. A Proc handle is only valid inside the
 // goroutine the engine created for it; procs communicate through engine
 // primitives, never by calling methods on each other's handles.
+//
+// The same struct doubles as a recycled timer node (timerEv != nil): timers
+// ride the run queue like procs but fire inline in whichever goroutine
+// dispatches them, with no goroutine or channel behind them.
 type Proc struct {
 	eng  *Engine
 	id   int
@@ -103,9 +111,18 @@ type Proc struct {
 	fn     func(*Proc)
 
 	heapIndex int // position in the engine run queue, -1 if absent
+
+	// Timer-node fields (goroutine-less run-queue entries).
+	timerEv   *Event // event to complete when dispatched
+	timerNext *Proc  // engine free list
+
+	// mailw is the proc's reusable mailbox-waiter node: a proc parks while
+	// receiving, so it never needs more than one.
+	mailw mailWaiter
 }
 
-// ID returns the proc's unique id (dense, in spawn order).
+// ID returns the proc's unique id (strictly increasing in spawn order;
+// internal timers share the same sequence, so ids are not dense).
 func (p *Proc) ID() int { return p.id }
 
 // Name returns the proc's diagnostic name.
@@ -120,20 +137,27 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Engine coordinates a set of procs over a shared virtual clock. The zero
 // value is not usable; call NewEngine.
 type Engine struct {
-	procs []*Proc
-	runq  procHeap
-	clock int64
-	live  int
-	err   error
+	procs  []*Proc
+	runq   runQueue
+	clock  int64
+	live   int
+	nextID int
+	err    error
 
-	yield   chan struct{}
+	// wake is the engine goroutine's adjudication signal: a proc sends on it
+	// when the run queue empties or a terminal error needs handling. Buffered
+	// so the engine's own empty-queue dispatch cannot self-deadlock; at most
+	// one wake is ever outstanding (a single goroutine runs at a time).
+	wake    chan struct{}
 	running bool
 	started bool
+
+	timerFree *Proc // recycled timer nodes
 }
 
 // NewEngine returns an empty engine ready for Spawn and Run.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{wake: make(chan struct{}, 1)}
 }
 
 // Now returns the engine's clock: the largest virtual time any proc has
@@ -152,21 +176,21 @@ func (e *Engine) NumProcs() int { return len(e.procs) }
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
 		eng:       e,
-		id:        len(e.procs),
+		id:        e.nextID,
 		name:      name,
 		fn:        fn,
-		state:     stateNew,
+		state:     stateRunnable,
 		resume:    make(chan struct{}),
 		heapIndex: -1,
 	}
+	e.nextID++
 	if e.started {
 		p.now = e.clock
 	}
 	e.procs = append(e.procs, p)
 	e.live++
 	go p.run()
-	p.state = stateRunnable
-	heap.Push(&e.runq, p)
+	e.runq.push(p)
 	return p
 }
 
@@ -181,8 +205,15 @@ func (p *Proc) run() {
 			}
 		}
 		p.state = stateFinished
-		p.eng.live--
-		p.eng.yield <- struct{}{}
+		e := p.eng
+		e.live--
+		if e.err != nil || p.aborted {
+			// Terminal condition: the engine adjudicates (error propagation
+			// or drain); do not hand control to another proc.
+			e.wake <- struct{}{}
+			return
+		}
+		e.dispatch(nil)
 	}()
 	if p.aborted {
 		return
@@ -202,17 +233,12 @@ func (e *Engine) Run() error {
 	e.started = true
 	defer func() { e.running = false }()
 
-	for e.err == nil {
-		if e.runq.Len() == 0 {
-			break
-		}
-		p := heap.Pop(&e.runq).(*Proc)
-		if p.now > e.clock {
-			e.clock = p.now
-		}
-		p.state = stateRunning
-		p.resume <- struct{}{}
-		<-e.yield
+	// Dispatch the earliest entry and sleep until the chain of direct
+	// proc-to-proc handoffs needs adjudication: the queue drained (normal
+	// completion or deadlock) or a proc recorded a terminal error.
+	for e.err == nil && e.runq.len() > 0 {
+		e.dispatch(nil)
+		<-e.wake
 	}
 
 	if e.err == nil && e.live > 0 {
@@ -222,22 +248,113 @@ func (e *Engine) Run() error {
 	return e.err
 }
 
-// deadlockError builds a diagnostic listing every parked proc.
-func (e *Engine) deadlockError() error {
-	var stuck []string
-	for _, p := range e.procs {
-		if p.state == stateParked || p.state == stateRunnable || p.state == stateNew {
-			reason := p.parkReason
-			if reason == "" {
-				reason = "(no reason)"
-			}
-			stuck = append(stuck, fmt.Sprintf("proc %d (%s) at t=%d: %s", p.id, p.name, p.now, reason))
+// dispatch transfers control to the earliest pending run-queue entry. Timer
+// nodes fire inline (in the calling goroutine, which is acting as the
+// scheduler at the minimal virtual time) until a real proc surfaces; that
+// proc is then resumed directly. With nothing left to run, the engine
+// goroutine is woken to adjudicate.
+//
+// self is the calling proc (nil from the engine goroutine or a finishing
+// proc). An inline timer can unpark self mid-dispatch; when self then pops
+// as the earliest entry, dispatch returns true and the caller keeps running
+// instead of sending itself a resume it could never receive.
+func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
+	for {
+		next := e.runq.pop()
+		if next == nil {
+			e.wake <- struct{}{}
+			return false
 		}
+		if next.now > e.clock {
+			e.clock = next.now
+		}
+		if next.timerEv != nil {
+			ev, at := next.timerEv, next.now
+			e.freeTimer(next)
+			e.fireTimer(ev, at)
+			if e.err != nil {
+				// The completion panicked. Timers have no goroutine whose
+				// recover could catch it, so record it here and hand the
+				// terminal error to the engine to adjudicate.
+				e.wake <- struct{}{}
+				return false
+			}
+			continue
+		}
+		next.state = stateRunning
+		if next == self {
+			return true
+		}
+		next.resume <- struct{}{}
+		return false
 	}
-	sort.Strings(stuck)
+}
+
+// after arranges for ev to complete at virtual time at, via a recycled
+// goroutine-less timer node on the run queue. Callers guarantee causality
+// (at >= the running proc's time).
+func (e *Engine) after(at int64, ev *Event) {
+	t := e.timerFree
+	if t != nil {
+		e.timerFree = t.timerNext
+		t.timerNext = nil
+	} else {
+		t = &Proc{eng: e, heapIndex: -1}
+	}
+	t.id = e.nextID
+	e.nextID++
+	t.now = at
+	t.timerEv = ev
+	e.runq.push(t)
+}
+
+// freeTimer returns a fired timer node to the engine free list.
+func (e *Engine) freeTimer(t *Proc) {
+	t.timerEv = nil
+	t.timerNext = e.timerFree
+	e.timerFree = t
+}
+
+// fireTimer completes a timer's event, converting a panic (e.g. an event
+// completed twice) into the engine's terminal error — preserving the
+// contract that Run returns misbehavior as an error instead of crashing the
+// process, which proc goroutines get from run()'s recover.
+func (e *Engine) fireTimer(ev *Event, at int64) {
+	defer func() {
+		if r := recover(); r != nil && e.err == nil {
+			e.err = fmt.Errorf("sim: timer for event %q panicked at t=%d: %v", ev.name, at, r)
+		}
+	}()
+	ev.Complete(at)
+}
+
+// deadlockListMax caps the parked-proc listing in deadlock diagnostics: at
+// full scale a deadlock can strand tens of thousands of procs, and a
+// multi-megabyte error string helps nobody.
+const deadlockListMax = 32
+
+// deadlockError builds a diagnostic listing the stuck procs (in proc-id
+// order, capped at deadlockListMax entries).
+func (e *Engine) deadlockError() error {
 	msg := "sim: deadlock"
-	for _, s := range stuck {
-		msg += "\n  " + s
+	listed, stuck := 0, 0
+	for _, p := range e.procs {
+		if p.state == stateFinished || p.state == stateRunning {
+			continue
+		}
+		stuck++
+		if listed >= deadlockListMax {
+			continue
+		}
+		listed++
+		reason := p.parkReason
+		if reason == "" {
+			reason = "(no reason)"
+		}
+		msg += fmt.Sprintf("\n  proc %d (%s) at t=%d: %s", p.id, p.name, p.now, reason)
+	}
+	if rest := stuck - listed; rest > 0 {
+		msg += fmt.Sprintf("\n  ... and %d more stuck procs", rest)
 	}
 	return fmt.Errorf("%s", msg)
 }
@@ -250,28 +367,44 @@ func (e *Engine) drain() {
 		}
 		p.aborted = true
 		if p.heapIndex >= 0 {
-			heap.Remove(&e.runq, p.heapIndex)
+			e.runq.remove(p)
 		}
 		p.resume <- struct{}{}
-		<-e.yield
+		<-e.wake
 	}
+	e.runq.clear() // drop any remaining timer nodes
 }
 
-// yieldToEngine hands control back to the scheduler and blocks until the
-// engine resumes this proc. On resume it honors shutdown aborts.
-func (p *Proc) yieldToEngine() {
-	p.eng.yield <- struct{}{}
+// handoff enqueues nothing itself: it transfers control to the next pending
+// entry and blocks until this proc is resumed. On resume it honors shutdown
+// aborts. If an inline timer made this proc the earliest entry again, it
+// returns without ever blocking.
+func (p *Proc) handoff() {
+	if p.eng.dispatch(p) {
+		return
+	}
 	<-p.resume
 	if p.aborted {
 		panic(abortError{})
 	}
 }
 
-// requeue marks the proc runnable at its current time and yields.
-func (p *Proc) requeue() {
+// reschedule is the engine's scheduling point. If the proc is still strictly
+// earliest — the dominant case for Hold under skewed clocks — it simply
+// keeps running: no heap traffic, no channel ops, no goroutine switch. The
+// outcome is identical to re-enqueueing and being popped again immediately.
+// Otherwise the proc enqueues itself and resumes its successor directly.
+func (p *Proc) reschedule() {
+	e := p.eng
+	if top := e.runq.peek(); top == nil || procLess(p, top) {
+		if p.now > e.clock {
+			e.clock = p.now
+		}
+		return
+	}
 	p.state = stateRunnable
-	heap.Push(&p.eng.runq, p)
-	p.yieldToEngine()
+	e.runq.push(p)
+	p.handoff()
 	p.state = stateRunning
 }
 
@@ -282,7 +415,7 @@ func (p *Proc) Hold(d int64) {
 		panic(fmt.Sprintf("sim: Hold with negative duration %d", d))
 	}
 	p.now += d
-	p.requeue()
+	p.reschedule()
 }
 
 // HoldUntil advances the proc's virtual clock to time t, if t is in the
@@ -292,7 +425,7 @@ func (p *Proc) HoldUntil(t int64) {
 	if t > p.now {
 		p.now = t
 	}
-	p.requeue()
+	p.reschedule()
 }
 
 // Park blocks the proc until another proc calls Unpark on it. The reason
@@ -301,7 +434,7 @@ func (p *Proc) HoldUntil(t int64) {
 func (p *Proc) Park(reason string) {
 	p.state = stateParked
 	p.parkReason = reason
-	p.yieldToEngine()
+	p.handoff()
 	p.state = stateRunning
 	p.parkReason = ""
 }
@@ -318,35 +451,126 @@ func (e *Engine) Unpark(target *Proc, at int64) {
 		target.now = at
 	}
 	target.state = stateRunnable
-	heap.Push(&e.runq, target)
+	e.runq.push(target)
 }
 
-// procHeap is a min-heap over (now, id).
-type procHeap []*Proc
+// procLess is the scheduling order: (virtual time, proc id) ascending.
+func procLess(a, b *Proc) bool {
+	return a.now < b.now || (a.now == b.now && a.id < b.id)
+}
 
-func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
-	if h[i].now != h[j].now {
-		return h[i].now < h[j].now
+// runQueue is a concrete 4-ary min-heap over (now, id). A 4-ary layout
+// halves the tree depth of the binary heap and keeps siblings on one cache
+// line; the inlined procLess comparisons avoid the interface boxing of
+// container/heap.
+type runQueue struct {
+	s []*Proc
+}
+
+func (q *runQueue) len() int { return len(q.s) }
+
+// peek returns the earliest entry without removing it, or nil.
+func (q *runQueue) peek() *Proc {
+	if len(q.s) == 0 {
+		return nil
 	}
-	return h[i].id < h[j].id
+	return q.s[0]
 }
-func (h procHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
+
+func (q *runQueue) push(p *Proc) {
+	q.s = append(q.s, p)
+	p.heapIndex = len(q.s) - 1
+	q.siftUp(len(q.s) - 1)
 }
-func (h *procHeap) Push(x any) {
-	p := x.(*Proc)
-	p.heapIndex = len(*h)
-	*h = append(*h, p)
+
+func (q *runQueue) pop() *Proc {
+	n := len(q.s)
+	if n == 0 {
+		return nil
+	}
+	top := q.s[0]
+	top.heapIndex = -1
+	last := q.s[n-1]
+	q.s[n-1] = nil
+	q.s = q.s[:n-1]
+	if n > 1 {
+		q.s[0] = last
+		last.heapIndex = 0
+		q.siftDown(0)
+	}
+	return top
 }
-func (h *procHeap) Pop() any {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
+
+// remove deletes the entry at p's heap position (drain support).
+func (q *runQueue) remove(p *Proc) {
+	i := p.heapIndex
+	if i < 0 {
+		return
+	}
+	n := len(q.s)
 	p.heapIndex = -1
-	*h = old[:n-1]
-	return p
+	last := q.s[n-1]
+	q.s[n-1] = nil
+	q.s = q.s[:n-1]
+	if last == p {
+		return
+	}
+	q.s[i] = last
+	last.heapIndex = i
+	q.siftDown(i)
+	q.siftUp(last.heapIndex)
+}
+
+func (q *runQueue) clear() {
+	for i := range q.s {
+		q.s[i].heapIndex = -1
+		q.s[i] = nil
+	}
+	q.s = q.s[:0]
+}
+
+func (q *runQueue) siftUp(i int) {
+	p := q.s[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		pp := q.s[parent]
+		if !procLess(p, pp) {
+			break
+		}
+		q.s[i] = pp
+		pp.heapIndex = i
+		i = parent
+	}
+	q.s[i] = p
+	p.heapIndex = i
+}
+
+func (q *runQueue) siftDown(i int) {
+	p := q.s[i]
+	n := len(q.s)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		mp := q.s[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if procLess(q.s[c], mp) {
+				min, mp = c, q.s[c]
+			}
+		}
+		if !procLess(mp, p) {
+			break
+		}
+		q.s[i] = mp
+		mp.heapIndex = i
+		i = min
+	}
+	q.s[i] = p
+	p.heapIndex = i
 }

@@ -160,6 +160,97 @@ func TestDeadlockDrainsOtherProcs(t *testing.T) {
 	// not leaking (checked by -race and goroutine count stability in CI).
 }
 
+func TestDeadlockListingIsCapped(t *testing.T) {
+	// At full scale a deadlock can strand tens of thousands of procs; the
+	// diagnostic must list only the first deadlockListMax and summarize the
+	// rest instead of building a multi-megabyte string.
+	e := NewEngine()
+	const procs = 100
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("stuck%d", i), func(p *Proc) { p.Park("forever") })
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "proc 0 (stuck0)") {
+		t.Fatalf("missing head of listing: %v", msg)
+	}
+	want := fmt.Sprintf("and %d more stuck procs", procs-deadlockListMax)
+	if !strings.Contains(msg, want) {
+		t.Fatalf("listing not capped (%q missing): %v", want, msg)
+	}
+	if n := strings.Count(msg, "\n"); n > deadlockListMax+1 {
+		t.Fatalf("listing has %d lines, want <= %d", n, deadlockListMax+1)
+	}
+}
+
+func TestInlineTimerResumesOwnProc(t *testing.T) {
+	// A proc that parks while the only other run-queue entry is its own
+	// completion timer must be resumed inline by its own dispatch (the timer
+	// fires in the parking proc's goroutine and unparks it).
+	e := NewEngine()
+	var woke int64
+	e.Spawn("self", func(p *Proc) {
+		ev := NewEvent("io")
+		CompleteAt(p, ev, p.Now()+42)
+		woke = ev.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 42 {
+		t.Fatalf("woke at %d, want 42", woke)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("clock = %d, want 42", e.Now())
+	}
+}
+
+func TestTimersInterleaveWithProcsDeterministically(t *testing.T) {
+	// Timers ride the same run queue as procs: a timer armed for time t
+	// fires before any proc scheduled strictly later, and waiters resume at
+	// the timer's completion time.
+	e := NewEngine()
+	var order []string
+	ev := NewEvent("mid")
+	e.Spawn("waiter", func(p *Proc) {
+		CompleteAt(p, ev, 50)
+		ev.Wait(p)
+		order = append(order, fmt.Sprintf("waiter@%d", p.Now()))
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Hold(100)
+		order = append(order, fmt.Sprintf("late@%d", p.Now()))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"waiter@50", "late@100"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestDoubleTimerCompletionIsAnError(t *testing.T) {
+	// Two CompleteAt arms on one event: the second inline firing panics
+	// ("completed twice"), which must surface as Run's error — never as a
+	// process crash — even though timers have no goroutine recover.
+	e := NewEngine()
+	e.Spawn("armer", func(p *Proc) {
+		ev := NewEvent("dup")
+		CompleteAt(p, ev, p.Now()+5)
+		CompleteAt(p, ev, p.Now()+9)
+		p.Hold(100)
+	})
+	e.Spawn("bystander", func(p *Proc) { p.Hold(200) })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "completed twice") {
+		t.Fatalf("err = %v, want completed-twice diagnostic", err)
+	}
+}
+
 func TestProcPanicPropagates(t *testing.T) {
 	e := NewEngine()
 	e.Spawn("ok", func(p *Proc) { p.Hold(10) })

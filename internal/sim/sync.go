@@ -92,9 +92,11 @@ func (r *Resource) Use(p *Proc, bytes int64) int64 {
 // advance the clock to the completion time.
 type Event struct {
 	name    string
+	reason  string // lazily built park reason, computed once
 	done    bool
 	at      int64
 	waiters []*Proc
+	wbuf    [2]*Proc // inline storage: most events have 0–2 waiters
 }
 
 // NewEvent returns an incomplete event.
@@ -123,8 +125,9 @@ func (ev *Event) Complete(at int64) {
 	}
 	ev.done = true
 	ev.at = at
-	for _, w := range ev.waiters {
+	for i, w := range ev.waiters {
 		w.eng.Unpark(w, at)
+		ev.waiters[i] = nil
 	}
 	ev.waiters = nil
 }
@@ -133,8 +136,14 @@ func (ev *Event) Complete(at int64) {
 // completion time. It returns the completion time.
 func (ev *Event) Wait(p *Proc) int64 {
 	if !ev.done {
+		if ev.waiters == nil {
+			ev.waiters = ev.wbuf[:0]
+		}
 		ev.waiters = append(ev.waiters, p)
-		p.Park("waiting for event " + ev.name)
+		if ev.reason == "" {
+			ev.reason = "waiting for event " + ev.name
+		}
+		p.Park(ev.reason)
 	}
 	// Parked procs are woken at the completion time already; the HoldUntil
 	// covers the already-done path and is a harmless no-op otherwise.
@@ -145,15 +154,13 @@ func (ev *Event) Wait(p *Proc) int64 {
 // CompleteAt arranges for ev to complete at virtual time t (clamped to the
 // caller's current time if in the past). It backs non-blocking operations
 // whose completion time is known at issue, such as reservation-based
-// asynchronous I/O: a helper proc sleeps until t and fires the event.
+// asynchronous I/O. The completion rides a recycled engine timer node — no
+// helper goroutine is spawned.
 func CompleteAt(p *Proc, ev *Event, t int64) {
 	if t < p.Now() {
 		t = p.Now()
 	}
-	p.Engine().Spawn("timer:"+ev.name, func(tp *Proc) {
-		tp.HoldUntil(t)
-		ev.Complete(t)
-	})
+	p.Engine().after(t, ev)
 }
 
 // Barrier is a reusable synchronization point for a fixed set of procs: all
@@ -161,6 +168,7 @@ func CompleteAt(p *Proc, ev *Event, t int64) {
 // arrival time plus a configurable fan-in/fan-out cost.
 type Barrier struct {
 	name    string
+	reason  string
 	size    int
 	cost    func(maxArrival int64, n int) int64
 	arrived []*Proc
@@ -174,7 +182,7 @@ func NewBarrier(name string, size int, cost func(maxArrival int64, n int) int64)
 	if size <= 0 {
 		panic("sim: barrier size must be positive")
 	}
-	return &Barrier{name: name, size: size, cost: cost}
+	return &Barrier{name: name, reason: "barrier " + name, size: size, cost: cost}
 }
 
 // Wait enters the barrier and blocks until all participants have arrived.
@@ -192,16 +200,19 @@ func (b *Barrier) Wait(p *Proc) int64 {
 			}
 		}
 		waiters := b.arrived
-		b.arrived = nil
-		b.maxT = 0
-		for _, w := range waiters {
+		for i, w := range waiters {
 			w.eng.Unpark(w, release)
+			waiters[i] = nil
 		}
+		// Reuse the arrival list's backing for the next round: nobody
+		// re-enters Wait before this proc yields in HoldUntil below.
+		b.arrived = waiters[:0]
+		b.maxT = 0
 		p.HoldUntil(release)
 		return release
 	}
 	b.arrived = append(b.arrived, p)
-	p.Park("barrier " + b.name)
+	p.Park(b.reason)
 	return p.Now()
 }
 
@@ -211,6 +222,7 @@ func (b *Barrier) Wait(p *Proc) int64 {
 // is exactly what an MPI matching engine needs (source/tag wildcards).
 type Mailbox struct {
 	name     string
+	reason   string
 	messages []Message
 	waiters  []*mailWaiter
 }
@@ -223,6 +235,8 @@ type Message struct {
 	Payload any   // optional real data for correctness checks
 }
 
+// mailWaiter is a parked receiver. Each proc owns one reusable node
+// (Proc.mailw): a proc parks while receiving, so it can never need two.
 type mailWaiter struct {
 	p     *Proc
 	match func(Message) bool
@@ -231,7 +245,9 @@ type mailWaiter struct {
 }
 
 // NewMailbox returns an empty mailbox.
-func NewMailbox(name string) *Mailbox { return &Mailbox{name: name} }
+func NewMailbox(name string) *Mailbox {
+	return &Mailbox{name: name, reason: "recv on mailbox " + name}
+}
 
 // Pending returns the number of queued (undelivered) messages.
 func (mb *Mailbox) Pending() int { return len(mb.messages) }
@@ -242,7 +258,10 @@ func (mb *Mailbox) Pending() int { return len(mb.messages) }
 func (mb *Mailbox) Deliver(msg Message) {
 	for i, w := range mb.waiters {
 		if w.match(msg) {
-			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			n := len(mb.waiters)
+			copy(mb.waiters[i:], mb.waiters[i+1:])
+			mb.waiters[n-1] = nil
+			mb.waiters = mb.waiters[:n-1]
 			w.got = msg
 			w.ok = true
 			w.p.eng.Unpark(w.p, msg.Arrival)
@@ -267,16 +286,25 @@ func (mb *Mailbox) Peek(visit func(Message) bool) {
 func (mb *Mailbox) Recv(p *Proc, match func(Message) bool) Message {
 	for i, m := range mb.messages {
 		if match(m) {
-			mb.messages = append(mb.messages[:i], mb.messages[i+1:]...)
+			n := len(mb.messages)
+			copy(mb.messages[i:], mb.messages[i+1:])
+			mb.messages[n-1] = Message{}
+			mb.messages = mb.messages[:n-1]
 			p.HoldUntil(m.Arrival)
 			return m
 		}
 	}
-	w := &mailWaiter{p: p, match: match}
+	w := &p.mailw
+	w.p = p
+	w.match = match
+	w.ok = false
 	mb.waiters = append(mb.waiters, w)
-	p.Park("recv on mailbox " + mb.name)
+	p.Park(mb.reason)
 	if !w.ok {
 		panic(fmt.Sprintf("sim: proc %d woke from mailbox %q without a message", p.ID(), mb.name))
 	}
-	return w.got
+	got := w.got
+	w.match = nil
+	w.got = Message{} // drop payload reference
+	return got
 }

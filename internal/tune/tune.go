@@ -23,6 +23,7 @@ import (
 	"tapioca/internal/core"
 	"tapioca/internal/cost"
 	"tapioca/internal/mpiio"
+	"tapioca/internal/par"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
 	"tapioca/internal/workload"
@@ -44,7 +45,10 @@ type Platform struct {
 	RanksPerNode int
 	// Probe, when set, runs a short real simulation of workload w under the
 	// candidate configuration and returns the measured collective seconds.
-	// Required for the closed-loop mode (Options.Probes > 0).
+	// Required for the closed-loop mode (Options.Probes > 0). Candidate
+	// probes are independent and run on the shared worker pool
+	// (internal/par), so the hook must be safe for concurrent calls — build
+	// a fresh machine per invocation and touch nothing shared.
 	Probe func(cfg core.Config, fopt storage.FileOptions, w workload.Pattern) float64
 }
 
@@ -256,14 +260,19 @@ func (s *search) rank() {
 // and its full prediction is rescaled by the observed/predicted ratio of the
 // probe. Mispriced candidates (an optimistic storage term, an underestimated
 // incast) are pulled back toward reality before the final pick.
+//
+// Probes are independent simulations (the Probe hook builds a fresh machine
+// per call), so they run on the shared bounded worker pool; the ratios are
+// applied in candidate order afterwards, keeping the pick identical to a
+// serial probe loop.
 func (s *search) probe(w workload.Pattern, k int) {
 	if k > len(s.cands) {
 		k = len(s.cands)
 	}
-	var ratioSum float64
-	var probed int
-	for i := 0; i < k; i++ {
-		c := &s.cands[i]
+	type outcome struct{ measured, predicted float64 }
+	outs := make([]outcome, k)
+	par.Map(k, func(i int) {
+		c := s.cands[i]
 		perRank := probeRounds * c.Config.BufferSize * int64(c.Config.Aggregators) / int64(w.Ranks)
 		if perRank < 64<<10 {
 			perRank = 64 << 10
@@ -274,7 +283,13 @@ func (s *search) probe(w workload.Pattern, k int) {
 		if c.Config.SingleBuffer {
 			predicted = predictedSingle
 		}
-		measured := s.p.Probe(c.Config, c.FileOptions, probeW)
+		outs[i] = outcome{measured: s.p.Probe(c.Config, c.FileOptions, probeW), predicted: predicted}
+	})
+	var ratioSum float64
+	var probed int
+	for i := 0; i < k; i++ {
+		c := &s.cands[i]
+		measured, predicted := outs[i].measured, outs[i].predicted
 		if predicted <= 0 || measured <= 0 {
 			continue
 		}
