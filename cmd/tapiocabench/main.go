@@ -4,18 +4,20 @@
 //
 //	tapiocabench -list
 //	tapiocabench -experiment fig10
-//	tapiocabench -experiment all -full -csv out/
+//	tapiocabench -experiment all -scale full -csv out/
 //	tapiocabench -experiment all -json results.json
 //	tapiocabench -experiment all -parallel=false   # serial reference run
 //
-// Without -full, experiments run at a reduced scale (≈1/4 the nodes, 4
-// ranks/node) that preserves the paper's shapes; -full uses the paper's node
-// counts (up to 65,536 simulated ranks). Each figure's independent grid
-// cells execute on a bounded worker pool by default (-parallel); results are
-// identical to the serial order. -json writes one machine-readable file
+// At the default -scale reduced, experiments run at ≈1/4 the paper's nodes
+// (preserving its shapes). -scale full uses the paper's own node counts (up
+// to 65,536 simulated ranks); with -experiment all it runs the registered
+// full-scale variants (fig7-full, fig9-full, fig10-full, fig13-full), each
+// of which completes in minutes on one core. Each figure's independent grid
+// cells execute on a bounded worker pool by default (-parallel); results
+// are identical to the serial order. -json writes one machine-readable file
 // covering every experiment run — including per-figure wall-clock seconds,
-// so benchmark trajectories capture simulator speed, not just simulated
-// GB/s.
+// peak heap bytes, and simulated transfer counts, so benchmark trajectories
+// capture simulator speed and footprint, not just simulated GB/s.
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"tapioca/internal/expt"
@@ -39,6 +43,13 @@ type jsonResult struct {
 	Notes          []string  `json:"notes,omitempty"`
 	ElapsedSeconds float64   `json:"elapsed_seconds"`
 	Workers        int       `json:"workers"`
+	// Transfers counts the simulated fabric messages the figure's
+	// measurement cells booked — the quantity the cached-routing and
+	// request-coalescing work drives down per simulated byte.
+	Transfers int64 `json:"transfers"`
+	// PeakHeapBytes is the maximum live heap observed while the figure ran
+	// (sampled), the footprint bound for paper-scale runs.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 type jsonRow struct {
@@ -46,17 +57,71 @@ type jsonRow struct {
 	Values []float64 `json:"values"`
 }
 
-func main() {
+// mb formats bytes as mebibytes for the console line.
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+func main() { os.Exit(run()) }
+
+// run is main's body; returning the exit code (instead of os.Exit inline)
+// lets the profile writers' defers fire on error paths, so -cpuprofile and
+// -memprofile files are valid even when a flag or output path is bad.
+func run() int {
+	// Batch workload: trade heap headroom for fewer GC cycles (simulations
+	// churn short-lived per-round state across tens of thousands of
+	// goroutine stacks, and every cycle re-scans them). An explicit GOGC
+	// still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
-		id       = flag.String("experiment", "all", "experiment id (fig7…fig14, table1, abl-*, or all)")
-		full     = flag.Bool("full", false, "run at the paper's full scale")
+		id       = flag.String("experiment", "all", "experiment id (fig7…fig14, table1, abl-*, a *-full variant, or all)")
+		scale    = flag.String("scale", "reduced", "experiment scale: reduced or full (paper node counts)")
+		full     = flag.Bool("full", false, "deprecated alias for -scale full")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		jsonPath = flag.String("json", "", "also write all results as JSON to this file")
 		parallel = flag.Bool("parallel", true, "run each figure's independent grid cells on a worker pool (identical results)")
 		workers  = flag.Int("workers", 0, "worker-pool width with -parallel (0 = GOMAXPROCS)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	fullScale := *full
+	switch *scale {
+	case "reduced":
+	case "full":
+		fullScale = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want reduced or full)\n", *scale)
+		return 2
+	}
+
+	if *profile != "" {
+		pf, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			pf, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer pf.Close()
+			if err := pprof.Lookup("allocs").WriteTo(pf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *parallel {
 		expt.SetParallelism(*workers)
@@ -68,37 +133,51 @@ func main() {
 		for _, s := range expt.All() {
 			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
-		return
+		for _, s := range expt.FullScale() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		return 0
 	}
 
 	var specs []expt.Spec
 	if *id == "all" {
-		specs = expt.All()
+		if fullScale {
+			// The registered full-scale variants: paper node counts, each
+			// finishing in minutes on one core.
+			specs = expt.FullScale()
+		} else {
+			specs = expt.All()
+		}
 	} else {
 		s := expt.ByID(*id)
 		if s == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *id)
-			os.Exit(2)
+			return 2
 		}
 		specs = []expt.Spec{*s}
 	}
 
 	var records []jsonResult
 	for _, s := range specs {
+		expt.ResetTransferCount()
+		expt.ResetPeakHeap()
 		start := time.Now()
-		res := s.Run(*full)
+		res := s.Run(fullScale)
 		elapsed := time.Since(start).Seconds()
+		peak := expt.PeakHeapBytes()
+		transfers := expt.TransferCount()
 		fmt.Print(expt.Render(res))
-		fmt.Printf("(wall time %.1fs, %d workers)\n\n", elapsed, expt.Parallelism())
+		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, peak heap %.0f MiB)\n\n",
+			elapsed, expt.Parallelism(), transfers, mb(peak))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			path := filepath.Join(*csvDir, res.ID+".csv")
 			if err := os.WriteFile(path, []byte(expt.CSV(res)), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *jsonPath != "" {
@@ -110,6 +189,8 @@ func main() {
 				Notes:          res.Notes,
 				ElapsedSeconds: elapsed,
 				Workers:        expt.Parallelism(),
+				Transfers:      transfers,
+				PeakHeapBytes:  peak,
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})
@@ -124,7 +205,8 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"tapioca/internal/storage"
+	"tapioca/internal/workload"
+)
+
+// benchDeclared builds the flattened per-rank declarations the planner sees
+// for a HACC-IO run (AoS: 9 strided variables per rank) or an IOR run (one
+// contiguous block per rank).
+func benchDeclared(ranks int, hacc bool) [][]storage.Seg {
+	all := make([][]storage.Seg, ranks)
+	for r := 0; r < ranks; r++ {
+		if hacc {
+			for _, segs := range workload.HACCDeclared(r, ranks, 25000, workload.AoS) {
+				all[r] = append(all[r], segs...)
+			}
+		} else {
+			all[r] = workload.IORSegs(r, 1<<20)
+		}
+	}
+	return all
+}
+
+// BenchmarkPlanBuild measures the declared-I/O planner at paper scale:
+// 16,384 ranks (1,024 nodes × 16), 192 aggregators, 16 MB buffers — the
+// fig13 full-scale configuration. The flat piece arena and allocation-free
+// window accumulation keep this linear in declared segments.
+func BenchmarkPlanBuild(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		ranks int
+		hacc  bool
+	}{
+		{"hacc-aos-16k", 16384, true},
+		{"ior-16k", 16384, false},
+		{"hacc-aos-2k", 2048, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			all := benchDeclared(tc.ranks, tc.hacc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := buildPlan(all, 192, 16<<20, 16<<20)
+				if len(p.parts) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}

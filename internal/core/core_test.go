@@ -163,7 +163,7 @@ func TestBuildPlanPieceConservation(t *testing.T) {
 			want += s.Bytes()
 		}
 		var got int64
-		for _, pc := range p.pieces[r] {
+		for _, pc := range p.piecesOf(r) {
 			got += pc.bytes
 		}
 		if got != want {

@@ -53,8 +53,8 @@ func EstimatePlan(all [][]storage.Seg, cfg Config, alignUnit int64) *PlanEstimat
 	for part := range p.parts {
 		pp := &p.parts[part]
 		pe := PartEstimate{
-			FirstRank:   partStart(part, len(p.parts), len(all)),
-			Ranks:       len(pp.ranks),
+			FirstRank:   pp.rankLo,
+			Ranks:       pp.rankN,
 			Bytes:       pp.bytes,
 			Rounds:      pp.rounds,
 			MemberBytes: pp.omega,

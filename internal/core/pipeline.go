@@ -14,14 +14,22 @@ import (
 func (w *Writer) runWrite() {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
-	myPieces := w.plan.pieces[w.c.Rank()]
+	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
+		// The round's puts: the plan coalesces each rank's contribution to
+		// one piece per round in the common case, and the last put's
+		// injection hold is deferred into the fence (FenceAfter) — one
+		// context switch per rank per round instead of two.
+		var deferredFree int64
 		for idx < len(myPieces) && myPieces[idx].round == r {
 			pc := myPieces[idx]
-			w.win.Put(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
+			if deferredFree > 0 {
+				p.HoldUntil(deferredFree) // yield before booking another put
+			}
+			deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
@@ -31,7 +39,7 @@ func (w *Writer) runWrite() {
 			pending[bufID].Wait(p)
 			pending[bufID] = nil
 		}
-		w.win.Fence()
+		w.win.FenceAfter(deferredFree)
 		if w.isAgg {
 			fl := pp.flush[r]
 			if fl.bytes > 0 {
@@ -69,7 +77,7 @@ func (w *Writer) runWrite() {
 func (w *Writer) runRead() {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
-	myPieces := w.plan.pieces[w.c.Rank()]
+	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
 	prefetch := func(r int) {
 		if w.isAgg && r < pp.rounds && pp.flush[r].bytes > 0 {

@@ -15,13 +15,21 @@ func (w *Writer) elect() int {
 	pc := w.pc
 	pp := &w.plan.parts[w.part]
 
-	members := make([]cost.Member, pc.Size())
-	for local := range members {
-		members[local] = cost.Member{Node: pc.NodeOfRank(local), Bytes: pp.omega[local]}
+	// Every member sees the identical table, so the first caller builds it
+	// once on the shared plan and the partition's other ranks reuse it —
+	// election setup is O(P) per partition, not O(P) per rank. (Engine procs
+	// are serial, so the lazy fill needs no synchronization; placements
+	// treat Members as read-only.)
+	if pp.members == nil {
+		members := make([]cost.Member, pc.Size())
+		for local := range members {
+			members[local] = cost.Member{Node: pc.NodeOfRank(local), Bytes: pp.omega[local]}
+		}
+		pp.members = members
 	}
 	e := &cost.Election{
 		Model:       w.model(),
-		Members:     members,
+		Members:     pp.members,
 		IOBytes:     pp.bytes,
 		Partition:   w.part,
 		Self:        pc.Rank(),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"tapioca/internal/cost"
@@ -12,7 +13,18 @@ import (
 type plan struct {
 	partOf []int      // comm rank → partition index
 	parts  []partPlan // per partition
-	pieces [][]putPiece
+
+	// pieces is the flat piece arena: rank r's puts are
+	// pieces[pieceOff[r]:pieceOff[r+1]], rounds ascending. One arena instead
+	// of per-rank slices keeps the plan's footprint flat at paper scale
+	// (tens of thousands of ranks) and the per-rank views allocation-free.
+	pieces   []putPiece
+	pieceOff []int32
+}
+
+// piecesOf returns rank r's puts (rounds ascending), a view into the arena.
+func (p *plan) piecesOf(rank int) []putPiece {
+	return p.pieces[p.pieceOff[rank]:p.pieceOff[rank+1]]
 }
 
 // putPiece is one rank's contribution to one round's buffer.
@@ -24,11 +36,14 @@ type putPiece struct {
 
 // partPlan is one partition's schedule.
 type partPlan struct {
-	ranks  []int // comm ranks (ascending)
+	rankLo int // first comm rank (members are [rankLo, rankLo+rankN))
+	rankN  int // member count
 	bytes  int64
 	rounds int
 	flush  []flushInfo // per round: the file extents the aggregator writes
 	omega  []int64     // per partition-local rank: bytes it aggregates
+
+	members []cost.Member // election table, cached by the first caller
 }
 
 type flushInfo struct {
@@ -36,11 +51,14 @@ type flushInfo struct {
 	bytes int64
 }
 
-// region is a maximal merged span of a partition's declared data.
+// region is a maximal merged span of a partition's declared data. Its member
+// segments are the consecutive range msegs[m0:m1] of the builder's
+// offset-sorted segment list — regions index the shared list instead of
+// copying it.
 type region struct {
 	lo, hi int64
 	bytes  int64
-	segs   []storage.Seg // member segments, sorted by offset
+	m0, m1 int32
 }
 
 // dense reports whether the region's data tiles its span exactly — the
@@ -48,20 +66,50 @@ type region struct {
 // contiguous flush extents.
 func (r *region) dense() bool { return r.bytes == r.hi-r.lo }
 
-// bytesBefore returns how many of the region's data bytes lie in [lo, x).
-func (r *region) bytesBefore(x int64) int64 {
-	if x <= r.lo {
+// memberSeg is one declared segment tagged with its partition-local rank.
+type memberSeg struct {
+	local int32
+	seg   storage.Seg
+}
+
+// pieceRec is a piece before distribution into the plan's rank-major arena.
+type pieceRec struct {
+	local int32
+	piece putPiece
+}
+
+// window is one aggregation round's cut of a region's byte stream.
+type window struct {
+	rg     int32 // region index
+	t0, t1 int64 // region-local stream byte range
+}
+
+// planBuilder holds the scratch one buildPlan call reuses across partitions,
+// so plan construction allocates only what the plan itself retains.
+type planBuilder struct {
+	msegs   []memberSeg
+	regions []region
+	windows []window
+	recs    []pieceRec
+	touched []int32
+	fill    []int64
+	counts  []int32
+}
+
+// bytesBefore returns how many of the region's data bytes lie in [rg.lo, x).
+func (b *planBuilder) bytesBefore(rg *region, x int64) int64 {
+	if x <= rg.lo {
 		return 0
 	}
-	if x >= r.hi {
-		return r.bytes
+	if x >= rg.hi {
+		return rg.bytes
 	}
-	if r.dense() {
-		return x - r.lo
+	if rg.dense() {
+		return x - rg.lo
 	}
 	var n int64
-	for _, s := range r.segs {
-		n += storage.TotalBytes(s.Intersect(r.lo, x))
+	for _, ms := range b.msegs[rg.m0:rg.m1] {
+		n += ms.seg.BytesIn(rg.lo, x)
 	}
 	return n
 }
@@ -69,20 +117,20 @@ func (r *region) bytesBefore(x int64) int64 {
 // fileOffsetAt inverts bytesBefore: the smallest file offset x with
 // bytesBefore(x) == target. Exact, because the cumulative byte function
 // increases by at most one per byte of file offset.
-func (r *region) fileOffsetAt(target int64) int64 {
+func (b *planBuilder) fileOffsetAt(rg *region, target int64) int64 {
 	if target <= 0 {
-		return r.lo
+		return rg.lo
 	}
-	if target >= r.bytes {
-		return r.hi
+	if target >= rg.bytes {
+		return rg.hi
 	}
-	if r.dense() {
-		return r.lo + target
+	if rg.dense() {
+		return rg.lo + target
 	}
-	lo, hi := r.lo, r.hi
+	lo, hi := rg.lo, rg.hi
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if r.bytesBefore(mid) < target {
+		if b.bytesBefore(rg, mid) < target {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -91,19 +139,24 @@ func (r *region) fileOffsetAt(target int64) int64 {
 	return lo
 }
 
-// extract returns the region's data extents within [x0, x1).
-func (r *region) extract(x0, x1 int64) []storage.Seg {
+// extract returns the region's data extents within [x0, x1), compacted so
+// adjacent window-clipping fragments read as whole runs again.
+func (b *planBuilder) extract(rg *region, x0, x1 int64) []storage.Seg {
 	if x1 <= x0 {
 		return nil
 	}
-	if r.dense() {
-		lo, hi := maxI64(x0, r.lo), minI64(x1, r.hi)
+	if rg.dense() {
+		lo, hi := maxI64(x0, rg.lo), minI64(x1, rg.hi)
 		if hi <= lo {
 			return nil
 		}
 		return []storage.Seg{storage.Contig(lo, hi-lo)}
 	}
-	return storage.IntersectAll(r.segs, x0, x1)
+	var out []storage.Seg
+	for _, ms := range b.msegs[rg.m0:rg.m1] {
+		out = append(out, ms.seg.Intersect(x0, x1)...)
+	}
+	return storage.Compact(out)
 }
 
 // buildPlan partitions ranks, merges each partition's declared data into
@@ -118,17 +171,19 @@ func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
 		nAggr = nRanks
 	}
 	p := &plan{
-		partOf: make([]int, nRanks),
-		parts:  make([]partPlan, nAggr),
-		pieces: make([][]putPiece, nRanks),
+		partOf:   make([]int, nRanks),
+		parts:    make([]partPlan, nAggr),
+		pieceOff: make([]int32, nRanks+1),
 	}
 	for r := 0; r < nRanks; r++ {
 		p.partOf[r] = r * nAggr / nRanks
 	}
+	b := &planBuilder{}
 	for part := range p.parts {
 		lo := partStart(part, nAggr, nRanks)
 		hi := partStart(part+1, nAggr, nRanks)
-		buildPartition(p, part, lo, hi, all, bufSize, alignUnit)
+		buildPartition(p, b, part, lo, hi, all, bufSize, alignUnit)
+		distributePieces(p, b, lo, hi)
 	}
 	return p
 }
@@ -140,56 +195,55 @@ func partStart(part, nAggr, nRanks int) int {
 	return cost.PartitionStart(part, nAggr, nRanks)
 }
 
-func buildPartition(p *plan, part, rankLo, rankHi int, all [][]storage.Seg, bufSize, alignUnit int64) {
+func buildPartition(p *plan, b *planBuilder, part, rankLo, rankHi int, all [][]storage.Seg, bufSize, alignUnit int64) {
 	pp := &p.parts[part]
-	for r := rankLo; r < rankHi; r++ {
-		pp.ranks = append(pp.ranks, r)
-	}
-	pp.omega = make([]int64, len(pp.ranks))
+	pp.rankLo = rankLo
+	pp.rankN = rankHi - rankLo
+	pp.omega = make([]int64, pp.rankN)
+	b.recs = b.recs[:0]
 
 	// Collect and span-sort the partition's segments.
-	type memberSeg struct {
-		local int
-		seg   storage.Seg
-	}
-	var msegs []memberSeg
-	for i, r := range pp.ranks {
-		for _, s := range all[r] {
+	msegs := b.msegs[:0]
+	for i := 0; i < pp.rankN; i++ {
+		for _, s := range all[rankLo+i] {
 			if s.Empty() {
 				continue
 			}
-			msegs = append(msegs, memberSeg{local: i, seg: s})
+			msegs = append(msegs, memberSeg{local: int32(i), seg: s})
 			pp.omega[i] += s.Bytes()
 			pp.bytes += s.Bytes()
 		}
 	}
+	b.msegs = msegs
 	if pp.bytes == 0 {
 		return
 	}
-	sort.Slice(msegs, func(a, b int) bool {
-		if msegs[a].seg.Off != msegs[b].seg.Off {
-			return msegs[a].seg.Off < msegs[b].seg.Off
+	sort.Slice(msegs, func(a, c int) bool {
+		if msegs[a].seg.Off != msegs[c].seg.Off {
+			return msegs[a].seg.Off < msegs[c].seg.Off
 		}
-		return msegs[a].local < msegs[b].local
+		return msegs[a].local < msegs[c].local
 	})
 
-	// Merge overlapping/adjacent spans into regions.
-	var regions []*region
-	for _, ms := range msegs {
-		slo, shi := ms.seg.Span()
-		last := len(regions) - 1
-		if last >= 0 && slo <= regions[last].hi {
-			rg := regions[last]
+	// Merge overlapping/adjacent spans into regions. The sorted order means
+	// each region's members are one consecutive index range.
+	regions := b.regions[:0]
+	for i := range msegs {
+		slo, shi := msegs[i].seg.Span()
+		if last := len(regions) - 1; last >= 0 && slo <= regions[last].hi {
+			rg := &regions[last]
 			if shi > rg.hi {
 				rg.hi = shi
 			}
-			rg.bytes += ms.seg.Bytes()
-			rg.segs = append(rg.segs, ms.seg)
+			rg.bytes += msegs[i].seg.Bytes()
+			rg.m1 = int32(i + 1)
 		} else {
-			regions = append(regions, &region{lo: slo, hi: shi, bytes: ms.seg.Bytes(), segs: []storage.Seg{ms.seg}})
+			regions = append(regions, region{lo: slo, hi: shi, bytes: msegs[i].seg.Bytes(), m0: int32(i), m1: int32(i + 1)})
 		}
 	}
-	for _, rg := range regions {
+	b.regions = regions
+	for ri := range regions {
+		rg := &regions[ri]
 		if rg.bytes > rg.hi-rg.lo {
 			panic(fmt.Sprintf("core: partition %d region [%d,%d) overdeclared: %d bytes in %d span (overlapping writes?)",
 				part, rg.lo, rg.hi, rg.bytes, rg.hi-rg.lo))
@@ -199,12 +253,9 @@ func buildPartition(p *plan, part, rankLo, rankHi int, all [][]storage.Seg, bufS
 	// Cut each region into round windows. Windows never cross regions, and
 	// cuts snap to alignUnit boundaries (file space) in dense regions when
 	// a boundary falls within reach of the buffer size.
-	type window struct {
-		rg     *region
-		t0, t1 int64 // region-local stream byte range
-	}
-	var windows []window
-	for _, rg := range regions {
+	windows := b.windows[:0]
+	for ri := range regions {
+		rg := &regions[ri]
 		pos := int64(0)
 		for pos < rg.bytes {
 			next := pos + bufSize
@@ -216,67 +267,112 @@ func buildPartition(p *plan, part, rankLo, rankHi int, all [][]storage.Seg, bufS
 			if next > rg.bytes {
 				next = rg.bytes
 			}
-			windows = append(windows, window{rg: rg, t0: pos, t1: next})
+			windows = append(windows, window{rg: int32(ri), t0: pos, t1: next})
 			pos = next
 		}
 	}
+	b.windows = windows
 	pp.rounds = len(windows)
 	pp.flush = make([]flushInfo, pp.rounds)
-	for round, wd := range windows {
-		x0 := wd.rg.fileOffsetAt(wd.t0)
-		x1 := wd.rg.fileOffsetAt(wd.t1)
-		pp.flush[round] = flushInfo{segs: wd.rg.extract(x0, x1), bytes: wd.t1 - wd.t0}
-	}
 
-	// Per-rank pieces: intersect each rank's segments with the round
-	// windows (in file space), then assign buffer offsets in local-rank
-	// order per round.
-	roundFill := make([]int64, pp.rounds)
-	type pieceKey struct {
-		local, round int
+	// Per-rank pieces: one pass per window over the region's segments
+	// (sorted by offset; a cursor retires segments wholly before the moving
+	// window), accumulating per-local byte counts — adjacent contributions
+	// of a rank coalesce here, so a contiguous file region becomes exactly
+	// one put and one flush extent per round. Buffer offsets are assigned in
+	// local-rank order per round.
+	if cap(b.fill) < pp.rankN {
+		b.fill = make([]int64, pp.rankN)
 	}
-	pieceBytes := map[pieceKey]int64{}
-	for round, wd := range windows {
-		x0 := wd.rg.fileOffsetAt(wd.t0)
-		x1 := wd.rg.fileOffsetAt(wd.t1)
-		for _, ms := range msegs {
+	fill := b.fill[:pp.rankN]
+	touched := b.touched[:0]
+	cursorRegion := int32(-1)
+	var cursor int32
+	for round := range windows {
+		wd := &windows[round]
+		rg := &regions[wd.rg]
+		x0 := b.fileOffsetAt(rg, wd.t0)
+		x1 := b.fileOffsetAt(rg, wd.t1)
+		pp.flush[round] = flushInfo{segs: b.extract(rg, x0, x1), bytes: wd.t1 - wd.t0}
+
+		if wd.rg != cursorRegion {
+			cursorRegion, cursor = wd.rg, rg.m0
+		}
+		touched = touched[:0]
+		for i := cursor; i < rg.m1; i++ {
+			ms := &msegs[i]
 			slo, shi := ms.seg.Span()
-			if shi <= x0 || slo >= x1 || slo < wd.rg.lo || slo >= wd.rg.hi {
+			if slo >= x1 {
+				break // offset-sorted: nothing later can intersect either
+			}
+			if shi <= x0 {
+				if i == cursor {
+					cursor++ // wholly before every future window of the region
+				}
 				continue
 			}
-			b := storage.TotalBytes(ms.seg.Intersect(x0, x1))
-			if b > 0 {
-				pieceBytes[pieceKey{ms.local, round}] += b
+			if n := ms.seg.BytesIn(x0, x1); n > 0 {
+				if fill[ms.local] == 0 {
+					touched = append(touched, ms.local)
+				}
+				fill[ms.local] += n
 			}
 		}
-	}
-	// Deterministic order: by (round, local).
-	keys := make([]pieceKey, 0, len(pieceBytes))
-	for k := range pieceBytes {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].round != keys[b].round {
-			return keys[a].round < keys[b].round
+		sortInt32(touched)
+		var off int64
+		for _, l := range touched {
+			b.recs = append(b.recs, pieceRec{local: l, piece: putPiece{round: round, bufOff: off, bytes: fill[l]}})
+			off += fill[l]
+			fill[l] = 0
 		}
-		return keys[a].local < keys[b].local
-	})
-	for _, k := range keys {
-		b := pieceBytes[k]
-		commRank := pp.ranks[k.local]
-		p.pieces[commRank] = append(p.pieces[commRank], putPiece{
-			round:  k.round,
-			bufOff: roundFill[k.round],
-			bytes:  b,
-		})
-		roundFill[k.round] += b
-	}
-	for round, fill := range roundFill {
-		if fill != pp.flush[round].bytes {
-			panic(fmt.Sprintf("core: partition %d round %d fill %d != flush %d", part, round, fill, pp.flush[round].bytes))
+		if off != pp.flush[round].bytes {
+			panic(fmt.Sprintf("core: partition %d round %d fill %d != flush %d", part, round, off, pp.flush[round].bytes))
 		}
-		if fill > bufSize {
-			panic(fmt.Sprintf("core: partition %d round %d overfills buffer: %d > %d", part, round, fill, bufSize))
+		if off > bufSize {
+			panic(fmt.Sprintf("core: partition %d round %d overfills buffer: %d > %d", part, round, off, bufSize))
+		}
+	}
+	b.touched = touched
+}
+
+// distributePieces redistributes the partition's round-major piece records
+// into the plan's rank-major arena (rounds stay ascending per rank) and
+// fills the ranks' arena offsets.
+func distributePieces(p *plan, b *planBuilder, rankLo, rankHi int) {
+	n := rankHi - rankLo
+	if cap(b.counts) < n {
+		b.counts = make([]int32, n)
+	}
+	counts := b.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range b.recs {
+		counts[b.recs[i].local]++
+	}
+	base := int32(len(p.pieces))
+	p.pieces = slices.Grow(p.pieces, len(b.recs))[:len(p.pieces)+len(b.recs)]
+	off := base
+	for i := 0; i < n; i++ {
+		p.pieceOff[rankLo+i] = off
+		c := counts[i]
+		counts[i] = off // becomes the rank's write cursor
+		off += c
+	}
+	p.pieceOff[rankHi] = off
+	for i := range b.recs {
+		rec := &b.recs[i]
+		p.pieces[counts[rec.local]] = rec.piece
+		counts[rec.local]++
+	}
+}
+
+// sortInt32 is an insertion sort for the small per-window touched lists —
+// allocation-free and nearly free on the already-sorted common case.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
 }

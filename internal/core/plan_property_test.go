@@ -76,12 +76,10 @@ func TestPlanInvariantsProperty(t *testing.T) {
 				}
 			}
 		}
-		for _, pcs := range p.pieces {
-			for _, pc := range pcs {
-				pieces += pc.bytes
-				if pc.bufOff < 0 || pc.bufOff+pc.bytes > bufSize {
-					return false // piece outside the buffer window
-				}
+		for _, pc := range p.pieces {
+			pieces += pc.bytes
+			if pc.bufOff < 0 || pc.bufOff+pc.bytes > bufSize {
+				return false // piece outside the buffer window
 			}
 		}
 		return flushed == declared && pieces == declared

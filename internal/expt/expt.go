@@ -10,8 +10,11 @@ package expt
 
 import (
 	"fmt"
+	"runtime/metrics"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
@@ -67,7 +70,30 @@ func All() []Spec {
 	}
 }
 
-// ByID returns the experiment with the given id, or nil.
+// FullScale lists the registered full-scale variants: the paper's own node
+// counts (§V — 512–1,024 nodes × 16 ranks and up), runnable on one core in
+// minutes since the message path was flattened. Each variant pins full
+// scale regardless of the scale switch passed to Run. fig10-full and
+// fig13-full exercise the dragonfly/Lustre path, fig7/9-full the BG/Q
+// torus/GPFS path.
+func FullScale() []Spec {
+	pin := func(run func(bool) Result, id string) func(bool) Result {
+		return func(bool) Result {
+			res := run(true)
+			res.ID = id
+			return res
+		}
+	}
+	return []Spec{
+		{"fig7-full", "IOR on Mira at paper scale (512 nodes × 16 ranks)", pin(Fig7, "fig7-full")},
+		{"fig9-full", "Micro-benchmark on Mira at paper scale (1,024 nodes × 16 ranks)", pin(Fig9, "fig9-full")},
+		{"fig10-full", "Micro-benchmark on Theta at paper scale (512 nodes × 16 ranks)", pin(Fig10, "fig10-full")},
+		{"fig13-full", "HACC-IO on Theta at paper scale (1,024 nodes × 16 ranks)", pin(Fig13, "fig13-full")},
+	}
+}
+
+// ByID returns the experiment with the given id (reduced-scale set or a
+// registered full-scale variant), or nil.
 func ByID(id string) *Spec {
 	for _, s := range All() {
 		if s.ID == id {
@@ -75,8 +101,55 @@ func ByID(id string) *Spec {
 			return &sp
 		}
 	}
+	for _, s := range FullScale() {
+		if s.ID == id {
+			sp := s
+			return &sp
+		}
+	}
 	return nil
 }
+
+// transferCount accumulates fabric transfers booked by measurement cells
+// (every runIO call), so drivers can report simulated message counts per
+// figure. Atomic: grid cells run on the worker pool.
+var transferCount atomic.Int64
+
+// TransferCount returns the fabric transfers booked by measurement cells
+// since the last ResetTransferCount.
+func TransferCount() int64 { return transferCount.Load() }
+
+// ResetTransferCount zeroes the per-figure transfer counter.
+func ResetTransferCount() { transferCount.Store(0) }
+
+// peakHeap tracks the maximum live heap observed at cell boundaries. The
+// sample is taken inline as each measurement cell completes — while its
+// whole simulated platform is still reachable, so the reading reflects the
+// figure's real footprint — rather than from a ticker goroutine, whose
+// armed runtime timer measurably slows the simulation's scheduler on a
+// busy machine.
+var peakHeap atomic.Uint64
+
+const heapMetricName = "/memory/classes/heap/objects:bytes"
+
+func sampleHeap() {
+	s := []metrics.Sample{{Name: heapMetricName}}
+	metrics.Read(s)
+	v := s[0].Value.Uint64()
+	for {
+		cur := peakHeap.Load()
+		if v <= cur || peakHeap.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PeakHeapBytes returns the maximum live heap sampled at measurement-cell
+// boundaries since the last ResetPeakHeap.
+func PeakHeapBytes() uint64 { return peakHeap.Load() }
+
+// ResetPeakHeap zeroes the per-figure peak-heap tracker.
+func ResetPeakHeap() { peakHeap.Store(0) }
 
 // SetParallelism bounds the worker pool every Spec.Run uses for its grid
 // cells (and that the autotuner uses for closed-loop probes): n = 1 forces
@@ -122,13 +195,52 @@ type rig struct {
 
 func (r *rig) ranks() int { return r.nodes * r.rpn }
 
+// Topologies (and their distance caches) are immutable once built: routing
+// tables, coordinates and distances never change, and DistanceCache rows
+// are lock-free. Cells therefore share one instance per configuration —
+// fabrics and storage systems, which carry booking state, stay fresh per
+// cell — so a figure pays link tables and distance rows once, not once per
+// grid cell.
+var (
+	topoMu     sync.Mutex
+	miraTopos  = map[int]*topology.Torus5D{}
+	thetaTopos = map[[2]int]*topology.Dragonfly{}
+	distCaches = map[topology.Topology]*topology.DistanceCache{}
+)
+
+func sharedMira(nodes int) (*topology.Torus5D, *topology.DistanceCache) {
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	topo := miraTopos[nodes]
+	if topo == nil {
+		topo = topology.MiraTorus(nodes)
+		miraTopos[nodes] = topo
+		distCaches[topo] = topology.NewDistanceCache(topo)
+	}
+	return topo, distCaches[topo]
+}
+
+func sharedTheta(nodes, routing int) (*topology.Dragonfly, *topology.DistanceCache) {
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	key := [2]int{nodes, routing}
+	topo := thetaTopos[key]
+	if topo == nil {
+		topo = topology.ThetaDragonfly(nodes, routing)
+		thetaTopos[key] = topo
+		distCaches[topo] = topology.NewDistanceCache(topo)
+	}
+	return topo, distCaches[topo]
+}
+
 // miraRig builds a Mira platform. lockMode selects the GPFS token mode.
 func miraRig(nodes, rpn, lockMode int) *rig {
-	topo := topology.MiraTorus(nodes)
+	topo, dc := sharedMira(nodes)
 	fab := netsim.New(topo, netsim.Config{
 		Contention: netsim.ContentionLinks,
 		InjectRate: 2 * topo.TorusLinkBW,
 	})
+	fab.ShareDistances(dc)
 	sys := storage.NewGPFS(topo, fab, storage.GPFSConfig{LockMode: lockMode})
 	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
 }
@@ -137,8 +249,9 @@ func miraRig(nodes, rpn, lockMode int) *rig {
 // population (reduced-scale runs shrink the OST count proportionally so
 // aggregator-per-OST and domain-per-stripe ratios match the paper's).
 func thetaRig(nodes, rpn, routing, numOST int) *rig {
-	topo := topology.ThetaDragonfly(nodes, routing)
+	topo, dc := sharedTheta(nodes, routing)
 	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	fab.ShareDistances(dc)
 	sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: numOST})
 	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
 }
@@ -152,8 +265,14 @@ type timer struct {
 
 // run executes a job; body gets the comm and a timer whose Start/Stop must
 // bracket the timed phase (rank 0's observations are used — barrier release
-// times are common to all ranks).
+// times are common to all ranks). Every measurement cell funnels through
+// here, so this is where the per-figure instrumentation (transfer count,
+// peak-heap sample) hooks in.
 func (r *rig) run(body func(c *mpi.Comm, tm *timer)) (float64, error) {
+	defer func() {
+		transferCount.Add(r.fab.Transfers())
+		sampleHeap()
+	}()
 	tm := &timer{}
 	_, err := mpi.Run(mpi.Config{
 		Ranks:        r.ranks(),

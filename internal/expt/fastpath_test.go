@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tapioca/internal/netsim"
+	"tapioca/internal/storage"
+)
+
+// TestFastPathsMatchReference is the equivalence contract of the transfer
+// fast paths: with the netsim path cache and storage segment compaction
+// disabled (the uncoalesced reference behaviour), every figure must produce
+// a byte-identical Result to the optimized run. The covered subset spans
+// both platforms (torus/GPFS, dragonfly/Lustre), both I/O stacks (TAPIOCA,
+// MPI-IO), reads and writes, and both contention models. Serial runs, so
+// the package-global toggles cannot race with worker cells.
+func TestFastPathsMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid")
+	}
+	subset := []string{"fig7", "fig10", "fig11", "table1", "abl-contention"}
+	if raceEnabled {
+		subset = []string{"fig10"}
+	}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	for _, id := range subset {
+		s := ByID(id)
+		if s == nil {
+			t.Fatalf("unknown spec %q", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			prevCache := netsim.SetPathCache(false)
+			prevCompact := storage.SetSegCompaction(false)
+			reference := s.Run(false)
+			netsim.SetPathCache(prevCache)
+			storage.SetSegCompaction(prevCompact)
+
+			optimized := s.Run(false)
+			if !reflect.DeepEqual(reference, optimized) {
+				t.Fatalf("optimized run diverged from uncached/uncompacted reference:\nref: %+v\nopt: %+v", reference, optimized)
+			}
+		})
+	}
+}
+
+// TestFullScaleSmoke keeps the paper-scale path honest in every CI run,
+// including -short: one registered full-scale figure (fig10-full: 512 nodes
+// × 16 ranks = 8,192 simulated ranks on the Theta dragonfly) must complete
+// within a hard time budget and report a sane shape. The budget is generous
+// — the point is catching order-of-magnitude regressions of the per-message
+// path, which would blow straight through it.
+func TestFullScaleSmoke(t *testing.T) {
+	budget := 4 * time.Minute
+	if raceEnabled {
+		budget = 20 * time.Minute // race-built simulations run ~10-20x slower
+	}
+	s := ByID("fig10-full")
+	if s == nil {
+		t.Fatal("fig10-full not registered")
+	}
+	start := time.Now()
+	res := s.Run(true)
+	elapsed := time.Since(start)
+	if elapsed > budget {
+		t.Fatalf("fig10-full took %v, budget %v", elapsed, budget)
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0].Values) != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	for _, row := range res.Rows {
+		for i, v := range row.Values {
+			if v <= 0 {
+				t.Fatalf("row %v series %d: %v GB/s", row.X, i, v)
+			}
+		}
+	}
+	t.Logf("fig10-full (8192 ranks, %d cells) in %v", len(res.Rows)*2, elapsed)
+}

@@ -23,6 +23,7 @@ type collState struct {
 	refs     int
 	maxT     int64
 	contribs []any
+	hasData  bool // any non-nil contribution stored this round
 	waiters  []*sim.Proc
 	result   any
 	release  int64
@@ -34,6 +35,14 @@ type collState struct {
 // real bugs). finish runs once, on the last-arriving rank, and returns the
 // shared result plus the common release time.
 func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, maxT int64) (any, int64)) any {
+	return c.collectiveImpl(kind, contrib, finish, nil, 0)
+}
+
+// collectiveImpl carries both finish shapes: the internal (contribs, maxT)
+// form, and the user (contribs)-only form whose release is the tree cost
+// over bytes — passed directly so the hot Collective path does not allocate
+// a wrapper closure per call.
+func (c *Comm) collectiveImpl(kind string, contrib any, finish func(contribs []any, maxT int64) (any, int64), userFinish func(contribs []any) any, bytes int64) any {
 	s := c.s
 	if s.coll == nil {
 		st := s.collFree
@@ -50,7 +59,10 @@ func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, 
 	if st.kind != kind {
 		panic(fmt.Sprintf("mpi: mismatched collectives on comm %d: %s vs %s", s.id, st.kind, kind))
 	}
-	st.contribs[c.rank] = contrib
+	if contrib != nil {
+		st.contribs[c.rank] = contrib
+		st.hasData = true
+	}
 	st.arrived++
 	if c.p.Now() > st.maxT {
 		st.maxT = c.p.Now()
@@ -64,14 +76,17 @@ func (c *Comm) collective(kind string, contrib any, finish func(contribs []any, 
 	}
 	// Last arriver: compute, reset comm state for the next collective,
 	// release everyone at the common time.
-	st.result, st.release = finish(st.contribs, st.maxT)
+	if finish != nil {
+		st.result, st.release = finish(st.contribs, st.maxT)
+	} else {
+		st.result = userFinish(st.contribs)
+		st.release = c.treeCost(st.maxT, bytes)
+	}
 	if st.release < st.maxT {
 		st.release = st.maxT
 	}
 	s.coll = nil
-	for _, w := range st.waiters {
-		c.p.Engine().Unpark(w, st.release)
-	}
+	c.p.Engine().UnparkBatch(st.waiters, st.release)
 	c.p.HoldUntil(st.release)
 	res := st.result
 	s.recycleColl(st)
@@ -87,8 +102,12 @@ func (s *commShared) recycleColl(st *collState) {
 	if st.refs > 0 {
 		return
 	}
-	for i := range st.contribs {
-		st.contribs[i] = nil
+	// Barriers and fences contribute nothing; skip their O(P) clear.
+	if st.hasData {
+		for i := range st.contribs {
+			st.contribs[i] = nil
+		}
+		st.hasData = false
 	}
 	for i := range st.waiters {
 		st.waiters[i] = nil
@@ -110,10 +129,16 @@ func (s *commShared) recycleColl(st *collState) {
 // rank. The cost model is a tree collective moving bytes per rank. This is
 // the building block for library-level collectives that must not replicate
 // O(P) work on every rank (e.g. two-phase I/O plan construction).
+//
+// kind labels the operation for collective matching; it must not start with
+// the reserved "mpi:" prefix the built-in collectives use. Callers pass
+// constant strings, so matching compares interned pointers — no per-call
+// allocation, unlike the prefix concatenation this replaces.
 func (c *Comm) Collective(kind string, contrib any, bytes int64, finish func(contribs []any) any) any {
-	return c.collective("user-"+kind, contrib, func(contribs []any, maxT int64) (any, int64) {
-		return finish(contribs), c.treeCost(maxT, bytes)
-	})
+	if len(kind) >= 4 && kind[:4] == "mpi:" {
+		panic(fmt.Sprintf("mpi: user collective kind %q uses the reserved mpi: prefix", kind))
+	}
+	return c.collectiveImpl(kind, contrib, nil, finish, bytes)
 }
 
 // treeCost is the LogP-style analytic cost of a tree collective moving
@@ -125,11 +150,16 @@ func (c *Comm) treeCost(maxT int64, bytes int64) int64 {
 	return maxT + rounds*c.alpha() + rounds*sim.TransferTime(bytes, inject)
 }
 
-// Barrier blocks until all ranks of the communicator arrive.
+// Barrier blocks until all ranks of the communicator arrive. The finish
+// closure is cached on the handle: barriers run once per round per rank,
+// and a fresh closure per call is a heap allocation on that hot path.
 func (c *Comm) Barrier() {
-	c.collective("barrier", nil, func(_ []any, maxT int64) (any, int64) {
-		return nil, c.treeCost(maxT, 0)
-	})
+	if c.barrierFn == nil {
+		c.barrierFn = func(_ []any, maxT int64) (any, int64) {
+			return nil, c.treeCost(maxT, 0)
+		}
+	}
+	c.collective("mpi:barrier", nil, c.barrierFn)
 }
 
 // Bcast broadcasts root's payload to every rank and returns it.
@@ -138,7 +168,7 @@ func (c *Comm) Bcast(root int, bytes int64, payload any) any {
 	if c.rank == root {
 		contrib = payload
 	}
-	return c.collective("bcast", contrib, func(contribs []any, maxT int64) (any, int64) {
+	return c.collective("mpi:bcast", contrib, func(contribs []any, maxT int64) (any, int64) {
 		return contribs[root], c.treeCost(maxT, bytes)
 	})
 }
@@ -174,7 +204,7 @@ func applyOpF64(op Op, vals []float64) float64 {
 // AllreduceF64 reduces one float64 per rank with op and returns the result
 // on every rank.
 func (c *Comm) AllreduceF64(op Op, v float64) float64 {
-	res := c.collective("allreduce-f64", v, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:allreduce-f64", v, func(contribs []any, maxT int64) (any, int64) {
 		vals := make([]float64, len(contribs))
 		for i, x := range contribs {
 			vals[i] = x.(float64)
@@ -186,7 +216,7 @@ func (c *Comm) AllreduceF64(op Op, v float64) float64 {
 
 // AllreduceI64 reduces one int64 per rank with op.
 func (c *Comm) AllreduceI64(op Op, v int64) int64 {
-	res := c.collective("allreduce-i64", v, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:allreduce-i64", v, func(contribs []any, maxT int64) (any, int64) {
 		acc := contribs[0].(int64)
 		for _, x := range contribs[1:] {
 			v := x.(int64)
@@ -218,7 +248,7 @@ type minloc struct {
 // aggregator election uses. Ties resolve to the smallest location, making
 // elections deterministic.
 func (c *Comm) AllreduceMinLoc(v float64, loc int) (float64, int) {
-	res := c.collective("allreduce-minloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:allreduce-minloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
 		best := contribs[0].(minloc)
 		for _, x := range contribs[1:] {
 			m := x.(minloc)
@@ -234,7 +264,7 @@ func (c *Comm) AllreduceMinLoc(v float64, loc int) (float64, int) {
 
 // AllreduceMaxLoc returns the maximum value and its location (MPI_MAXLOC).
 func (c *Comm) AllreduceMaxLoc(v float64, loc int) (float64, int) {
-	res := c.collective("allreduce-maxloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:allreduce-maxloc", minloc{v, loc}, func(contribs []any, maxT int64) (any, int64) {
 		best := contribs[0].(minloc)
 		for _, x := range contribs[1:] {
 			m := x.(minloc)
@@ -251,7 +281,7 @@ func (c *Comm) AllreduceMaxLoc(v float64, loc int) (float64, int) {
 // Allgather gathers bytes-sized payloads from every rank to every rank.
 // The result is indexed by comm rank.
 func (c *Comm) Allgather(bytes int64, payload any) []any {
-	res := c.collective("allgather", payload, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:allgather", payload, func(contribs []any, maxT int64) (any, int64) {
 		out := make([]any, len(contribs))
 		copy(out, contribs)
 		total := int64(len(contribs)-1) * bytes
@@ -274,7 +304,7 @@ func (c *Comm) AllgatherI64(v int64) []int64 {
 // Gather collects payloads at root (result indexed by comm rank; nil on
 // non-root ranks).
 func (c *Comm) Gather(root int, bytes int64, payload any) []any {
-	res := c.collective("gather", payload, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:gather", payload, func(contribs []any, maxT int64) (any, int64) {
 		out := make([]any, len(contribs))
 		copy(out, contribs)
 		total := int64(len(contribs)-1) * bytes
@@ -297,7 +327,7 @@ func (c *Comm) Scatter(root int, bytes int64, payloads []any) any {
 		}
 		contrib = payloads
 	}
-	res := c.collective("scatter", contrib, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:scatter", contrib, func(contribs []any, maxT int64) (any, int64) {
 		total := int64(c.Size()-1) * bytes
 		inject := c.s.w.fabric.Config().InjectRate
 		return contribs[root], maxT + logRounds(c.Size())*c.alpha() + sim.TransferTime(total, inject)
@@ -308,7 +338,7 @@ func (c *Comm) Scatter(root int, bytes int64, payloads []any) any {
 // Alltoall exchanges bytes between every pair of ranks (cost only; payloads
 // are not routed — use explicit Send/Recv when content matters).
 func (c *Comm) Alltoall(bytesPerPair int64) {
-	c.collective("alltoall", nil, func(_ []any, maxT int64) (any, int64) {
+	c.collective("mpi:alltoall", nil, func(_ []any, maxT int64) (any, int64) {
 		total := int64(c.Size()-1) * bytesPerPair
 		inject := c.s.w.fabric.Config().InjectRate
 		return nil, maxT + int64(c.Size()-1)*c.s.w.cfg.Overhead + sim.TransferTime(total, inject)
@@ -325,7 +355,7 @@ type splitEntry struct {
 // returns nil. The paper's per-partition aggregator election runs on these
 // sub-communicators.
 func (c *Comm) Split(color, key int) *Comm {
-	res := c.collective("split", splitEntry{color, key, c.rank}, func(contribs []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:split", splitEntry{color, key, c.rank}, func(contribs []any, maxT int64) (any, int64) {
 		entries := make([]splitEntry, len(contribs))
 		for i, x := range contribs {
 			entries[i] = x.(splitEntry)

@@ -71,9 +71,12 @@ func Run(cfg Config, body func(*Comm)) (*sim.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Rank procs all share the literal name "rank": diagnostics print the
+	// proc id, which equals the world rank (spawn order), and per-rank
+	// Sprintf names would cost an allocation per rank per job at scale.
 	for r := 0; r < cfg.Ranks; r++ {
 		c := world.handle(r)
-		w.eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		w.eng.Spawn("rank", func(p *sim.Proc) {
 			c.p = p
 			body(c)
 		})
@@ -151,8 +154,9 @@ func (w *World) NodeOf(rank int) int { return w.nodeOf[rank] }
 type commShared struct {
 	w        *World
 	id       int
-	ranks    []int // comm rank → world rank
-	boxes    []*sim.Mailbox
+	ranks    []int          // comm rank → world rank
+	boxes    []*sim.Mailbox // lazily created by box()
+	boxName  string
 	coll     *collState
 	collFree *collState // recycled state for the next collective
 	member   []*Comm    // comm rank → handle
@@ -163,10 +167,23 @@ func (w *World) newCommShared(worldRanks []int) *commShared {
 	w.nextID++
 	s.boxes = make([]*sim.Mailbox, len(worldRanks))
 	s.member = make([]*Comm, len(worldRanks))
-	for i := range s.boxes {
-		s.boxes[i] = sim.NewMailbox(fmt.Sprintf("comm%d-rank%d", s.id, i))
-	}
 	return s
+}
+
+// box returns comm rank r's point-to-point mailbox, created on first use —
+// collective- and RMA-only workloads (the common case at scale) never pay
+// for per-rank mailboxes. All boxes of a comm share one diagnostic name:
+// a parked receiver's deadlock listing identifies the rank via its proc id.
+func (s *commShared) box(r int) *sim.Mailbox {
+	mb := s.boxes[r]
+	if mb == nil {
+		if s.boxName == "" {
+			s.boxName = fmt.Sprintf("comm%d", s.id)
+		}
+		mb = sim.NewMailbox(s.boxName)
+		s.boxes[r] = mb
+	}
+	return mb
 }
 
 // handle returns the Comm handle for comm rank r, creating it if needed.
@@ -183,6 +200,8 @@ type Comm struct {
 	s    *commShared
 	rank int
 	p    *sim.Proc
+
+	barrierFn func(contribs []any, maxT int64) (any, int64) // cached Barrier finish
 }
 
 // Rank returns the caller's rank in this communicator.

@@ -33,7 +33,7 @@ func (c *Comm) Send(dst, tag int, bytes int64, payload any) {
 	srcNode := c.Node()
 	dstNode := c.NodeOfRank(dst)
 	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), srcNode, dstNode, bytes)
-	c.s.boxes[dst].Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
+	c.s.box(dst).Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
 	c.p.HoldUntil(senderFree)
 }
 
@@ -44,7 +44,7 @@ func (c *Comm) Recv(src, tag int) Status {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		panic(fmt.Sprintf("mpi: Recv from invalid rank %d (size %d)", src, c.Size()))
 	}
-	m := c.s.boxes[c.rank].Recv(c.p, func(m simMsg) bool {
+	m := c.s.box(c.rank).Recv(c.p, func(m simMsg) bool {
 		s, t := unpackKey(m.Key)
 		if src != AnySource && s != src {
 			return false

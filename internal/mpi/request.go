@@ -26,7 +26,7 @@ func (c *Comm) Isend(dst, tag int, bytes int64, payload any) *Request {
 		panic("mpi: Isend to invalid rank")
 	}
 	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.Node(), c.NodeOfRank(dst), bytes)
-	c.s.boxes[dst].Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
+	c.s.box(dst).Deliver(simMessage(arrival, packKey(c.rank, tag), bytes, payload))
 	return &Request{c: c, sendFree: senderFree}
 }
 
@@ -75,7 +75,7 @@ func (r *Request) Test() (Status, bool) {
 // hasMatch reports whether a matching message is already queued.
 func (c *Comm) hasMatch(src, tag int) bool {
 	found := false
-	c.s.boxes[c.rank].Peek(func(m sim.Message) bool {
+	c.s.box(c.rank).Peek(func(m sim.Message) bool {
 		s, t := unpackKey(m.Key)
 		if (src == AnySource || s == src) && (tag == AnyTag || t == tag) {
 			found = true

@@ -12,6 +12,8 @@ import (
 type Win struct {
 	s *winShared
 	c *Comm
+
+	fenceFn func(contribs []any, maxT int64) (any, int64) // cached Fence finish
 }
 
 type winShared struct {
@@ -38,7 +40,7 @@ type WinSpan struct {
 // WinCreate exposes size bytes on every rank of the communicator and returns
 // the local window handle. Collective.
 func (c *Comm) WinCreate(size int64) *Win {
-	res := c.collective("win-create", nil, func(_ []any, maxT int64) (any, int64) {
+	res := c.collective("mpi:win-create", nil, func(_ []any, maxT int64) (any, int64) {
 		s := &winShared{
 			comm:     c.s,
 			size:     size,
@@ -63,6 +65,18 @@ func (w *Win) Size() int64 { return w.s.size }
 // remote completion is deferred to the next Fence — MPI_Put semantics.
 func (w *Win) Put(target int, offset, bytes int64, payload any) {
 	c := w.c
+	senderFree := w.PutAsync(target, offset, bytes, payload)
+	c.p.HoldUntil(senderFree)
+}
+
+// PutAsync is Put without the local-injection block: the transfer is booked
+// at the caller's current time and the sender-free instant is returned
+// instead of held for. The caller must either HoldUntil the returned time
+// before its next booking, or hand it to FenceAfter when the put is the
+// round's last — the Algorithm 3 pattern, which saves one context switch
+// per rank per round.
+func (w *Win) PutAsync(target int, offset, bytes int64, payload any) (senderFree int64) {
+	c := w.c
 	if target < 0 || target >= c.Size() {
 		panic(fmt.Sprintf("mpi: Put to invalid rank %d", target))
 	}
@@ -79,7 +93,7 @@ func (w *Win) Put(target int, offset, bytes int64, payload any) {
 	if w.s.capture {
 		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: c.rank, Payload: payload})
 	}
-	c.p.HoldUntil(senderFree)
+	return senderFree
 }
 
 // Get transfers bytes from target's window at offset to the caller. The data
@@ -105,22 +119,38 @@ func (w *Win) Get(target int, offset, bytes int64) {
 // Fence closes the current epoch: a collective that releases every rank once
 // all one-sided operations of the epoch have completed (the paper's
 // Algorithm 3 uses this as the round barrier). It returns the release time.
+// The finish closure is cached on the handle — fences run once per round
+// per rank, and a fresh closure per call is a heap allocation on that hot
+// path.
 func (w *Win) Fence() int64 {
-	res := w.c.collective("win-fence", nil, func(_ []any, maxT int64) (any, int64) {
-		release := w.c.treeCost(maxT, 0)
-		if w.s.epochArrival > release {
-			release = w.s.epochArrival
+	if w.fenceFn == nil {
+		w.fenceFn = func(_ []any, maxT int64) (any, int64) {
+			release := w.c.treeCost(maxT, 0)
+			if w.s.epochArrival > release {
+				release = w.s.epochArrival
+			}
+			w.s.epochArrival = 0
+			w.s.epochOps = 0
+			w.s.epochBytes = 0
+			copy(w.s.lastFill, w.s.fill)
+			for i := range w.s.fill {
+				w.s.fill[i] = 0
+			}
+			return release, release
 		}
-		w.s.epochArrival = 0
-		w.s.epochOps = 0
-		w.s.epochBytes = 0
-		copy(w.s.lastFill, w.s.fill)
-		for i := range w.s.fill {
-			w.s.fill[i] = 0
-		}
-		return release, release
-	})
+	}
+	res := w.c.collective("mpi:win-fence", nil, w.fenceFn)
 	return res.(int64)
+}
+
+// FenceAfter is Fence entered at virtual time senderFree — the deferred
+// completion of the round's last PutAsync. The clock jumps without an extra
+// scheduling point; the fence's collective park supplies the ordered yield
+// (sim.Proc.JumpTo's contract: the fence entry bookkeeping is commutative
+// and books nothing).
+func (w *Win) FenceAfter(senderFree int64) int64 {
+	w.c.p.JumpTo(senderFree)
+	return w.Fence()
 }
 
 // EpochFill returns the bytes put into rank r's window during the current

@@ -135,6 +135,10 @@ type File struct {
 	hints Hints
 	aggrs []int // comm ranks acting as aggregators
 	myAgg int   // index in aggrs if this rank is an aggregator, else -1
+
+	arrScratch []aggArrival             // reused per-round arrival-horizon contribution
+	arrBox     any                      // &arrScratch boxed once: no per-round interface alloc
+	horizonFn  func(contribs []any) any // per-handle combiner, built once in Open
 }
 
 // Open creates (on rank 0) and opens a file collectively.
@@ -158,7 +162,20 @@ func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions,
 			myAgg = i
 		}
 	}
-	return &File{c: c, sys: sys, f: f, hints: hints, aggrs: aggrs, myAgg: myAgg}
+	fh := &File{c: c, sys: sys, f: f, hints: hints, aggrs: aggrs, myAgg: myAgg}
+	fh.arrBox = &fh.arrScratch
+	fh.horizonFn = func(contribs []any) any {
+		h := make([]int64, len(fh.aggrs))
+		for _, x := range contribs {
+			for _, aa := range *x.(*[]aggArrival) {
+				if aa.at > h[aa.agg] {
+					h[aa.agg] = aa.at
+				}
+			}
+		}
+		return h
+	}
+	return fh
 }
 
 // Storage returns the underlying storage file (for verification).

@@ -12,10 +12,29 @@ type schedule struct {
 	rounds  int
 	domains [][2]int64 // per aggregator: file domain [lo, hi)
 
-	// sendPieces[rank] lists what each rank contributes, per (agg, round).
+	// sendPieces[rank] lists what each rank contributes, per (agg, round),
+	// sorted by round (stable, preserving build order within a round) so a
+	// rank walks its pieces with a single forward cursor across rounds.
 	sendPieces [][]sendPiece
 	// aggRounds[agg][round] aggregates all contributions for one flush.
 	aggRounds [][]roundData
+}
+
+// sortPieces orders every rank's pieces by round. The sort is stable: within
+// a round, pieces keep the order the schedule builder emitted, so the
+// per-round fabric bookings are issued in exactly the order the unsorted
+// full-scan loop used to issue them. Insertion sort: per-rank lists are a
+// handful of short ascending runs (one per declared segment), and the
+// reflection-based library sorts allocate per rank.
+func (s *schedule) sortPieces() {
+	for r := range s.sendPieces {
+		ps := s.sendPieces[r]
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].round < ps[j-1].round; j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+	}
 }
 
 type sendPiece struct {
@@ -115,6 +134,7 @@ func buildSchedule(allSegs [][]storage.Seg, nAggr int, bufSize int64, alignTo in
 			}
 		}
 	}
+	s.sortPieces()
 	return s
 }
 
@@ -192,6 +212,7 @@ func buildScheduleCyclic(allSegs [][]storage.Seg, nAggr int, bufSize, unit int64
 			}
 		}
 	}
+	s.sortPieces()
 	return s
 }
 
@@ -235,55 +256,77 @@ func (fh *File) collectiveIO(segs []storage.Seg, read bool) {
 		c.Barrier()
 		return
 	}
+	// This rank's pieces, round-sorted: each round consumes one contiguous
+	// run, so the whole exchange is a single forward walk instead of a full
+	// rescan per round.
+	var my []sendPiece
+	if c.Rank() < len(plan.sendPieces) {
+		my = plan.sendPieces[c.Rank()]
+	}
+	cur := 0
 	for round := 0; round < plan.rounds; round++ {
-		if read {
-			fh.readRound(plan, round)
-		} else {
-			fh.writeRound(plan, round)
+		end := cur
+		for end < len(my) && my[end].round == round {
+			end++
 		}
+		if read {
+			fh.readRound(plan, round, my[cur:end])
+		} else {
+			fh.writeRound(plan, round, my[cur:end])
+		}
+		cur = end
 	}
 	c.Barrier()
 }
 
+// aggArrival is one rank's arrival horizon at one aggregator this round.
+type aggArrival struct {
+	agg int
+	at  int64
+}
+
 // writeRound: all ranks push their round pieces to the owning aggregators
 // (the alltoallv), aggregators flush their buffers, then the round barrier.
-func (fh *File) writeRound(plan *schedule, round int) {
+func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece) {
 	c := fh.c
 	p := c.Proc()
 	fab := c.World().Fabric()
 
-	// Aggregation phase: book the incast transfers to each aggregator.
-	myArrivals := make(map[int]int64)
+	// Aggregation phase: book the incast transfers to each aggregator. The
+	// per-aggregator arrival horizons accumulate in a reused sparse list —
+	// its backing is safe to recycle next round because this rank only
+	// resumes after the horizon collective has consumed every contribution.
+	arrivals := fh.arrScratch[:0]
 	senderFree := p.Now()
-	if c.Rank() < len(plan.sendPieces) {
-		for _, piece := range plan.sendPieces[c.Rank()] {
-			if piece.round != round {
-				continue
+	for _, piece := range pieces {
+		sf, arr := fab.Reserve(p.Now(), c.Node(), c.NodeOfRank(fh.aggrs[piece.agg]), piece.bytes)
+		if sf > senderFree {
+			senderFree = sf
+		}
+		known := false
+		for i := range arrivals {
+			if arrivals[i].agg == piece.agg {
+				if arr > arrivals[i].at {
+					arrivals[i].at = arr
+				}
+				known = true
+				break
 			}
-			sf, arr := fab.Reserve(p.Now(), c.Node(), c.NodeOfRank(fh.aggrs[piece.agg]), piece.bytes)
-			if sf > senderFree {
-				senderFree = sf
-			}
-			if arr > myArrivals[piece.agg] {
-				myArrivals[piece.agg] = arr
-			}
+		}
+		if !known {
+			arrivals = append(arrivals, aggArrival{agg: piece.agg, at: arr})
 		}
 	}
-	p.HoldUntil(senderFree)
+	fh.arrScratch = arrivals
+	// The injection hold rides into the horizon collective's park (JumpTo
+	// contract: the collective's entry bookkeeping is commutative and books
+	// nothing), saving a context switch per rank per round.
+	p.JumpTo(senderFree)
 
 	// Exchange arrival horizons (the synchronization the alltoallv implies).
-	nAggr := len(fh.aggrs)
-	horizon := c.Collective("mpiio-horizon", myArrivals, 16, func(contribs []any) any {
-		h := make([]int64, nAggr)
-		for _, x := range contribs {
-			for a, t := range x.(map[int]int64) {
-				if t > h[a] {
-					h[a] = t
-				}
-			}
-		}
-		return h
-	}).([]int64)
+	// Both the combiner closure and the contribution's interface box are
+	// built once per file handle, not per rank per round.
+	horizon := c.Collective("mpiio-horizon", fh.arrBox, 16, fh.horizonFn).([]int64)
 
 	// I/O phase: aggregators process the received pieces (two-sided
 	// matching and staging-buffer assembly — CPU work TAPIOCA's one-sided
@@ -321,7 +364,7 @@ func (fh *File) flush(rd roundData) {
 
 // readRound: aggregators read their round span, then scatter pieces back to
 // the requesting ranks.
-func (fh *File) readRound(plan *schedule, round int) {
+func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece) {
 	c := fh.c
 	p := c.Proc()
 	fab := c.World().Fabric()
@@ -359,22 +402,17 @@ func (fh *File) readRound(plan *schedule, round int) {
 	// Scatter phase: each rank receives its pieces from the aggregators;
 	// transfers start when the owning aggregator's data is ready.
 	latest := p.Now()
-	if c.Rank() < len(plan.sendPieces) {
-		for _, piece := range plan.sendPieces[c.Rank()] {
-			if piece.round != round {
-				continue
-			}
-			aggRank := fh.aggrs[piece.agg]
-			t0 := ready[piece.agg]
-			if t0 < p.Now() {
-				t0 = p.Now()
-			}
-			_, arr := fab.Reserve(t0, c.NodeOfRank(aggRank), c.Node(), piece.bytes)
-			if arr > latest {
-				latest = arr
-			}
+	for _, piece := range pieces {
+		aggRank := fh.aggrs[piece.agg]
+		t0 := ready[piece.agg]
+		if t0 < p.Now() {
+			t0 = p.Now()
+		}
+		_, arr := fab.Reserve(t0, c.NodeOfRank(aggRank), c.Node(), piece.bytes)
+		if arr > latest {
+			latest = arr
 		}
 	}
-	p.HoldUntil(latest)
+	p.JumpTo(latest) // the barrier's park supplies the ordered yield
 	c.Barrier()
 }

@@ -13,7 +13,9 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"tapioca/internal/sim"
 	"tapioca/internal/topology"
@@ -49,6 +51,28 @@ type Config struct {
 	SoftwareOverhead int64
 }
 
+// pathCacheEnabled gates the per-pair path cache on newly built fabrics.
+// It exists so equivalence tests can run the uncached reference path; the
+// cache never changes results, only the cost of computing them.
+var pathCacheEnabled atomic.Bool
+
+func init() { pathCacheEnabled.Store(true) }
+
+// SetPathCache enables or disables path caching for subsequently constructed
+// fabrics and returns the previous setting. Results are identical either
+// way; the uncached mode re-derives every route per transfer (the reference
+// behaviour equivalence tests compare against).
+func SetPathCache(on bool) (prev bool) { return pathCacheEnabled.Swap(on) }
+
+// pathEntry is one cached node pair: the route length, the minimum link rate
+// along the route, and (link-contention mode) the route's link resources
+// interned as a span of the fabric's arena.
+type pathEntry struct {
+	off, n     int32 // resArena[off : off+n]
+	hops       int32
+	bottleneck float64
+}
+
 // Fabric books transfers between nodes of a topology over shared resources.
 // All methods must be called from the running sim proc (single-threaded
 // virtual-time discipline).
@@ -56,11 +80,18 @@ type Fabric struct {
 	topo topology.Topology
 	cfg  Config
 
-	nicIn  []*sim.GapResource
+	minNIC float64 // min(InjectRate, EjectRate), folded once
+
+	nicIn  []*sim.GapResource // lazily created on first use
 	nicOut []*sim.GapResource
 	links  []*sim.GapResource // lazily allocated, indexed by topology link id
 
 	scratch []*sim.GapResource // reusable per-transfer resource list
+
+	cachePaths bool
+	stater     topology.PathStater // non-nil when topo supports PathStats
+	paths      map[int64]pathEntry // (src*Nodes + dst) → cached path facts
+	resArena   []*sim.GapResource  // interned link resources (links mode)
 
 	distOnce sync.Once
 	dist     *topology.DistanceCache
@@ -88,15 +119,17 @@ func New(topo topology.Topology, cfg Config) *Fabric {
 	}
 	n := topo.Nodes()
 	f := &Fabric{
-		topo:   topo,
-		cfg:    cfg,
-		nicIn:  make([]*sim.GapResource, n),
-		nicOut: make([]*sim.GapResource, n),
-		links:  make([]*sim.GapResource, topo.NumLinks()),
+		topo:       topo,
+		cfg:        cfg,
+		minNIC:     math.Min(cfg.InjectRate, cfg.EjectRate),
+		nicIn:      make([]*sim.GapResource, n),
+		nicOut:     make([]*sim.GapResource, n),
+		links:      make([]*sim.GapResource, topo.NumLinks()),
+		cachePaths: pathCacheEnabled.Load(),
 	}
-	for i := 0; i < n; i++ {
-		f.nicOut[i] = sim.NewGapResource(fmt.Sprintf("nic-out-%d", i), cfg.InjectRate)
-		f.nicIn[i] = sim.NewGapResource(fmt.Sprintf("nic-in-%d", i), cfg.EjectRate)
+	f.stater, _ = topo.(topology.PathStater)
+	if f.cachePaths {
+		f.paths = make(map[int64]pathEntry)
 	}
 	return f
 }
@@ -109,9 +142,18 @@ func (f *Fabric) Topology() topology.Topology { return f.topo }
 // shares the same rows, so aggregator elections pay each node-pair distance
 // once per machine rather than once per lookup.
 func (f *Fabric) Distances() *topology.DistanceCache {
-	f.distOnce.Do(func() { f.dist = topology.NewDistanceCache(f.topo) })
+	f.distOnce.Do(func() {
+		if f.dist == nil {
+			f.dist = topology.NewDistanceCache(f.topo)
+		}
+	})
 	return f.dist
 }
+
+// ShareDistances injects an externally shared distance cache (rows are
+// lock-free and pure, so one cache may serve many fabrics over the same
+// topology instance). Call before the first Distances use.
+func (f *Fabric) ShareDistances(dc *topology.DistanceCache) { f.dist = dc }
 
 // Config returns the fabric configuration actually in effect.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -131,6 +173,70 @@ func (f *Fabric) link(id int) *sim.GapResource {
 	return r
 }
 
+// nicOutFor returns node i's injection NIC, creating it on first use — an
+// idle node (common at paper scale, where only aggregators and their
+// partners ever transfer) costs nothing.
+func (f *Fabric) nicOutFor(i int) *sim.GapResource {
+	r := f.nicOut[i]
+	if r == nil {
+		r = sim.NewGapResource(fmt.Sprintf("nic-out-%d", i), f.cfg.InjectRate)
+		f.nicOut[i] = r
+	}
+	return r
+}
+
+// nicInFor returns node i's ejection NIC, creating it on first use.
+func (f *Fabric) nicInFor(i int) *sim.GapResource {
+	r := f.nicIn[i]
+	if r == nil {
+		r = sim.NewGapResource(fmt.Sprintf("nic-in-%d", i), f.cfg.EjectRate)
+		f.nicIn[i] = r
+	}
+	return r
+}
+
+// path returns the cached path facts for a node pair, computing and interning
+// them on first use. With caching disabled it returns a zero entry and
+// ok = false; the caller re-derives the route per transfer.
+func (f *Fabric) path(src, dst int) (pathEntry, bool) {
+	if !f.cachePaths {
+		return pathEntry{}, false
+	}
+	key := int64(src)*int64(f.topo.Nodes()) + int64(dst)
+	if e, ok := f.paths[key]; ok {
+		return e, true
+	}
+	e := f.buildPath(src, dst)
+	f.paths[key] = e
+	return e, true
+}
+
+// buildPath computes one pair's path facts. Endpoint-model fabrics over a
+// PathStater topology stay route-free: hops and bottleneck come from the
+// topology's compact tables and no link sequence is ever materialized.
+func (f *Fabric) buildPath(src, dst int) pathEntry {
+	if f.cfg.Contention != ContentionLinks && f.stater != nil {
+		if hops, bn, ok := f.stater.PathStats(src, dst); ok {
+			return pathEntry{hops: int32(hops), bottleneck: bn}
+		}
+	}
+	route := f.topo.Route(src, dst)
+	e := pathEntry{hops: int32(len(route)), bottleneck: math.Inf(1)}
+	for _, l := range route {
+		if r := f.topo.LinkRate(l); r < e.bottleneck {
+			e.bottleneck = r
+		}
+	}
+	if f.cfg.Contention == ContentionLinks {
+		e.off = int32(len(f.resArena))
+		e.n = int32(len(route))
+		for _, l := range route {
+			f.resArena = append(f.resArena, f.link(l))
+		}
+	}
+	return e
+}
+
 // Reserve books a transfer of bytes from src to dst starting no earlier than
 // now, and returns:
 //
@@ -140,6 +246,7 @@ func (f *Fabric) link(id int) *sim.GapResource {
 //
 // The reservation is one-sided: no proc at dst needs to participate, which
 // is exactly MPI_Put semantics. Callers block (or not) on the returned times.
+// In steady state (warm path cache) Reserve allocates nothing.
 func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arrival int64) {
 	f.transfers++
 	f.totalBytes += bytes
@@ -151,40 +258,40 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 		return start + dur, start + dur
 	}
 
-	route := f.topo.Route(src, dst)
-	hops := len(route)
-
-	// Collect the resources this transfer occupies.
-	bottleneck := f.cfg.InjectRate
-	if f.cfg.EjectRate < bottleneck {
-		bottleneck = f.cfg.EjectRate
-	}
-	resources := f.scratch[:0]
-	resources = append(resources, f.nicOut[src])
-	if f.cfg.Contention == ContentionLinks {
-		for _, l := range route {
-			lr := f.link(l)
-			resources = append(resources, lr)
-			if rate := f.topo.LinkRate(l); rate < bottleneck {
-				bottleneck = rate
-			}
+	// Collect the resources this transfer occupies. The NICs bound the
+	// bandwidth; the path's minimum link rate tightens it further.
+	bottleneck := f.minNIC
+	resources := append(f.scratch[:0], f.nicOutFor(src))
+	var hops int
+	if e, ok := f.path(src, dst); ok {
+		hops = int(e.hops)
+		if e.bottleneck < bottleneck {
+			bottleneck = e.bottleneck
 		}
+		resources = append(resources, f.resArena[e.off:e.off+e.n]...)
 	} else {
-		// Endpoint model still honors the path's bandwidth ceiling.
+		// Uncached reference path: walk the route per transfer.
+		route := f.topo.Route(src, dst)
+		hops = len(route)
 		for _, l := range route {
 			if rate := f.topo.LinkRate(l); rate < bottleneck {
 				bottleneck = rate
 			}
+			if f.cfg.Contention == ContentionLinks {
+				resources = append(resources, f.link(l))
+			}
 		}
 	}
-	resources = append(resources, f.nicIn[dst])
-	f.scratch = resources[:0]
+	resources = append(resources, f.nicInFor(dst))
 
 	// Wormhole model: the flow occupies its whole path for bytes/bottleneck
 	// starting at the earliest instant every stage is simultaneously free
 	// (gap-filling, so staggered flows pipeline through shared stages).
 	dur := sim.TransferTime(bytes, bottleneck)
 	start, end := sim.ReserveTogether(start, dur, bytes, resources)
+	// Only park the scratch once ReserveTogether is done with the list: an
+	// earlier reset would let a reentrant Reserve overwrite live entries.
+	f.scratch = resources[:0]
 
 	senderFree = end
 	arrival = start + int64(hops)*f.cfg.PerHopLatency + dur
@@ -207,18 +314,24 @@ func (f *Fabric) Send(p *sim.Proc, src, dst int, bytes int64) (arrival int64) {
 }
 
 // MaxNICUtilization returns the highest busy-time fraction across NICs up to
-// horizon, a coarse hot-spot diagnostic.
+// horizon, a coarse hot-spot diagnostic. NICs are created on first transfer,
+// so the scan covers only nodes that ever moved data — at paper scale the
+// idle majority costs neither allocation nor scan time.
 func (f *Fabric) MaxNICUtilization(horizon int64) float64 {
 	if horizon <= 0 {
 		return 0
 	}
 	var maxBusy int64
 	for i := range f.nicIn {
-		if b := f.nicIn[i].BusyTime(); b > maxBusy {
-			maxBusy = b
+		if r := f.nicIn[i]; r != nil {
+			if b := r.BusyTime(); b > maxBusy {
+				maxBusy = b
+			}
 		}
-		if b := f.nicOut[i].BusyTime(); b > maxBusy {
-			maxBusy = b
+		if r := f.nicOut[i]; r != nil {
+			if b := r.BusyTime(); b > maxBusy {
+				maxBusy = b
+			}
 		}
 	}
 	return float64(maxBusy) / float64(horizon)

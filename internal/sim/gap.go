@@ -176,10 +176,11 @@ func (r *GapResource) addGap(s, e int64) {
 
 func (r *GapResource) insertGap(g gapInterval) {
 	if r.gaps == nil {
-		// One allocation for the resource's lifetime: the list is capped at
-		// maxGaps, and overflow below shifts in place rather than re-slicing
-		// (which would bleed capacity and re-allocate on later inserts).
-		r.gaps = make([]gapInterval, 0, maxGaps+1)
+		// Start small and let append grow geometrically toward the cap:
+		// most resources keep a handful of gaps, and a full-cap upfront
+		// allocation per resource adds up at paper scale. Removals shift in
+		// place (carveGap) rather than re-slicing, so capacity never bleeds.
+		r.gaps = make([]gapInterval, 0, 8)
 	}
 	// Keep sorted by start; drop the oldest when over capacity.
 	pos := len(r.gaps)

@@ -31,6 +31,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Handy duration constants in virtual nanoseconds.
@@ -153,6 +154,15 @@ type Engine struct {
 	started bool
 
 	timerFree *Proc // recycled timer nodes
+
+	// batch is the sorted release FIFO backing UnparkBatch: a mass release
+	// (a collective waking thousands of ranks at one instant) enqueues its
+	// procs here ordered by (time, id) instead of paying per-proc heap
+	// traffic; batchPos is the consumed prefix. The scheduler always takes
+	// the smaller of the heap top and the FIFO head, so the merged pop order
+	// is exactly the order an all-heap schedule would produce.
+	batch    []*Proc
+	batchPos int
 }
 
 // NewEngine returns an empty engine ready for Spawn and Run.
@@ -236,7 +246,7 @@ func (e *Engine) Run() error {
 	// Dispatch the earliest entry and sleep until the chain of direct
 	// proc-to-proc handoffs needs adjudication: the queue drained (normal
 	// completion or deadlock) or a proc recorded a terminal error.
-	for e.err == nil && e.runq.len() > 0 {
+	for e.err == nil && (e.runq.len() > 0 || e.batchPos < len(e.batch)) {
 		e.dispatch(nil)
 		<-e.wake
 	}
@@ -260,7 +270,7 @@ func (e *Engine) Run() error {
 // instead of sending itself a resume it could never receive.
 func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 	for {
-		next := e.runq.pop()
+		next := e.popNext()
 		if next == nil {
 			e.wake <- struct{}{}
 			return false
@@ -288,6 +298,35 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 		next.resume <- struct{}{}
 		return false
 	}
+}
+
+// peekNext returns the earliest pending entry across the heap and the
+// release FIFO without removing it, or nil.
+func (e *Engine) peekNext() *Proc {
+	top := e.runq.peek()
+	if e.batchPos < len(e.batch) {
+		if b := e.batch[e.batchPos]; top == nil || procLess(b, top) {
+			return b
+		}
+	}
+	return top
+}
+
+// popNext removes and returns the earliest pending entry across the heap and
+// the release FIFO, or nil.
+func (e *Engine) popNext() *Proc {
+	top := e.runq.peek()
+	if e.batchPos < len(e.batch) {
+		if b := e.batch[e.batchPos]; top == nil || procLess(b, top) {
+			e.batchPos++
+			if e.batchPos == len(e.batch) {
+				e.batch = e.batch[:0] // drained: recycle the backing
+				e.batchPos = 0
+			}
+			return b
+		}
+	}
+	return e.runq.pop()
 }
 
 // after arranges for ev to complete at virtual time at, via a recycled
@@ -361,6 +400,8 @@ func (e *Engine) deadlockError() error {
 
 // drain force-terminates all unfinished procs so no goroutines leak.
 func (e *Engine) drain() {
+	e.batch = nil
+	e.batchPos = 0
 	for _, p := range e.procs {
 		if p.state == stateFinished {
 			continue
@@ -396,7 +437,7 @@ func (p *Proc) handoff() {
 // Otherwise the proc enqueues itself and resumes its successor directly.
 func (p *Proc) reschedule() {
 	e := p.eng
-	if top := e.runq.peek(); top == nil || procLess(p, top) {
+	if top := e.peekNext(); top == nil || procLess(p, top) {
 		if p.now > e.clock {
 			e.clock = p.now
 		}
@@ -428,6 +469,21 @@ func (p *Proc) HoldUntil(t int64) {
 	p.reschedule()
 }
 
+// JumpTo advances the proc's clock to t (if in the future) without a
+// scheduling point — the specialized "advance, then immediately block"
+// primitive. Deferring the yield to an imminent park saves a full context
+// switch per message on the put→fence hot path. The contract is strict: the
+// caller must immediately enter a parking operation (collective, barrier,
+// event wait) and may only perform commutative shared-state updates before
+// it — no resource bookings, which must always happen at a globally minimal
+// virtual time. The park then re-enters the ordered schedule, so the
+// simulation's event order is identical to the HoldUntil it replaces.
+func (p *Proc) JumpTo(t int64) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
 // Park blocks the proc until another proc calls Unpark on it. The reason
 // string appears in deadlock diagnostics. The proc resumes with its clock
 // advanced to at least the unparker-provided wake time.
@@ -452,6 +508,61 @@ func (e *Engine) Unpark(target *Proc, at int64) {
 	}
 	target.state = stateRunnable
 	e.runq.push(target)
+}
+
+// UnparkBatch makes every parked proc in waiters runnable at virtual time at
+// — the mass-release path of a barrier or collective. It is schedule-
+// equivalent to calling Unpark on each waiter, but the procs enter the
+// sorted release FIFO, so an N-proc release costs one id sort instead of N
+// heap pushes and N full-depth sifting pops. The caller rules of Unpark
+// apply; waiters whose clock is already past at, and releases that would
+// break the FIFO's (time, id) order, fall back to individual heap entry.
+func (e *Engine) UnparkBatch(waiters []*Proc, at int64) {
+	if len(waiters) == 0 {
+		return
+	}
+	if e.batchPos < len(e.batch) && e.batch[len(e.batch)-1].now >= at {
+		// A same-instant release could interleave with the pending tail by
+		// id; the heap preserves that order, the FIFO could not.
+		for _, w := range waiters {
+			e.Unpark(w, at)
+		}
+		return
+	}
+	start := len(e.batch)
+	for _, w := range waiters {
+		if w.state != stateParked {
+			panic(fmt.Sprintf("sim: UnparkBatch of proc %d (%s) in state %v", w.id, w.name, w.state))
+		}
+		if w.now > at {
+			// Wakes later than the batch instant: order it through the heap.
+			e.Unpark(w, at)
+			continue
+		}
+		w.now = at
+		w.state = stateRunnable
+		e.batch = append(e.batch, w)
+	}
+	if added := e.batch[start:]; len(added) > 1 {
+		sortProcsByID(added)
+	}
+}
+
+// sortProcsByID sorts same-time batch entries by proc id. Collective waiters
+// park in run order, which is usually already id-sorted — detect that in one
+// pass and only pay a real sort when it is not.
+func sortProcsByID(s []*Proc) {
+	sorted := true
+	for i := 1; i < len(s); i++ {
+		if s[i].id < s[i-1].id {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].id < s[j].id })
 }
 
 // procLess is the scheduling order: (virtual time, proc id) ascending.

@@ -200,8 +200,8 @@ func (b *Barrier) Wait(p *Proc) int64 {
 			}
 		}
 		waiters := b.arrived
-		for i, w := range waiters {
-			w.eng.Unpark(w, release)
+		p.eng.UnparkBatch(waiters, release)
+		for i := range waiters {
 			waiters[i] = nil
 		}
 		// Reuse the arrival list's backing for the next round: nobody
@@ -244,9 +244,11 @@ type mailWaiter struct {
 	ok    bool
 }
 
-// NewMailbox returns an empty mailbox.
+// NewMailbox returns an empty mailbox. The park-reason string is built
+// lazily on the first blocking receive, so mailboxes that never park a
+// receiver (most, at scale) allocate nothing beyond the struct.
 func NewMailbox(name string) *Mailbox {
-	return &Mailbox{name: name, reason: "recv on mailbox " + name}
+	return &Mailbox{name: name}
 }
 
 // Pending returns the number of queued (undelivered) messages.
@@ -299,6 +301,9 @@ func (mb *Mailbox) Recv(p *Proc, match func(Message) bool) Message {
 	w.match = match
 	w.ok = false
 	mb.waiters = append(mb.waiters, w)
+	if mb.reason == "" {
+		mb.reason = "recv on mailbox " + mb.name
+	}
 	p.Park(mb.reason)
 	if !w.ok {
 		panic(fmt.Sprintf("sim: proc %d woke from mailbox %q without a message", p.ID(), mb.name))

@@ -110,6 +110,9 @@ type GPFS struct {
 	backend     *sim.GapResource
 
 	files map[string]*File
+
+	segScratch []Seg   // reusable compaction buffer (engine procs are serial)
+	bridgeOf   []int32 // per-node nearest-bridge cache (-1 = unfilled)
 }
 
 type gpfsFile struct {
@@ -132,7 +135,23 @@ func NewGPFS(topo *topology.Torus5D, fab *netsim.Fabric, cfg GPFSConfig) *GPFS {
 		g.ionUplink[i] = sim.NewGapResource(fmt.Sprintf("ion-%d", i), cfg.IONBandwidth)
 	}
 	g.backend = sim.NewGapResource("gpfs-backend", cfg.BackendBW)
+	g.bridgeOf = make([]int32, topo.Nodes())
+	for i := range g.bridgeOf {
+		g.bridgeOf[i] = -1
+	}
 	return g
+}
+
+// nearestBridge memoizes topo.NearestBridge per node: every flush from a
+// node resolves the same bridge, and the torus distance math is on the
+// per-flush hot path.
+func (g *GPFS) nearestBridge(node int) int {
+	if b := g.bridgeOf[node]; b >= 0 {
+		return int(b)
+	}
+	b := g.topo.NearestBridge(node)
+	g.bridgeOf[node] = int32(b)
+	return b
 }
 
 // Config returns the effective configuration.
@@ -175,6 +194,11 @@ func (g *GPFS) reserve(now int64, node int, f *File, segs []Seg, read bool) int6
 	if bytes == 0 {
 		return now + g.cfg.PerOpOverhead
 	}
+	// Compaction keeps the block-token walk and per-run marshaling over whole
+	// patterns rather than window-clipping fragments; the run set (hence the
+	// price) is unchanged.
+	g.segScratch = CompactInto(g.segScratch, segs)
+	segs = g.segScratch
 	runs := TotalRuns(segs)
 	pset := g.topo.PsetOf(node)
 
@@ -183,7 +207,7 @@ func (g *GPFS) reserve(now int64, node int, f *File, segs []Seg, read bool) int6
 
 	// Torus hop to the nearest bridge node (contends with application
 	// traffic on the fabric).
-	bridge := g.topo.NearestBridge(node)
+	bridge := g.nearestBridge(node)
 	bridgeIdx := 0
 	if bridge != g.topo.BridgeNodes(pset)[0] {
 		bridgeIdx = 1

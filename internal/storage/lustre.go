@@ -92,6 +92,14 @@ type Lustre struct {
 
 	files   map[string]*File
 	fileSeq int
+
+	segScratch []Seg // reusable compaction buffer (engine procs are serial)
+
+	// Per-OST chunk scratch reused across reserve calls (engine procs are
+	// serial): indexed by OST, with chunkOrder tracking touched entries.
+	chunkBytes    []int64
+	chunkConflict []int64
+	chunkOrder    []int
 }
 
 type lustreFile struct {
@@ -167,39 +175,43 @@ func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) in
 	if bytes == 0 {
 		return now + l.cfg.RPCLatency
 	}
+	// Fold window-clipping fragments back into whole patterns before the
+	// stripe math: the per-stripe walk below is then linear in runs, not in
+	// fragments, and the run set (hence the pricing) is unchanged.
+	l.segScratch = CompactInto(l.segScratch, segs)
+	segs = l.segScratch
 	runs := TotalRuns(segs)
 	t0 := now + runs*l.cfg.PerRunCost
 
 	// Partition the access by stripe, grouping chunks per OST object.
 	lo, hi := SpanAll(segs)
 	S := lf.stripeSize
-	type chunk struct {
-		bytes    int64
-		conflict int64 // lock revocation delay
+	if l.chunkBytes == nil {
+		l.chunkBytes = make([]int64, l.cfg.NumOST)
+		l.chunkConflict = make([]int64, l.cfg.NumOST)
 	}
-	perOST := map[int]*chunk{}
-	ostOrder := []int{}
+	ostOrder := l.chunkOrder[:0]
 	for s := lo / S; s <= (hi-1)/S; s++ {
-		part := IntersectAll(segs, s*S, (s+1)*S)
-		b := TotalBytes(part)
+		var b int64
+		for _, sg := range segs {
+			b += sg.BytesIn(s*S, (s+1)*S)
+		}
 		if b == 0 {
 			continue
 		}
 		ost := l.OSTOf(f, s)
-		ck := perOST[ost]
-		if ck == nil {
-			ck = &chunk{}
-			perOST[ost] = ck
+		if l.chunkBytes[ost] == 0 && l.chunkConflict[ost] == 0 {
 			ostOrder = append(ostOrder, ost)
 		}
-		ck.bytes += b
+		l.chunkBytes[ost] += b
 		if !read {
 			if owner, ok := lf.stripeOwner[s]; ok && owner != node {
-				ck.conflict += l.cfg.LockRevocation
+				l.chunkConflict[ost] += l.cfg.LockRevocation
 			}
 			lf.stripeOwner[s] = node
 		}
 	}
+	l.chunkOrder = ostOrder
 
 	// One object stream per OST. Streams of one call are processed
 	// serially by the issuing client (the Lustre client walks the layout
@@ -214,7 +226,8 @@ func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) in
 	}
 	cur := t0
 	for _, ost := range ostOrder {
-		ck := perOST[ost]
+		ckBytes, ckConflict := l.chunkBytes[ost], l.chunkConflict[ost]
+		l.chunkBytes[ost], l.chunkConflict[ost] = 0, 0 // reset for the next call
 		lnetIdx := ost % len(l.lnet)
 		lnetNode := l.topo.ServiceNode(lnetIdx)
 		var stageIn int64
@@ -222,13 +235,13 @@ func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) in
 			// Reads start with a small request message (pure latency) and
 			// flow back LNET→client afterwards.
 			stageIn = cur + l.fab.LatencyTo(node, lnetNode)
-			_, stageIn = l.lnet[lnetIdx].Reserve(stageIn, ck.bytes)
+			_, stageIn = l.lnet[lnetIdx].Reserve(stageIn, ckBytes)
 		} else {
-			_, arr := l.fab.Reserve(cur, node, lnetNode, ck.bytes)
-			_, stageIn = l.lnet[lnetIdx].Reserve(arr, ck.bytes)
+			_, arr := l.fab.Reserve(cur, node, lnetNode, ckBytes)
+			_, stageIn = l.lnet[lnetIdx].Reserve(arr, ckBytes)
 		}
-		cur = stageIn + ck.conflict + l.cfg.ObjectSetup
-		remaining := ck.bytes
+		cur = stageIn + ckConflict + l.cfg.ObjectSetup
+		remaining := ckBytes
 		for remaining > 0 {
 			rpc := minI64(remaining, l.cfg.RPCSize)
 			dur := sim.TransferTime(rpc, ostRate)
@@ -238,7 +251,7 @@ func (l *Lustre) reserve(now int64, node int, f *File, segs []Seg, read bool) in
 		}
 		if read {
 			// Deliver the data over the fabric to the client.
-			_, arr := l.fab.Reserve(cur, lnetNode, node, ck.bytes)
+			_, arr := l.fab.Reserve(cur, lnetNode, node, ckBytes)
 			cur = arr
 		}
 	}

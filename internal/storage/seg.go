@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Seg describes a (possibly strided) file access pattern compactly: Count
 // runs of Len bytes, the i-th starting at Off + i*Stride. A contiguous
@@ -123,6 +126,38 @@ func (s Seg) Intersect(lo, hi int64) []Seg {
 	return out
 }
 
+// BytesIn returns the data bytes of the segment inside the window [lo, hi) —
+// TotalBytes(s.Intersect(lo, hi)) computed analytically, with no allocation.
+func (s Seg) BytesIn(lo, hi int64) int64 {
+	if s.Empty() || hi <= lo {
+		return 0
+	}
+	return s.bytesBefore(hi) - s.bytesBefore(lo)
+}
+
+// bytesBefore returns the segment's data bytes at file offsets below x.
+func (s Seg) bytesBefore(x int64) int64 {
+	if x <= s.Off {
+		return 0
+	}
+	if x >= s.End() {
+		return s.Bytes()
+	}
+	if s.Count == 1 {
+		return minI64(x-s.Off, s.Len)
+	}
+	// Runs fully below x, plus the clipped portion of the run containing x.
+	i := (x - s.Off) / s.Stride
+	if i >= s.Count {
+		i = s.Count - 1
+	}
+	n := i * s.Len
+	if part := x - (s.Off + i*s.Stride); part > 0 {
+		n += minI64(part, s.Len)
+	}
+	return n
+}
+
 // IntersectAll clips every segment in segs to [lo, hi).
 func IntersectAll(segs []Seg, lo, hi int64) []Seg {
 	var out []Seg
@@ -130,6 +165,58 @@ func IntersectAll(segs []Seg, lo, hi int64) []Seg {
 		out = append(out, s.Intersect(lo, hi)...)
 	}
 	return out
+}
+
+// segCompaction gates Compact/CompactInto. It exists so equivalence tests
+// can run the uncompacted reference path; compaction never changes priced
+// results (the run set is identical), only the fragment count carrying them.
+var segCompaction atomic.Bool
+
+func init() { segCompaction.Store(true) }
+
+// SetSegCompaction enables or disables segment-list compaction and returns
+// the previous setting (test hook; results are identical either way).
+func SetSegCompaction(on bool) (prev bool) { return segCompaction.Swap(on) }
+
+// Compact merges consecutive segments whose runs continue a single arithmetic
+// pattern, in place. It is purely representational: the merged list describes
+// exactly the same set of contiguous runs, so TotalBytes, TotalRuns, SpanAll,
+// BytesIn and Intersect are all preserved — only the element count shrinks.
+// Adjacent fragments produced by window clipping (e.g. a strided pattern cut
+// at stripe boundaries and reassembled) collapse back into single segments,
+// which keeps downstream stripe math linear in runs rather than fragments.
+func Compact(segs []Seg) []Seg {
+	if len(segs) < 2 || !segCompaction.Load() {
+		return segs
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		if s.Empty() {
+			continue
+		}
+		a := &out[len(out)-1]
+		if s.Len == a.Len && s.Off == a.Off+a.Count*a.Stride &&
+			(s.Count == 1 || s.Stride == a.Stride) {
+			// s continues a's run pattern at a's own stride.
+			a.Count += s.Count
+			continue
+		}
+		if a.Count == 1 && s.Count == 1 && s.Len == a.Len && s.Off-a.Off >= a.Len {
+			// Two equal-length runs define a stride of their own.
+			a.Stride = s.Off - a.Off
+			a.Count = 2
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// CompactInto compacts segs into dst (reused backing, input untouched) — the
+// aliasing-safe variant for pricing paths whose inputs are caller-owned.
+func CompactInto(dst, segs []Seg) []Seg {
+	dst = append(dst[:0], segs...)
+	return Compact(dst)
 }
 
 // TotalBytes sums the data bytes over segments.

@@ -339,6 +339,39 @@ func (d *Dragonfly) gatewayIndex(a, b int) int {
 	return int(h % uint64(d.GatewaysPerPair))
 }
 
+// PathStats implements PathStater for minimally-routed pairs: the route is
+// host link → (electrical hops) [→ optical → electrical hops] → host link,
+// so the length is Distance and the bottleneck follows from which link
+// classes the path crosses — no route materialization. Pairs that Valiant
+// routing would detour through an intermediate group return ok = false.
+func (d *Dragonfly) PathStats(a, b int) (hops int, bottleneck float64, ok bool) {
+	if a == b {
+		return 0, d.HostLinkBW, true
+	}
+	ra, rb := d.RouterOf(a), d.RouterOf(b)
+	ga, gb := ra/(d.Rows*d.Cols), rb/(d.Rows*d.Cols)
+	if ga != gb && d.Routing == RouteValiant && d.Groups > 2 {
+		if gi := (a*31 + b*7) % d.Groups; gi != ga && gi != gb {
+			return 0, 0, false // detoured route: walk it for real
+		}
+	}
+	bottleneck = d.HostLinkBW
+	electrical := 0
+	if ga == gb {
+		electrical = d.intraHops(ra, rb)
+	} else {
+		k := d.gatewayIndex(a, b)
+		electrical = d.intraHops(ra, d.gatewayRouter(ga, gb, k)) + d.intraHops(d.gatewayRouter(gb, ga, k), rb)
+		if d.OpticalBW < bottleneck {
+			bottleneck = d.OpticalBW
+		}
+	}
+	if electrical > 0 && d.ElectricalBW < bottleneck {
+		bottleneck = d.ElectricalBW
+	}
+	return d.Distance(a, b), bottleneck, true
+}
+
 // Distance counts the links on the (minimal) route between two nodes,
 // including the two host links. It is routing-mode independent so the
 // placement cost model sees stable distances.

@@ -73,6 +73,11 @@ type Topology interface {
 // PathInfo returns the hop count and bottleneck bandwidth between two nodes.
 // For same-node paths the bandwidth is reported as the injection-level rate.
 func PathInfo(t Topology, a, b int) (hops int, bottleneck float64) {
+	if ps, ok := t.(PathStater); ok {
+		if hops, bottleneck, ok = ps.PathStats(a, b); ok {
+			return hops, bottleneck
+		}
+	}
 	route := t.Route(a, b)
 	if len(route) == 0 {
 		return 0, t.Bandwidth(LevelInjection)
@@ -84,6 +89,20 @@ func PathInfo(t Topology, a, b int) (hops int, bottleneck float64) {
 		}
 	}
 	return len(route), bottleneck
+}
+
+// PathStater is an optional Topology extension: PathStats reports the route
+// length and the minimum link rate along the deterministic route from a to b
+// without materializing the link sequence — the compact table endpoint-model
+// simulations use so they never allocate a route. Implementations return
+// ok = false when the answer would require walking the actual route (e.g.
+// non-minimal routing modes); callers then fall back to Route.
+//
+// The contract is exact: hops == len(Route(a, b)) and bottleneck ==
+// min(LinkRate(l) for l in Route(a, b)). Same-node pairs return (0, +Inf not
+// required) — callers never ask, as a == b short-circuits before routing.
+type PathStater interface {
+	PathStats(a, b int) (hops int, bottleneck float64, ok bool)
 }
 
 // Flat is a degenerate single-switch topology: every pair of nodes is one
@@ -141,4 +160,13 @@ func (f *Flat) Route(a, b int) []int {
 		return nil
 	}
 	return []int{2 * a, 2*b + 1} // a's uplink, b's downlink
+}
+
+// PathStats implements PathStater: every distinct pair routes over exactly
+// two links of the uniform rate.
+func (f *Flat) PathStats(a, b int) (hops int, bottleneck float64, ok bool) {
+	if a == b {
+		return 0, f.LinkBW, true
+	}
+	return 2, f.LinkBW, true
 }
