@@ -77,12 +77,12 @@ func main() {
 		t0 := ctx.Now()
 		if *method == "tapioca" {
 			w := group.Tapioca(f, tapioca.Config{Aggregators: *aggregators, BufferSize: *buffer})
-			w.Init(decl)
-			w.WriteAll()
+			must(w.Init(decl))
+			must(w.WriteAll())
 		} else {
 			fh := group.MPIIO(f, tapioca.Hints{CBNodes: *aggregators, CBBufferSize: *buffer, AlignDomains: true})
 			for _, segs := range decl {
-				fh.WriteAtAll(segs)
+				must(fh.WriteAtAll(segs))
 			}
 			fh.Close()
 		}
@@ -97,4 +97,12 @@ func main() {
 	total := float64(int64(*nodes**rpn) * *particles * particleBytes)
 	fmt.Printf("%s %s HACC-IO on %s: %d ranks × %d particles = %.2f GB in %.3f s → %.3f GB/s\n",
 		*method, *layout, m.Name(), *nodes**rpn, *particles, total/1e9, elapsed, total/elapsed/1e9)
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -55,18 +55,18 @@ func main() {
 		t0 := ctx.Now()
 		if *method == "tapioca" {
 			w := ctx.Tapioca(f, tapioca.Config{Aggregators: *aggregators, BufferSize: *buffer})
-			w.Init(segs)
+			must(w.Init(segs))
 			if *read {
-				w.ReadAll()
+				must(w.ReadAll())
 			} else {
-				w.WriteAll()
+				must(w.WriteAll())
 			}
 		} else {
 			fh := ctx.MPIIO(f, tapioca.Hints{CBNodes: *aggregators, CBBufferSize: *buffer, AlignDomains: true})
 			if *read {
-				fh.ReadAtAll(segs[0])
+				must(fh.ReadAtAll(segs[0]))
 			} else {
-				fh.WriteAtAll(segs[0])
+				must(fh.WriteAtAll(segs[0]))
 			}
 			fh.Close()
 		}
@@ -85,4 +85,12 @@ func main() {
 	}
 	fmt.Printf("%s %s on %s: %d ranks × %d B = %.2f GB in %.3f s → %.3f GB/s\n",
 		*method, op, m.Name(), *nodes**rpn, *size, total/1e9, elapsed, total/elapsed/1e9)
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

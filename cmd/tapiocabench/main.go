@@ -50,6 +50,11 @@ type jsonResult struct {
 	// PeakHeapBytes is the maximum live heap observed while the figure ran
 	// (sampled), the footprint bound for paper-scale runs.
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// Verified reports that this binary's data-plane round-trip smoke
+	// (-verify: real payload bytes written through the aggregation pipeline
+	// and read back checksum-identical) passed before the experiments ran.
+	// Omitted when -verify was not requested.
+	Verified bool `json:"verified,omitempty"`
 }
 
 type jsonRow struct {
@@ -84,6 +89,7 @@ func run() int {
 		workers  = flag.Int("workers", 0, "worker-pool width with -parallel (0 = GOMAXPROCS)")
 		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		verify   = flag.Bool("verify", false, "run the data-plane round-trip smoke (real bytes, checksum-verified) before the experiments")
 	)
 	flag.Parse()
 
@@ -157,6 +163,16 @@ func run() int {
 		specs = []expt.Spec{*s}
 	}
 
+	verified := false
+	if *verify {
+		if err := expt.VerifyDataPlane(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		verified = true
+		fmt.Print("data plane verified: write→read round trip checksum-identical on both platforms\n\n")
+	}
+
 	var records []jsonResult
 	for _, s := range specs {
 		expt.ResetTransferCount()
@@ -191,6 +207,7 @@ func run() int {
 				Workers:        expt.Parallelism(),
 				Transfers:      transfers,
 				PeakHeapBytes:  peak,
+				Verified:       verified,
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})

@@ -93,11 +93,11 @@ func main() {
 			decl := w.Declared(ctx.Rank(), ctx.Size())
 			ctx.Barrier()
 			t0 := ctx.Now()
-			wr.Init(decl)
+			must(wr.Init(decl))
 			if w.Read {
-				wr.ReadAll()
+				must(wr.ReadAll())
 			} else {
-				wr.WriteAll()
+				must(wr.WriteAll())
 			}
 			ctx.Barrier()
 			if ctx.Rank() == 0 {
@@ -115,4 +115,12 @@ func main() {
 	def := run(tapioca.Config{}, tapioca.FileOptions{})
 	fmt.Printf("\n  verify: tuned %8.1f ms (%6.2f GB/s)   defaults %8.1f ms (%6.2f GB/s)   %.2fx\n",
 		tuned*1e3, total/tuned/1e9, def*1e3, total/def/1e9, def/tuned)
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -33,11 +33,11 @@ func race(cfg tapioca.Config, fopt tapioca.FileOptions, w tapioca.Workload) floa
 		decl := w.Declared(ctx.Rank(), ctx.Size())
 		ctx.Barrier()
 		t0 := ctx.Now()
-		wr.Init(decl)
+		must(wr.Init(decl))
 		if w.Read {
-			wr.ReadAll()
+			must(wr.ReadAll())
 		} else {
-			wr.WriteAll()
+			must(wr.WriteAll())
 		}
 		ctx.Barrier()
 		if ctx.Rank() == 0 {
@@ -75,4 +75,12 @@ func main() {
 	fmt.Println(" the Figure 8 pathology. The tuner matches stripe size to the buffer,")
 	fmt.Println(" spreads the file across the OSTs and sizes the aggregator pool so")
 	fmt.Println(" concurrent flush streams just saturate them.)")
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

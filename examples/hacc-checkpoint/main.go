@@ -74,15 +74,15 @@ func main() {
 				t0 := ctx.Now()
 				if method == "TAPIOCA" {
 					w := sub.Tapioca(f, tapioca.Config{Aggregators: 16, BufferSize: 16 << 20})
-					w.Init(decl)
-					w.WriteAll()
+					must(w.Init(decl))
+					must(w.WriteAll())
 				} else {
 					fh := sub.MPIIO(f, tapioca.Hints{
 						CBNodes: 16, CBBufferSize: 16 << 20,
 						Strategy: tapioca.AggrBridgeFirst, AlignDomains: true,
 					})
 					for _, segs := range decl {
-						fh.WriteAtAll(segs)
+						must(fh.WriteAtAll(segs))
 					}
 				}
 				ctx.Barrier()
@@ -91,8 +91,8 @@ func main() {
 					// Restart: read the checkpoint back through a fresh
 					// declared session over the same pattern.
 					r := sub.Tapioca(f, tapioca.Config{Aggregators: 16, BufferSize: 16 << 20})
-					r.Init(decl)
-					r.ReadAll()
+					must(r.Init(decl))
+					must(r.ReadAll())
 					ctx.Barrier()
 				}
 				if ctx.Rank() == 0 {
@@ -116,4 +116,12 @@ func main() {
 	fmt.Println("\n(AoS: each variable is a strided 4-byte pattern — declared I/O lets")
 	fmt.Println(" TAPIOCA reorganize it into dense, aligned buffer flushes; the restart")
 	fmt.Println(" runs the reverse pipeline, prefetching rounds while members pull.)")
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

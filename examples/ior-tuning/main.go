@@ -33,7 +33,7 @@ func measure(nodes, rpn int, adaptive bool, stripeCount int, stripeMB int64, cbN
 		})
 		ctx.Barrier()
 		t0 := ctx.Now()
-		fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())*sizePerRank, sizePerRank)})
+		must(fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())*sizePerRank, sizePerRank)}))
 		fh.Close()
 		if ctx.Rank() == 0 {
 			elapsed = ctx.Now() - t0
@@ -75,4 +75,12 @@ func main() {
 			c.stripeCount, c.stripeMB, c.cbNodes, dom, c.label, bw)
 	}
 	fmt.Println("\n(The paper's Fig. 8: defaults leave >10x bandwidth on the table.)")
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

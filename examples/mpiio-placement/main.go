@@ -32,7 +32,7 @@ func measure(nodes, rpn int, strategy tapioca.Placement) float64 {
 		})
 		ctx.Barrier()
 		t0 := ctx.Now()
-		fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())*sizePerRank, sizePerRank)})
+		must(fh.WriteAtAll([]tapioca.Seg{tapioca.Contig(int64(ctx.Rank())*sizePerRank, sizePerRank)}))
 		fh.Close()
 		if ctx.Rank() == 0 {
 			elapsed = ctx.Now() - t0
@@ -66,4 +66,12 @@ func main() {
 	fmt.Println("\n(Rank order stacks all 96 aggregators on the first 6 nodes: the NIC incast",
 		"\nserializes the aggregation phase. The cost-model elections spread one",
 		"\naggregator per rank block and minimize dragonfly hop distance.)")
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -33,8 +33,8 @@ func main() {
 			w := ctx.Tapioca(f, tapioca.Config{Aggregators: 8, BufferSize: 4 << 20})
 			ctx.Barrier()
 			t0 := ctx.Now()
-			w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())*chunkSize, chunkSize)}})
-			w.WriteAll()
+			must(w.Init([][]tapioca.Seg{{tapioca.Contig(int64(ctx.Rank())*chunkSize, chunkSize)}}))
+			must(w.WriteAll())
 			ctx.Barrier()
 			if ctx.Rank() == 0 {
 				checkpoint = ctx.Now() - t0
@@ -61,4 +61,12 @@ func main() {
 	fmt.Printf("background drain done:   %7.1f ms after checkpoint start\n", durable*1e3)
 	fmt.Printf("\ncompute resumes %.1fx sooner; durability arrives asynchronously.\n",
 		direct/staged)
+}
+
+// must surfaces an I/O session error as a rank panic, which the simulation
+// engine reports as the run's error.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -43,7 +43,7 @@ func BenchmarkPlanBuild(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p := buildPlan(all, 192, 16<<20, 16<<20)
+				p := buildPlan(all, 192, 16<<20, 16<<20, false)
 				if len(p.parts) == 0 {
 					b.Fatal("empty plan")
 				}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"tapioca/internal/cost"
+	"tapioca/internal/dataplane"
 	"tapioca/internal/mpi"
 	"tapioca/internal/storage"
 )
@@ -127,6 +128,13 @@ type Writer struct {
 
 	written int // count of declared ops already marked written
 	nops    int
+	ran     bool // zero-op session already attended the pipeline
+
+	// pl is the rank's data plane: non-nil when InitData attached real
+	// payload buffers. Phantom sessions (Init) leave it nil and move only
+	// virtual byte counts.
+	pl      *dataplane.Plane
+	gatherB []byte // per-round payload gather/scatter scratch
 
 	stats Stats
 }
@@ -178,10 +186,32 @@ func (w *Writer) File() *storage.File { return w.f }
 // Init declares the upcoming operations: declared[i] is this rank's file
 // access pattern for the i-th TAPIOCA_Write/Read call. Collective. It
 // builds the global round schedule, splits partition communicators, elects
-// aggregators, and allocates the RMA windows.
-func (w *Writer) Init(declared [][]storage.Seg) {
+// aggregators, and allocates the RMA windows. Sessions initialized with
+// Init run in phantom mode: only virtual byte counts move (the paper-scale
+// default); use InitData to carry real payload bytes.
+func (w *Writer) Init(declared [][]storage.Seg) error {
+	return w.InitData(declared, nil)
+}
+
+// InitData is Init with the data plane enabled: data[i] holds declared[i]'s
+// payload bytes packed in segment enumeration order. For a write session the
+// buffers are sources; for a read session the same buffers are filled by
+// Read/ReadAll. Every rank of the communicator must pass payload buffers (or
+// every rank none — data-plane mode is a collective property of the
+// session). The aggregation pipeline then moves the actual bytes: puts copy
+// into real aggregator window memory, flushes land in the file's backing
+// store (a MemStore is attached on first use; see storage.File.SetStore),
+// and DataChecksum exposes the end-to-end verification hook.
+func (w *Writer) InitData(declared [][]storage.Seg, data [][]byte) error {
 	if w.plan != nil {
-		panic("core: Init called twice")
+		return fmt.Errorf("core: Init called twice on writer for %q", w.f.Name)
+	}
+	if data != nil {
+		pl, err := dataplane.New(declared, data)
+		if err != nil {
+			return err
+		}
+		w.pl = pl
 	}
 	c := w.c
 	w.nops = len(declared)
@@ -197,6 +227,7 @@ func (w *Writer) Init(declared [][]storage.Seg) {
 	}
 	bytes := int64(32*len(mine) + 16)
 	unit := w.sys.OptimalUnit(w.f)
+	withData := w.pl != nil
 	w.plan = c.Collective("tapioca-init", mine, bytes, func(contribs []any) any {
 		all := make([][]storage.Seg, len(contribs))
 		for i, x := range contribs {
@@ -204,8 +235,20 @@ func (w *Writer) Init(declared [][]storage.Seg) {
 				all[i] = x.([]storage.Seg)
 			}
 		}
-		return buildPlan(all, w.cfg.Aggregators, w.cfg.BufferSize, unit)
+		return buildPlan(all, w.cfg.Aggregators, w.cfg.BufferSize, unit, withData)
 	}).(*plan)
+	// A data-plane-mode mismatch (some ranks passed payload buffers, others
+	// did not) is diagnosed here but reported only after the remaining
+	// collective setup: Split and WinCreate involve every rank, so bailing
+	// early would hang the agreeing ranks instead of surfacing the error.
+	var modeErr error
+	if w.plan.withData != withData {
+		modeErr = fmt.Errorf("core: data-plane mode is collective — rank %d passed payload buffers %v but the session plan was built with %v",
+			c.Rank(), withData, w.plan.withData)
+		if !w.plan.withData {
+			w.pl = nil // the plan has no layouts; run this rank phantom
+		}
+	}
 
 	w.part = w.plan.partOf[c.Rank()]
 	w.pc = c.Split(w.part, c.Rank())
@@ -224,49 +267,106 @@ func (w *Writer) Init(declared [][]storage.Seg) {
 
 	// Two pipelined buffers, exposed as one window of 2×BufferSize.
 	w.win = w.pc.WinCreate(2 * w.cfg.BufferSize)
+	return modeErr
+}
+
+// checkOp validates a Write/Read call against the session state. Misuse
+// returns a descriptive error (it used to panic): the session must be
+// initialized, i must name a declared operation, and operations complete in
+// declared order.
+func (w *Writer) checkOp(verb string, i int) error {
+	if w.plan == nil {
+		return fmt.Errorf("core: %s(%d) before Init on writer for %q", verb, i, w.f.Name)
+	}
+	if i < 0 || i >= w.nops {
+		return fmt.Errorf("core: %s(%d) out of range (%d operations declared)", verb, i, w.nops)
+	}
+	if i != w.written {
+		return fmt.Errorf("core: %s(%d) out of declared order (next is %d)", verb, i, w.written)
+	}
+	return nil
 }
 
 // Write marks the i-th declared operation written. When the final declared
 // operation arrives, the full aggregation pipeline executes (see the
 // package comment for why). Collective across the communicator.
-func (w *Writer) Write(i int) {
-	if w.plan == nil {
-		panic("core: Write before Init")
-	}
-	if i != w.written {
-		panic(fmt.Sprintf("core: Write(%d) out of declared order (next is %d)", i, w.written))
+func (w *Writer) Write(i int) error {
+	if err := w.checkOp("Write", i); err != nil {
+		return err
 	}
 	w.written++
 	if w.written == w.nops {
-		w.runWrite()
+		return w.runWrite()
 	}
+	return nil
 }
 
-// WriteAll performs all declared writes.
-func (w *Writer) WriteAll() {
-	for i := w.written; i < w.nops; i++ {
-		w.Write(i)
+// WriteAll performs all declared writes. A rank that declared no operations
+// still participates in its partition's aggregation rounds (fences are
+// collective), so WriteAll is required on every rank even when a rank
+// contributes nothing.
+func (w *Writer) WriteAll() error {
+	if w.plan == nil {
+		return fmt.Errorf("core: WriteAll before Init on writer for %q", w.f.Name)
 	}
+	if w.nops == 0 {
+		if w.ran {
+			return nil
+		}
+		w.ran = true
+		return w.runWrite()
+	}
+	for i := w.written; i < w.nops; i++ {
+		if err := w.Write(i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Read marks the i-th declared operation for reading; the pipeline runs on
-// the last one, mirroring Write.
-func (w *Writer) Read(i int) {
-	if w.plan == nil {
-		panic("core: Read before Init")
-	}
-	if i != w.written {
-		panic(fmt.Sprintf("core: Read(%d) out of declared order (next is %d)", i, w.written))
+// the last one, mirroring Write. In a data-plane session the payload
+// buffers passed to InitData are filled once the final operation completes.
+func (w *Writer) Read(i int) error {
+	if err := w.checkOp("Read", i); err != nil {
+		return err
 	}
 	w.written++
 	if w.written == w.nops {
-		w.runRead()
+		return w.runRead()
 	}
+	return nil
 }
 
-// ReadAll performs all declared reads.
-func (w *Writer) ReadAll() {
-	for i := w.written; i < w.nops; i++ {
-		w.Read(i)
+// ReadAll performs all declared reads, with the same zero-operation
+// participation contract as WriteAll.
+func (w *Writer) ReadAll() error {
+	if w.plan == nil {
+		return fmt.Errorf("core: ReadAll before Init on writer for %q", w.f.Name)
 	}
+	if w.nops == 0 {
+		if w.ran {
+			return nil
+		}
+		w.ran = true
+		return w.runRead()
+	}
+	for i := w.written; i < w.nops; i++ {
+		if err := w.Read(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataChecksum returns the CRC-64/ECMA of this rank's payload bytes in
+// file-offset order, or 0 for phantom sessions. A write session's checksum
+// equals storage.File.StoreChecksum over the same extents and the checksum
+// of a read session that declared the same pattern — the end-to-end
+// verification contract.
+func (w *Writer) DataChecksum() uint64 {
+	if w.pl == nil {
+		return 0
+	}
+	return w.pl.Checksum()
 }

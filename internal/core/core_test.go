@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestBuildPlanContiguous(t *testing.T) {
 	for r := range all {
 		all[r] = []storage.Seg{storage.Contig(int64(r)*mb, mb)}
 	}
-	p := buildPlan(all, 2, 2*mb, 0)
+	p := buildPlan(all, 2, 2*mb, 0, false)
 	if len(p.parts) != 2 {
 		t.Fatalf("parts = %d", len(p.parts))
 	}
@@ -76,7 +77,7 @@ func TestBuildPlanBuffersExactlyFilled(t *testing.T) {
 		}
 	}
 	buf := int64(10_000)
-	p := buildPlan(all, 1, buf, 0)
+	p := buildPlan(all, 1, buf, 0, false)
 	pp := p.parts[0]
 	for r := 0; r < pp.rounds-1; r++ {
 		if pp.flush[r].bytes != buf {
@@ -112,7 +113,7 @@ func TestBuildPlanAoSDenseFlushes(t *testing.T) {
 			all[r] = append(all[r], storage.Strided(base+offs[v], sizes[v], rec, parts))
 		}
 	}
-	p := buildPlan(all, 2, 1000, 0)
+	p := buildPlan(all, 2, 1000, 0, false)
 	for pi, pp := range p.parts {
 		for r, fl := range pp.flush {
 			if len(fl.segs) != 1 || fl.segs[0].Count != 1 {
@@ -128,7 +129,7 @@ func TestBuildPlanSparseData(t *testing.T) {
 	all := [][]storage.Seg{
 		{storage.Strided(0, 4, 100, 50)}, // 200 bytes over a 5 KB span
 	}
-	p := buildPlan(all, 1, 64, 0)
+	p := buildPlan(all, 1, 64, 0, false)
 	pp := p.parts[0]
 	var total int64
 	runsTotal := int64(0)
@@ -156,7 +157,7 @@ func TestBuildPlanPieceConservation(t *testing.T) {
 		{storage.Strided(5100, 10, 20, 30)},
 		nil,
 	}
-	p := buildPlan(all, 2, 1024, 0)
+	p := buildPlan(all, 2, 1024, 0, false)
 	for r, segs := range all {
 		var want int64
 		for _, s := range segs {
@@ -234,7 +235,10 @@ func TestWriteMultiVariableDeclaredIO(t *testing.T) {
 	}
 }
 
-func TestWriteOutOfOrderPanics(t *testing.T) {
+// TestWriteMisuseErrors: the session-state guards return descriptive errors
+// instead of panicking — Write before Init, an out-of-range operation
+// index, out-of-declared-order writes, and double Init.
+func TestWriteMisuseErrors(t *testing.T) {
 	nodes := 2
 	topo := topology.NewFlat(nodes)
 	fab := netsim.New(topo, netsim.Config{})
@@ -246,11 +250,31 @@ func TestWriteOutOfOrderPanics(t *testing.T) {
 		}
 		f = c.Bcast(0, 8, f).(*storage.File)
 		w := New(c, sys, f, Config{Aggregators: 1})
+		if err := w.Write(0); err == nil || !strings.Contains(err.Error(), "before Init") {
+			panic("Write before Init did not error: " + fmt.Sprint(err))
+		}
 		base := int64(c.Rank()) * 20
-		w.Init([][]storage.Seg{{storage.Contig(base, 10)}, {storage.Contig(base+10, 10)}})
-		w.Write(1) // out of order
+		decl := [][]storage.Seg{{storage.Contig(base, 10)}, {storage.Contig(base+10, 10)}}
+		if err := w.Init(decl); err != nil {
+			panic(err)
+		}
+		if err := w.Init(decl); err == nil || !strings.Contains(err.Error(), "Init called twice") {
+			panic("double Init did not error: " + fmt.Sprint(err))
+		}
+		if err := w.Write(2); err == nil || !strings.Contains(err.Error(), "out of range") {
+			panic("out-of-range Write did not error: " + fmt.Sprint(err))
+		}
+		if err := w.Write(1); err == nil || !strings.Contains(err.Error(), "out of declared order") {
+			panic("out-of-order Write did not error: " + fmt.Sprint(err))
+		}
+		// The guards must leave the session usable: the declared writes
+		// still complete in order.
+		if err := w.WriteAll(); err != nil {
+			panic(err)
+		}
+		c.Barrier()
 	})
-	if err == nil || !strings.Contains(err.Error(), "out of declared order") {
+	if err != nil {
 		t.Fatalf("err = %v", err)
 	}
 }

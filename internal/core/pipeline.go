@@ -1,8 +1,34 @@
 package core
 
 import (
+	"fmt"
+
 	"tapioca/internal/sim"
+	"tapioca/internal/storage"
 )
+
+// grow returns scratch with capacity for n bytes (reused across rounds).
+func grow(scratch []byte, n int64) []byte {
+	if int64(cap(scratch)) < n {
+		return make([]byte, n)
+	}
+	return scratch[:n]
+}
+
+// gatherPiece fills the rank's put payload for one round: its declared bytes
+// inside the round's file window, in file-offset order — the layout the
+// aggregator's flush assumes. Phantom sessions return nil.
+func (w *Writer) gatherPiece(r int, bytes int64) ([]byte, error) {
+	if w.pl == nil {
+		return nil, nil
+	}
+	lo, hi := storage.SpanAll(w.plan.parts[w.part].flush[r].segs)
+	w.gatherB = grow(w.gatherB, bytes)
+	if n := w.pl.Gather(w.gatherB, lo, hi); n != bytes {
+		return nil, fmt.Errorf("core: round %d gather produced %d bytes, plan expects %d", r, n, bytes)
+	}
+	return w.gatherB, nil
+}
 
 // runWrite executes the paper's Algorithm 3 over the partition: for every
 // round, members put their pieces into the active buffer via one-sided
@@ -11,11 +37,19 @@ import (
 // into the other buffer. Before reusing a buffer, the aggregator waits for
 // its previous flush — arriving late at the fence, which is how a slow
 // storage phase throttles the whole partition.
-func (w *Writer) runWrite() {
+//
+// With the data plane on, the same schedule moves real bytes: puts carry
+// payload slices into the aggregator's window memory, and each flush
+// scatters the filled buffer into the file's backing store via the plan's
+// buffer-ordered run layout. Data-plane errors are deferred to the return
+// value: the fences and the closing barrier are collective, so a rank must
+// finish the round structure in lockstep even when its store fails.
+func (w *Writer) runWrite() error {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
 	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
+	var dataErr error
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
@@ -29,7 +63,11 @@ func (w *Writer) runWrite() {
 			if deferredFree > 0 {
 				p.HoldUntil(deferredFree) // yield before booking another put
 			}
-			deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
+			payload, err := w.gatherPiece(r, pc.bytes)
+			if err != nil && dataErr == nil {
+				dataErr = err // keep the round structure; the put goes phantom
+			}
+			deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, payload)
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
@@ -43,6 +81,14 @@ func (w *Writer) runWrite() {
 		if w.isAgg {
 			fl := pp.flush[r]
 			if fl.bytes > 0 {
+				if w.pl != nil {
+					// The fence published every member's payload; scatter the
+					// filled buffer into the backing store before reusing it.
+					buf := w.win.LocalData()[bufID*w.cfg.BufferSize:]
+					if err := w.f.StoreWrite(w.plan.layoutOf(w.part, r), buf[:fl.bytes]); err != nil && dataErr == nil {
+						dataErr = err
+					}
+				}
 				ev := w.sys.WriteAsync(p, w.pc.Node(), w.f, fl.segs)
 				w.stats.BytesFlushed += fl.bytes
 				w.stats.Flushes++
@@ -68,19 +114,33 @@ func (w *Writer) runWrite() {
 		}
 	}
 	w.pc.Barrier()
+	return dataErr
 }
 
 // runRead executes the reverse pipeline: the aggregator prefetches round
 // r+1 into the inactive buffer while members pull round r's pieces with
 // one-sided gets. Two fences bound each round: one publishing the buffer,
 // one closing the get epoch.
-func (w *Writer) runRead() {
+//
+// With the data plane on, the prefetch gathers real bytes from the backing
+// store into the window buffer, and each member's get scatters its piece
+// back into the payload buffers it passed to InitData.
+func (w *Writer) runRead() error {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
 	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
+	var prefetchErr error
 	prefetch := func(r int) {
 		if w.isAgg && r < pp.rounds && pp.flush[r].bytes > 0 {
+			if w.pl != nil {
+				// Fill the inactive buffer from the backing store; the next
+				// fence publishes it to the members' gets.
+				buf := w.win.LocalData()[int64(r%2)*w.cfg.BufferSize:]
+				if err := w.f.StoreRead(w.plan.layoutOf(w.part, r), buf[:pp.flush[r].bytes]); err != nil && prefetchErr == nil {
+					prefetchErr = err
+				}
+			}
 			pending[r%2] = w.sys.ReadAsync(p, w.pc.Node(), w.f, pp.flush[r].segs)
 			w.stats.BytesFlushed += pp.flush[r].bytes
 			w.stats.Flushes++
@@ -106,7 +166,17 @@ func (w *Writer) runRead() {
 		// round into the other buffer meanwhile.
 		for idx < len(myPieces) && myPieces[idx].round == r {
 			pc := myPieces[idx]
-			w.win.Get(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes)
+			if w.pl != nil {
+				lo, hi := storage.SpanAll(pp.flush[r].segs)
+				w.gatherB = grow(w.gatherB, pc.bytes)
+				w.win.GetInto(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, w.gatherB)
+				if n := w.pl.Scatter(w.gatherB, lo, hi); n != pc.bytes && prefetchErr == nil {
+					// Deferred like prefetch errors: the fences are collective.
+					prefetchErr = fmt.Errorf("core: round %d scatter consumed %d bytes, plan expects %d", r, n, pc.bytes)
+				}
+			} else {
+				w.win.Get(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes)
+			}
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
@@ -116,4 +186,5 @@ func (w *Writer) runRead() {
 		w.win.Fence() // closes the get epoch
 	}
 	w.pc.Barrier()
+	return prefetchErr
 }

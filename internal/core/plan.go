@@ -11,8 +11,9 @@ import (
 
 // plan is the global aggregation schedule computed once during Init.
 type plan struct {
-	partOf []int      // comm rank → partition index
-	parts  []partPlan // per partition
+	partOf   []int      // comm rank → partition index
+	parts    []partPlan // per partition
+	withData bool       // layouts materialized (data-plane sessions)
 
 	// pieces is the flat piece arena: rank r's puts are
 	// pieces[pieceOff[r]:pieceOff[r+1]], rounds ascending. One arena instead
@@ -42,6 +43,13 @@ type partPlan struct {
 	rounds int
 	flush  []flushInfo // per round: the file extents the aggregator writes
 	omega  []int64     // per partition-local rank: bytes it aggregates
+
+	// layout is per round the aggregation buffer's file runs in buffer order
+	// — member contributions pack local-rank-major, each member's bytes in
+	// file-offset order — so a flush can scatter buffer bytes to the store
+	// (and a read prefetch gather them back) positionally. Materialized only
+	// for data-plane sessions; phantom plans carry nil.
+	layout [][]storage.Seg
 
 	members []cost.Member // election table, cached by the first caller
 }
@@ -94,6 +102,7 @@ type planBuilder struct {
 	touched []int32
 	fill    []int64
 	counts  []int32
+	lruns   []storage.Seg // per-member layout scratch (data-plane builds)
 }
 
 // bytesBefore returns how many of the region's data bytes lie in [rg.lo, x).
@@ -165,7 +174,10 @@ func (b *planBuilder) extract(rg *region, x0, x1 int64) []storage.Seg {
 // Lustre stripe, GPFS block), window cuts snap to unit boundaries in file
 // space wherever the data is dense — so buffer flushes are stripe/block
 // aligned, the behaviour behind the paper's Table I 1:1 optimum.
-func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
+// When withData is set, each round's buffer-ordered file-run layout is
+// materialized alongside (the data plane's flush/prefetch map); phantom
+// plans skip that work entirely.
+func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64, withData bool) *plan {
 	nRanks := len(all)
 	if nAggr > nRanks {
 		nAggr = nRanks
@@ -174,6 +186,7 @@ func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
 		partOf:   make([]int, nRanks),
 		parts:    make([]partPlan, nAggr),
 		pieceOff: make([]int32, nRanks+1),
+		withData: withData,
 	}
 	for r := 0; r < nRanks; r++ {
 		p.partOf[r] = r * nAggr / nRanks
@@ -186,6 +199,12 @@ func buildPlan(all [][]storage.Seg, nAggr int, bufSize, alignUnit int64) *plan {
 		distributePieces(p, b, lo, hi)
 	}
 	return p
+}
+
+// layoutOf returns the buffer-ordered file runs of one partition round
+// (data-plane plans only).
+func (p *plan) layoutOf(part, round int) []storage.Seg {
+	return p.parts[part].layout[round]
 }
 
 func partStart(part, nAggr, nRanks int) int {
@@ -274,6 +293,9 @@ func buildPartition(p *plan, b *planBuilder, part, rankLo, rankHi int, all [][]s
 	b.windows = windows
 	pp.rounds = len(windows)
 	pp.flush = make([]flushInfo, pp.rounds)
+	if p.withData {
+		pp.layout = make([][]storage.Seg, pp.rounds)
+	}
 
 	// Per-rank pieces: one pass per window over the region's segments
 	// (sorted by offset; a cursor retires segments wholly before the moving
@@ -299,10 +321,12 @@ func buildPartition(p *plan, b *planBuilder, part, rankLo, rankHi int, all [][]s
 			cursorRegion, cursor = wd.rg, rg.m0
 		}
 		touched = touched[:0]
+		i0, iHi := cursor, rg.m1
 		for i := cursor; i < rg.m1; i++ {
 			ms := &msegs[i]
 			slo, shi := ms.seg.Span()
 			if slo >= x1 {
+				iHi = i
 				break // offset-sorted: nothing later can intersect either
 			}
 			if shi <= x0 {
@@ -331,8 +355,47 @@ func buildPartition(p *plan, b *planBuilder, part, rankLo, rankHi int, all [][]s
 		if off > bufSize {
 			panic(fmt.Sprintf("core: partition %d round %d overfills buffer: %d > %d", part, round, off, bufSize))
 		}
+		if p.withData {
+			pp.layout[round] = buildLayout(b, msegs, touched, i0, iHi, x0, x1)
+			if n := storage.TotalBytes(pp.layout[round]); n != off {
+				panic(fmt.Sprintf("core: partition %d round %d layout %d bytes != fill %d", part, round, n, off))
+			}
+		}
 	}
 	b.touched = touched
+}
+
+// buildLayout materializes one round's buffer layout: for each touched
+// member in buffer order (ascending local rank), its file runs within
+// [x0, x1) in strict file-offset order — the order dataplane.Plane gathers
+// and scatters in. Runs are enumerated individually and re-compacted so even
+// interleaved strided declarations of one member map positionally.
+func buildLayout(b *planBuilder, msegs []memberSeg, touched []int32, i0, iHi int32, x0, x1 int64) []storage.Seg {
+	var out []storage.Seg
+	for _, l := range touched {
+		member := b.lruns[:0]
+		for i := i0; i < iHi; i++ {
+			ms := &msegs[i]
+			if ms.local != l {
+				continue
+			}
+			for _, sg := range ms.seg.Intersect(x0, x1) {
+				for k := int64(0); k < sg.Count; k++ {
+					member = append(member, storage.Contig(sg.Off+k*sg.Stride, sg.Len))
+				}
+			}
+		}
+		// Insertion sort by offset: a member's runs are already ascending
+		// unless its declared segments interleave.
+		for i := 1; i < len(member); i++ {
+			for j := i; j > 0 && member[j].Off < member[j-1].Off; j-- {
+				member[j], member[j-1] = member[j-1], member[j]
+			}
+		}
+		b.lruns = member
+		out = append(out, storage.Compact(member)...)
+	}
+	return out
 }
 
 // distributePieces redistributes the partition's round-major piece records

@@ -295,7 +295,7 @@ func TestPlanMatchesReference(t *testing.T) {
 		bufSize := int64(rng.Intn(63)+1) * 1024
 		align := aligns[rng.Intn(len(aligns))]
 
-		got := buildPlan(all, nAggr, bufSize, align)
+		got := buildPlan(all, nAggr, bufSize, align, false)
 		want := buildPlanReference(all, nAggr, bufSize, align)
 		if err := comparePlans(got, want, bufSize); err != nil {
 			t.Fatalf("trial %d (ranks=%d aggr=%d buf=%d align=%d): %v", trial, ranks, nAggr, bufSize, align, err)
@@ -333,7 +333,7 @@ func TestPlanMatchesReferenceHACCLike(t *testing.T) {
 		for _, nAggr := range []int{1, 3, 8} {
 			for _, buf := range []int64{4096, 65536} {
 				for _, align := range []int64{0, 8192} {
-					got := buildPlan(tc.all, nAggr, buf, align)
+					got := buildPlan(tc.all, nAggr, buf, align, false)
 					want := buildPlanReference(tc.all, nAggr, buf, align)
 					if err := comparePlans(got, want, buf); err != nil {
 						t.Fatalf("%s aggr=%d buf=%d align=%d: %v", tc.name, nAggr, buf, align, err)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabledCore reports whether the binary carries the race detector;
+// race-built simulations run ~10-20x slower, so the heavy property trials
+// subset themselves.
+const raceEnabledCore = false

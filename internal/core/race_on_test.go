@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabledCore reports that this binary was built with the race
+// detector; the data-plane property suite runs a reduced trial count.
+const raceEnabledCore = true

@@ -5,6 +5,7 @@ package core
 // plan-facing guarantees the write tests assert must hold symmetrically.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -160,8 +161,10 @@ func TestReadMultiVariableDeclared(t *testing.T) {
 	}
 }
 
-// TestReadOutOfOrderPanics mirrors the write-path ordering contract.
-func TestReadOutOfOrderPanics(t *testing.T) {
+// TestReadOutOfOrderErrors mirrors the write-path ordering contract: a Read
+// issued out of declared order returns a descriptive error, and a Read
+// before Init likewise.
+func TestReadOutOfOrderErrors(t *testing.T) {
 	topo := topology.NewFlat(2)
 	fab := netsim.New(topo, netsim.Config{})
 	sys := storage.NewNullFS()
@@ -172,11 +175,24 @@ func TestReadOutOfOrderPanics(t *testing.T) {
 		}
 		f = c.Bcast(0, 8, f).(*storage.File)
 		w := New(c, sys, f, Config{Aggregators: 1})
+		if err := w.Read(0); err == nil || !strings.Contains(err.Error(), "before Init") {
+			panic("Read before Init did not error: " + fmt.Sprint(err))
+		}
 		base := int64(c.Rank()) * 20
-		w.Init([][]storage.Seg{{storage.Contig(base, 10)}, {storage.Contig(base+10, 10)}})
-		w.Read(1) // out of order
+		if err := w.Init([][]storage.Seg{{storage.Contig(base, 10)}, {storage.Contig(base+10, 10)}}); err != nil {
+			panic(err)
+		}
+		if err := w.Read(1); err == nil || !strings.Contains(err.Error(), "out of declared order") {
+			panic("out-of-order Read did not error: " + fmt.Sprint(err))
+		}
+		// The guards must leave the session usable: the declared reads
+		// still complete in order.
+		if err := w.ReadAll(); err != nil {
+			panic(err)
+		}
+		c.Barrier()
 	})
-	if err == nil || !strings.Contains(err.Error(), "out of declared order") {
+	if err != nil {
 		t.Fatalf("err = %v", err)
 	}
 }

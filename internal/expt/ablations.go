@@ -199,13 +199,13 @@ func AblationDeclared(full bool) Result {
 			if perCall {
 				for _, segs := range decl {
 					w := core.New(c, r.sys, f, cfg)
-					w.Init([][]storage.Seg{segs})
-					w.WriteAll()
+					must(w.Init([][]storage.Seg{segs}))
+					must(w.WriteAll())
 				}
 			} else {
 				w := core.New(c, r.sys, f, cfg)
-				w.Init(decl)
-				w.WriteAll()
+				must(w.Init(decl))
+				must(w.WriteAll())
 			}
 			tm.Stop(c)
 		})

@@ -195,6 +195,16 @@ type rig struct {
 
 func (r *rig) ranks() int { return r.nodes * r.rpn }
 
+// must restores the pre-error-API failure mode for experiment drivers: an
+// I/O session error inside a rank proc is a bug in the figure's setup, and
+// panicking surfaces it as the run's error instead of silently recording
+// corrupt figure data.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Topologies (and their distance caches) are immutable once built: routing
 // tables, coordinates and distances never change, and DistanceCache rows
 // are lock-free. Cells therefore share one instance per configuration —

@@ -68,11 +68,11 @@ func runIO(j ioJob, method int) (float64, error) {
 			f := openShared(group, j.r.sys, fileName, j.fileOpt)
 			w := core.New(group, j.r.sys, f, j.cfg)
 			tm.Start(c)
-			w.Init(decl)
+			must(w.Init(decl))
 			if j.read {
-				w.ReadAll()
+				must(w.ReadAll())
 			} else {
-				w.WriteAll()
+				must(w.WriteAll())
 			}
 			tm.Stop(c)
 		default:
@@ -80,9 +80,9 @@ func runIO(j ioJob, method int) (float64, error) {
 			tm.Start(c)
 			for _, segs := range decl {
 				if j.read {
-					fh.ReadAtAll(segs)
+					must(fh.ReadAtAll(segs))
 				} else {
-					fh.WriteAtAll(segs)
+					must(fh.WriteAtAll(segs))
 				}
 			}
 			tm.Stop(c)

@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"fmt"
+
+	"tapioca/internal/core"
+	"tapioca/internal/mpi"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// VerifyDataPlane runs the data-plane round-trip smoke behind tapiocabench
+// -verify: one reduced figure-style scenario per platform — the HACC-IO SoA
+// pattern on Theta/Lustre and on Mira/GPFS — with real payload bytes
+// enabled. Every rank writes deterministic offset-keyed bytes through the
+// full aggregation pipeline, a fresh session reads them back, and the run
+// fails unless the bytes match and the per-rank write/read/store CRC-64
+// checksums agree. It returns nil when every platform verifies.
+func VerifyDataPlane() error {
+	type platform struct {
+		name string
+		rig  *rig
+	}
+	platforms := []platform{
+		{"theta-lustre", thetaRig(32, 4, topology.RouteMinimal, 8)},
+		{"mira-gpfs", miraRig(128, 1, storage.LockShared)},
+	}
+	const seed = 20170905 // the paper's CLUSTER year+month+day, any constant works
+	for _, pf := range platforms {
+		r := pf.rig
+		ranks := r.ranks()
+		pattern := workload.HACC(ranks, 512, workload.SoA)
+		var failure error
+		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: r.rpn, Fabric: r.fab}, func(c *mpi.Comm) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = r.sys.Create("verify", storage.FileOptions{StripeCount: 8, StripeSize: 1 << 20})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			decl := pattern.Declared(c.Rank(), ranks)
+			data := workload.FillData(decl, seed)
+			cfg := core.Config{Aggregators: 8, BufferSize: 1 << 20}
+
+			w := core.New(c, r.sys, f, cfg)
+			err := w.InitData(decl, data)
+			if err == nil {
+				err = w.WriteAll()
+			}
+			writeCRC := w.DataChecksum()
+			c.Barrier()
+
+			var got [][]byte
+			var rd *core.Writer
+			if err == nil {
+				got = make([][]byte, len(data))
+				for i := range data {
+					got[i] = make([]byte, len(data[i]))
+				}
+				rd = core.New(c, r.sys, f, cfg)
+				if err = rd.InitData(decl, got); err == nil {
+					err = rd.ReadAll()
+				}
+			}
+			if err == nil {
+				err = workload.VerifyData(decl, seed, got)
+			}
+			if err == nil && rd.DataChecksum() != writeCRC {
+				err = fmt.Errorf("read checksum %#x != write checksum %#x", rd.DataChecksum(), writeCRC)
+			}
+			if err != nil && failure == nil {
+				failure = fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+			c.Barrier()
+		})
+		if err == nil {
+			err = failure
+		}
+		if err != nil {
+			return fmt.Errorf("data-plane verify on %s: %w", pf.name, err)
+		}
+	}
+	return nil
+}

@@ -28,6 +28,19 @@ type winShared struct {
 	fill     []int64     // bytes put into each rank's window this epoch
 	lastFill []int64     // fill of the epoch closed by the last Fence
 	writes   [][]WinSpan // per target, captured spans (when capture enabled)
+
+	// mem holds each rank's real window memory, allocated lazily on the
+	// first payload-carrying access (the data plane). Phantom sessions —
+	// every paper-scale figure — never allocate a byte here.
+	mem [][]byte
+}
+
+// memOf returns (allocating on first use) rank r's real window memory.
+func (s *winShared) memOf(r int) []byte {
+	if s.mem[r] == nil {
+		s.mem[r] = make([]byte, s.size)
+	}
+	return s.mem[r]
 }
 
 // WinSpan records one captured one-sided access for verification.
@@ -47,6 +60,7 @@ func (c *Comm) WinCreate(size int64) *Win {
 			fill:     make([]int64, c.Size()),
 			lastFill: make([]int64, c.Size()),
 			writes:   make([][]WinSpan, c.Size()),
+			mem:      make([][]byte, c.Size()),
 		}
 		return s, c.treeCost(maxT, 0)
 	})
@@ -90,6 +104,16 @@ func (w *Win) PutAsync(target int, offset, bytes int64, payload any) (senderFree
 	w.s.epochOps++
 	w.s.epochBytes += bytes
 	w.s.fill[target] += bytes
+	if b, ok := payload.([]byte); ok && len(b) > 0 {
+		// Data plane: the put carries real bytes into the target's window
+		// memory. The copy happens at issue time (the origin buffer is
+		// reusable immediately, MPI_Put semantics), and the fence's
+		// happens-before edge publishes it to the target.
+		copy(w.s.memOf(target)[offset:], b)
+		if w.s.capture {
+			payload = append([]byte(nil), b...) // capture a stable snapshot
+		}
+	}
 	if w.s.capture {
 		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: c.rank, Payload: payload})
 	}
@@ -115,6 +139,22 @@ func (w *Win) Get(target int, offset, bytes int64) {
 	w.s.epochBytes += bytes
 	c.p.Hold(c.s.w.cfg.Overhead)
 }
+
+// GetInto is Get with a real destination: the target's window bytes at
+// [offset, offset+len(dst)) are copied into dst (the data plane). Timing is
+// identical to Get over len(dst) bytes; as with Get, the data is only
+// guaranteed published once the preceding Fence closed the exposing epoch —
+// callers issue GetInto after the fence that published the buffer, so the
+// copy at issue time observes the exposed bytes.
+func (w *Win) GetInto(target int, offset int64, dst []byte) {
+	w.Get(target, offset, int64(len(dst)))
+	copy(dst, w.s.memOf(target)[offset:])
+}
+
+// LocalData returns (allocating on first use) the caller's own exposed
+// window memory — what an aggregator's flush reads after a fence, and what
+// its read-path prefetch fills before one.
+func (w *Win) LocalData() []byte { return w.s.memOf(w.c.rank) }
 
 // Fence closes the current epoch: a collective that releases every rank once
 // all one-sided operations of the epoch have completed (the paper's

@@ -129,12 +129,13 @@ func (h *Hints) setDefaults(c *mpi.Comm) {
 
 // File is one rank's handle on an MPI-IO file.
 type File struct {
-	c     *mpi.Comm
-	sys   storage.System
-	f     *storage.File
-	hints Hints
-	aggrs []int // comm ranks acting as aggregators
-	myAgg int   // index in aggrs if this rank is an aggregator, else -1
+	c      *mpi.Comm
+	sys    storage.System
+	f      *storage.File
+	hints  Hints
+	aggrs  []int // comm ranks acting as aggregators
+	myAgg  int   // index in aggrs if this rank is an aggregator, else -1
+	closed bool  // set by Close; later I/O calls error instead of running
 
 	arrScratch []aggArrival             // reused per-round arrival-horizon contribution
 	arrBox     any                      // &arrScratch boxed once: no per-round interface alloc
@@ -268,36 +269,75 @@ func electAggregators(c *mpi.Comm, h Hints, sys storage.System) []int {
 // WriteAt performs an independent write of this rank's segments. Strided
 // patterns use write data sieving (read-modify-write of the span) unless
 // disabled, as ROMIO does for noncontiguous independent writes.
-func (fh *File) WriteAt(segs []storage.Seg) {
+func (fh *File) WriteAt(segs []storage.Seg) error {
+	return fh.WriteAtData(segs, nil)
+}
+
+// WriteAtData is WriteAt with payload bytes (packed in segment enumeration
+// order) landed in the file's backing store.
+func (fh *File) WriteAtData(segs []storage.Seg, data []byte) error {
+	if fh.closed {
+		return fmt.Errorf("mpiio: WriteAt on closed file %q", fh.f.Name)
+	}
+	if data != nil {
+		if want := storage.TotalBytes(segs); int64(len(data)) != want {
+			return fmt.Errorf("mpiio: WriteAt payload holds %d bytes, segments declare %d", len(data), want)
+		}
+		if err := fh.f.StoreWrite(segs, data); err != nil {
+			return err
+		}
+	}
 	if storage.TotalBytes(segs) == 0 {
-		return
+		return nil
 	}
 	p := fh.c.Proc()
 	if !fh.hints.DisableSieving && storage.TotalRuns(segs) > 1 {
 		lo, hi := storage.SpanAll(segs)
 		fh.sys.Read(p, fh.c.Node(), fh.f, []storage.Seg{storage.Contig(lo, hi-lo)})
 		fh.sys.Write(p, fh.c.Node(), fh.f, []storage.Seg{storage.Contig(lo, hi-lo)})
-		return
+		return nil
 	}
 	fh.sys.Write(p, fh.c.Node(), fh.f, segs)
+	return nil
 }
 
 // ReadAt performs an independent read of this rank's segments, with read
 // data sieving for strided patterns.
-func (fh *File) ReadAt(segs []storage.Seg) {
+func (fh *File) ReadAt(segs []storage.Seg) error {
+	return fh.ReadAtData(segs, nil)
+}
+
+// ReadAtData is ReadAt with dst (packed in segment enumeration order)
+// filled from the file's backing store.
+func (fh *File) ReadAtData(segs []storage.Seg, dst []byte) error {
+	if fh.closed {
+		return fmt.Errorf("mpiio: ReadAt on closed file %q", fh.f.Name)
+	}
+	if dst != nil {
+		if want := storage.TotalBytes(segs); int64(len(dst)) != want {
+			return fmt.Errorf("mpiio: ReadAt buffer holds %d bytes, segments declare %d", len(dst), want)
+		}
+		if err := fh.f.StoreRead(segs, dst); err != nil {
+			return err
+		}
+	}
 	if storage.TotalBytes(segs) == 0 {
-		return
+		return nil
 	}
 	p := fh.c.Proc()
 	if storage.TotalRuns(segs) > 1 {
 		lo, hi := storage.SpanAll(segs)
 		fh.sys.Read(p, fh.c.Node(), fh.f, []storage.Seg{storage.Contig(lo, hi-lo)})
-		return
+		return nil
 	}
 	fh.sys.Read(p, fh.c.Node(), fh.f, segs)
+	return nil
 }
 
-// Close is collective (a barrier; state is garbage-collected).
-func (fh *File) Close() { fh.c.Barrier() }
-
-var _ = fmt.Sprintf // fmt is used by sibling files in this package
+// Close is collective (a barrier; simulated state is garbage-collected).
+// Collective and independent I/O on a closed handle returns a descriptive
+// error instead of running.
+func (fh *File) Close() {
+	fh.c.Barrier()
+	fh.closed = true
+}

@@ -1,6 +1,9 @@
 package mpiio
 
 import (
+	"fmt"
+
+	"tapioca/internal/dataplane"
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 )
@@ -46,6 +49,9 @@ type roundData struct {
 	segs   []storage.Seg
 	bytes  int64
 	pieces int // incoming piece count (two-sided receive processing)
+	// wlo/whi is the round's file window within the aggregator's domain —
+	// the range the data plane scatters/gathers for this (agg, round).
+	wlo, whi int64
 }
 
 // buildSchedule computes file domains, rounds and piece routing from the
@@ -130,6 +136,7 @@ func buildSchedule(allSegs [][]storage.Seg, nAggr int, bufSize int64, alignTo in
 					rd.segs = append(rd.segs, pieces...)
 					rd.bytes += b
 					rd.pieces++
+					rd.wlo, rd.whi = wlo, whi
 				}
 			}
 		}
@@ -208,6 +215,7 @@ func buildScheduleCyclic(allSegs [][]storage.Seg, nAggr int, bufSize, unit int64
 					rd.segs = append(rd.segs, pieces...)
 					rd.bytes += b
 					rd.pieces++
+					rd.wlo, rd.whi = wlo, whi
 				}
 			}
 		}
@@ -221,17 +229,43 @@ func buildScheduleCyclic(allSegs [][]storage.Seg, nAggr int, bufSize, unit int64
 // patterns. Rounds are synchronous: aggregation exchange, then the
 // aggregators' flush, then a barrier — the classic ROMIO structure with no
 // overlap between phases.
-func (fh *File) WriteAtAll(segs []storage.Seg) {
-	fh.collectiveIO(segs, false)
+func (fh *File) WriteAtAll(segs []storage.Seg) error {
+	return fh.WriteAtAllData(segs, nil)
+}
+
+// WriteAtAllData is WriteAtAll with the data plane enabled: data holds the
+// segments' payload bytes packed in enumeration order, and the aggregators
+// land the actual bytes in the file's backing store. Data-plane mode is a
+// collective property of the call — every rank passes payload bytes, or
+// every rank nil.
+func (fh *File) WriteAtAllData(segs []storage.Seg, data []byte) error {
+	return fh.collectiveIO(segs, data, false)
 }
 
 // ReadAtAll performs a collective two-phase read: aggregators read their
 // file-domain rounds and scatter the pieces back.
-func (fh *File) ReadAtAll(segs []storage.Seg) {
-	fh.collectiveIO(segs, true)
+func (fh *File) ReadAtAll(segs []storage.Seg) error {
+	return fh.ReadAtAllData(segs, nil)
 }
 
-func (fh *File) collectiveIO(segs []storage.Seg, read bool) {
+// ReadAtAllData is ReadAtAll with the data plane enabled: dst (packed in
+// segment enumeration order) is filled from the file's backing store as the
+// aggregators scatter their round pieces back.
+func (fh *File) ReadAtAllData(segs []storage.Seg, dst []byte) error {
+	return fh.collectiveIO(segs, dst, true)
+}
+
+func (fh *File) collectiveIO(segs []storage.Seg, data []byte, read bool) error {
+	if fh.closed {
+		return fmt.Errorf("mpiio: collective I/O on closed file %q", fh.f.Name)
+	}
+	var pl *dataplane.Plane
+	if data != nil {
+		var err error
+		if pl, err = dataplane.New([][]storage.Seg{segs}, [][]byte{data}); err != nil {
+			return err
+		}
+	}
 	c := fh.c
 	alignTo := int64(0)
 	if fh.hints.AlignDomains || fh.hints.CyclicDomains {
@@ -252,9 +286,25 @@ func (fh *File) collectiveIO(segs []storage.Seg, read bool) {
 		}
 		return buildSchedule(allSegs, len(fh.aggrs), fh.hints.CBBufferSize, alignTo)
 	}).(*schedule)
+	// Data plane: share every rank's payload plane — the simulated transport
+	// of the two-phase sends' payload slices. The extra collective exists
+	// only in data-plane calls, so a rank passing payload bytes while
+	// another passes nil fails loudly as a mismatched collective.
+	var planes []*dataplane.Plane
+	if pl != nil {
+		planes = c.Collective("mpiio-data", pl, 16, func(contribs []any) any {
+			ps := make([]*dataplane.Plane, len(contribs))
+			for i, x := range contribs {
+				if x != nil {
+					ps[i] = x.(*dataplane.Plane)
+				}
+			}
+			return ps
+		}).([]*dataplane.Plane)
+	}
 	if plan.rounds == 0 || plan.hi == plan.lo {
 		c.Barrier()
-		return
+		return nil
 	}
 	// This rank's pieces, round-sorted: each round consumes one contiguous
 	// run, so the whole exchange is a single forward walk instead of a full
@@ -264,19 +314,25 @@ func (fh *File) collectiveIO(segs []storage.Seg, read bool) {
 		my = plan.sendPieces[c.Rank()]
 	}
 	cur := 0
+	var dataErr error
 	for round := 0; round < plan.rounds; round++ {
 		end := cur
 		for end < len(my) && my[end].round == round {
 			end++
 		}
+		var err error
 		if read {
-			fh.readRound(plan, round, my[cur:end])
+			err = fh.readRound(plan, round, my[cur:end], pl)
 		} else {
-			fh.writeRound(plan, round, my[cur:end])
+			err = fh.writeRound(plan, round, my[cur:end], planes)
+		}
+		if err != nil && dataErr == nil {
+			dataErr = err
 		}
 		cur = end
 	}
 	c.Barrier()
+	return dataErr
 }
 
 // aggArrival is one rank's arrival horizon at one aggregator this round.
@@ -287,7 +343,9 @@ type aggArrival struct {
 
 // writeRound: all ranks push their round pieces to the owning aggregators
 // (the alltoallv), aggregators flush their buffers, then the round barrier.
-func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece) {
+// With the data plane on, the aggregator lands each contributing rank's
+// payload bytes for its round window into the file's backing store.
+func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece, planes []*dataplane.Plane) error {
 	c := fh.c
 	p := c.Proc()
 	fab := c.World().Fabric()
@@ -331,15 +389,31 @@ func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece) {
 	// I/O phase: aggregators process the received pieces (two-sided
 	// matching and staging-buffer assembly — CPU work TAPIOCA's one-sided
 	// puts avoid), then flush.
+	var dataErr error
 	if fh.myAgg >= 0 {
 		rd := plan.aggRounds[fh.myAgg][round]
 		if rd.bytes > 0 {
 			p.HoldUntil(horizon[fh.myAgg])
 			p.Hold(int64(rd.pieces)*fh.hints.RecvOverhead + sim.TransferTime(rd.bytes, fh.hints.CopyRate))
+			if planes != nil {
+				// Land the received payload: every contributing rank's bytes
+				// within this round's window, straight to the backing store.
+				for _, rp := range planes {
+					if rp == nil {
+						continue
+					}
+					rp.Each(rd.wlo, rd.whi, func(off int64, chunk []byte) {
+						if err := fh.f.StoreWriteAt(chunk, off); err != nil && dataErr == nil {
+							dataErr = err
+						}
+					})
+				}
+			}
 			fh.flush(rd)
 		}
 	}
 	c.Barrier()
+	return dataErr
 }
 
 // flush writes one aggregation-buffer round. Dense rounds coalesce into a
@@ -363,8 +437,9 @@ func (fh *File) flush(rd roundData) {
 }
 
 // readRound: aggregators read their round span, then scatter pieces back to
-// the requesting ranks.
-func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece) {
+// the requesting ranks. With the data plane on, each rank fills its payload
+// buffers from the backing store as its pieces arrive.
+func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece, pl *dataplane.Plane) error {
 	c := fh.c
 	p := c.Proc()
 	fab := c.World().Fabric()
@@ -402,6 +477,7 @@ func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece) {
 	// Scatter phase: each rank receives its pieces from the aggregators;
 	// transfers start when the owning aggregator's data is ready.
 	latest := p.Now()
+	var dataErr error
 	for _, piece := range pieces {
 		aggRank := fh.aggrs[piece.agg]
 		t0 := ready[piece.agg]
@@ -412,7 +488,16 @@ func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece) {
 		if arr > latest {
 			latest = arr
 		}
+		if pl != nil {
+			rd := &plan.aggRounds[piece.agg][piece.round]
+			pl.Each(rd.wlo, rd.whi, func(off int64, chunk []byte) {
+				if err := fh.f.StoreReadAt(chunk, off); err != nil && dataErr == nil {
+					dataErr = err
+				}
+			})
+		}
 	}
 	p.JumpTo(latest) // the barrier's park supplies the ordered yield
 	c.Barrier()
+	return dataErr
 }

@@ -72,8 +72,12 @@ type File struct {
 	writeOps     int64
 	readOps      int64
 
-	capture bool
-	writes  []AccessRecord
+	capture        bool
+	captureLimit   int
+	captureDropped int64
+	writes         []AccessRecord
+
+	store Store // backing byte store (nil = phantom mode)
 
 	impl any // system-specific state
 }
@@ -85,8 +89,35 @@ type AccessRecord struct {
 	Segs []Seg
 }
 
-// SetCapture enables write capture for verification in tests.
-func (f *File) SetCapture(on bool) { f.capture = on }
+// DefaultCaptureLimit caps the access records a file retains with capture
+// enabled. Capture exists for verification at test scale; a paper-scale run
+// (tens of thousands of ranks × hundreds of rounds) that accidentally left
+// capture on would otherwise grow the writes slice without bound. Records
+// past the cap are counted in CaptureDropped instead of retained.
+const DefaultCaptureLimit = 1 << 14
+
+// SetCapture enables write capture for verification in tests. At most
+// DefaultCaptureLimit records are retained (see SetCaptureLimit); overflow
+// is counted by CaptureDropped and fails VerifyCoverage loudly.
+func (f *File) SetCapture(on bool) {
+	f.capture = on
+	if on && f.captureLimit == 0 {
+		f.captureLimit = DefaultCaptureLimit
+	}
+}
+
+// SetCaptureLimit overrides the capture record cap (n <= 0 restores the
+// default).
+func (f *File) SetCaptureLimit(n int) {
+	if n <= 0 {
+		n = DefaultCaptureLimit
+	}
+	f.captureLimit = n
+}
+
+// CaptureDropped returns the access records discarded because the capture
+// cap was reached.
+func (f *File) CaptureDropped() int64 { return f.captureDropped }
 
 // BytesWritten returns the total bytes written so far.
 func (f *File) BytesWritten() int64 { return f.bytesWritten }
@@ -107,9 +138,13 @@ func (f *File) recordWrite(node int, at int64, segs []Seg) {
 	f.bytesWritten += TotalBytes(segs)
 	f.writeOps++
 	if f.capture {
-		cp := make([]Seg, len(segs))
-		copy(cp, segs)
-		f.writes = append(f.writes, AccessRecord{Node: node, At: at, Segs: cp})
+		if len(f.writes) >= f.captureLimit {
+			f.captureDropped++
+		} else {
+			cp := make([]Seg, len(segs))
+			copy(cp, segs)
+			f.writes = append(f.writes, AccessRecord{Node: node, At: at, Segs: cp})
+		}
 	}
 }
 
@@ -124,6 +159,10 @@ func (f *File) recordRead(segs []Seg) {
 func (f *File) VerifyCoverage(lo, hi int64) error {
 	if !f.capture {
 		return fmt.Errorf("storage: file %q has no capture enabled", f.Name)
+	}
+	if f.captureDropped > 0 {
+		return fmt.Errorf("storage: file %q capture truncated (%d records dropped at cap %d); raise SetCaptureLimit",
+			f.Name, f.captureDropped, f.captureLimit)
 	}
 	const limit = 4 << 20
 	type mark struct{ off, end int64 }

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+)
+
+// storeCRCTable is the CRC-64/ECMA table for StoreChecksum — the same
+// polynomial dataplane.Plane.Checksum uses on the application end, so the
+// two ends of the pipeline can be compared directly.
+var storeCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// Store is a pluggable backing byte store for a simulated file — the data
+// plane's durable end. Timing stays with the System models; a Store only
+// holds bytes. The io.ReaderAt/io.WriterAt shapes mean an *os.File works
+// directly (see NewFileStore); reading a hole (never-written range) yields
+// zeros.
+type Store interface {
+	io.ReaderAt
+	io.WriterAt
+}
+
+// memChunk is the MemStore page size: large enough that dense files stay in
+// few map entries, small enough that sparse strided files don't over-commit.
+const memChunk = 64 << 10
+
+// MemStore is an in-memory sparse extent store: bytes live in fixed-size
+// chunks allocated on first write, so a file that touches offsets billions
+// apart costs memory proportional to the data, not the span.
+type MemStore struct {
+	chunks map[int64][]byte
+	hi     int64 // exclusive upper bound of written data
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{chunks: map[int64][]byte{}} }
+
+// WriteAt stores p at offset off (io.WriterAt).
+func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: MemStore.WriteAt negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		ci := (off + int64(n)) / memChunk
+		co := (off + int64(n)) % memChunk
+		c := m.chunks[ci]
+		if c == nil {
+			c = make([]byte, memChunk)
+			m.chunks[ci] = c
+		}
+		n += copy(c[co:], p[n:])
+	}
+	if end := off + int64(len(p)); end > m.hi {
+		m.hi = end
+	}
+	return n, nil
+}
+
+// ReadAt fills p from offset off (io.ReaderAt); holes read as zeros.
+func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: MemStore.ReadAt negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		ci := (off + int64(n)) / memChunk
+		co := (off + int64(n)) % memChunk
+		if c := m.chunks[ci]; c != nil {
+			n += copy(p[n:], c[co:])
+		} else {
+			z := minI64(int64(len(p)-n), memChunk-co)
+			for i := int64(0); i < z; i++ {
+				p[n+int(i)] = 0
+			}
+			n += int(z)
+		}
+	}
+	return n, nil
+}
+
+// Size returns the exclusive upper bound of written data.
+func (m *MemStore) Size() int64 { return m.hi }
+
+// FileStore backs a simulated file with a real on-disk file. Unlike a bare
+// *os.File, reads past EOF zero-fill (sparse-hole semantics, matching
+// MemStore) instead of returning io.EOF mid-buffer.
+type FileStore struct {
+	f *os.File
+}
+
+// NewFileStore creates (or truncates) path as the backing file.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{f: f}, nil
+}
+
+// WriteAt stores p at offset off.
+func (s *FileStore) WriteAt(p []byte, off int64) (int, error) { return s.f.WriteAt(p, off) }
+
+// ReadAt fills p from offset off, zero-filling past EOF.
+func (s *FileStore) ReadAt(p []byte, off int64) (int, error) {
+	n, err := s.f.ReadAt(p, off)
+	if err == io.EOF {
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return len(p), nil
+	}
+	return n, err
+}
+
+// Close closes the backing file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// SetStore attaches a backing byte store to the file (the data plane's
+// durable end). Files without a store get a MemStore automatically on the
+// first payload-carrying write; SetStore is for choosing an on-disk store or
+// sharing one across opens.
+func (f *File) SetStore(s Store) { f.store = s }
+
+// Store returns the file's backing store, or nil when no payload has ever
+// been written (phantom mode).
+func (f *File) Store() Store { return f.store }
+
+// ensureStore attaches the default in-memory store on first payload use.
+func (f *File) ensureStore() Store {
+	if f.store == nil {
+		f.store = NewMemStore()
+	}
+	return f.store
+}
+
+// StoreWriteAt stores payload bytes at a file offset, attaching the default
+// MemStore on first use.
+func (f *File) StoreWriteAt(p []byte, off int64) error {
+	_, err := f.ensureStore().WriteAt(p, off)
+	return err
+}
+
+// StoreReadAt fills p from the backing store; without a store the file's
+// content is all zeros (phantom writes carry no bytes).
+func (f *File) StoreReadAt(p []byte, off int64) error {
+	if f.store == nil {
+		for i := range p {
+			p[i] = 0
+		}
+		return nil
+	}
+	_, err := f.store.ReadAt(p, off)
+	return err
+}
+
+// StoreWrite scatters src — packed in the order segs enumerate — into the
+// backing store at the segments' file extents. The segment list's order is
+// the buffer layout: aggregation-buffer flushes pass their buffer-ordered
+// run lists, which need not be offset-sorted.
+func (f *File) StoreWrite(segs []Seg, src []byte) error {
+	st := f.ensureStore()
+	var pos int64
+	for _, s := range segs {
+		for i := int64(0); i < s.Count; i++ {
+			if pos+s.Len > int64(len(src)) {
+				return fmt.Errorf("storage: StoreWrite on %q: segments need %d+ bytes, payload holds %d", f.Name, pos+s.Len, len(src))
+			}
+			if _, err := st.WriteAt(src[pos:pos+s.Len], s.Off+i*s.Stride); err != nil {
+				return err
+			}
+			pos += s.Len
+		}
+	}
+	return nil
+}
+
+// StoreRead gathers the segments' file extents from the backing store into
+// dst, packed in the order segs enumerate (StoreWrite's inverse).
+func (f *File) StoreRead(segs []Seg, dst []byte) error {
+	var pos int64
+	for _, s := range segs {
+		for i := int64(0); i < s.Count; i++ {
+			if pos+s.Len > int64(len(dst)) {
+				return fmt.Errorf("storage: StoreRead on %q: segments need %d+ bytes, buffer holds %d", f.Name, pos+s.Len, len(dst))
+			}
+			if err := f.StoreReadAt(dst[pos:pos+s.Len], s.Off+i*s.Stride); err != nil {
+				return err
+			}
+			pos += s.Len
+		}
+	}
+	return nil
+}
+
+// StoreChecksum returns the CRC-64/ECMA of the stored bytes over the given
+// extents, enumerated in offset order per segment list — the storage end of
+// the pipeline's end-to-end verification (dataplane.Plane.Checksum computes
+// the application end over the same extents).
+func (f *File) StoreChecksum(segs []Seg) (uint64, error) {
+	var crc uint64
+	buf := make([]byte, 64<<10)
+	for _, s := range segs {
+		for i := int64(0); i < s.Count; i++ {
+			off, remaining := s.Off+i*s.Stride, s.Len
+			for remaining > 0 {
+				n := minI64(remaining, int64(len(buf)))
+				if err := f.StoreReadAt(buf[:n], off); err != nil {
+					return 0, err
+				}
+				crc = crc64.Update(crc, storeCRCTable, buf[:n])
+				off += n
+				remaining -= n
+			}
+		}
+	}
+	return crc, nil
+}

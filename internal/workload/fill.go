@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+
+	"tapioca/internal/storage"
+)
+
+// fillByte is the deterministic payload byte for file offset off under seed:
+// a cheap integer mix keyed by absolute file position, so any reader —
+// whatever pattern it declares — can validate any byte independently.
+func fillByte(seed uint64, off int64) byte {
+	x := (uint64(off) + seed) * 0x9E3779B97F4A7C15
+	return byte(x ^ x>>29 ^ x>>47)
+}
+
+// FillData materializes deterministic payload bytes for a rank's declared
+// operations: data[i] holds declared[i]'s bytes packed in segment
+// enumeration order, each byte keyed by its absolute file offset (and seed).
+// Because the content is offset-keyed, a session reading the file back under
+// any declared pattern can validate with VerifyData — the data plane's
+// workload-level round-trip check.
+func FillData(declared [][]storage.Seg, seed uint64) [][]byte {
+	data := make([][]byte, len(declared))
+	for op, segs := range declared {
+		buf := make([]byte, storage.TotalBytes(segs))
+		var pos int64
+		for _, s := range segs {
+			for i := int64(0); i < s.Count; i++ {
+				off := s.Off + i*s.Stride
+				for k := int64(0); k < s.Len; k++ {
+					buf[pos+k] = fillByte(seed, off+k)
+				}
+				pos += s.Len
+			}
+		}
+		data[op] = buf
+	}
+	return data
+}
+
+// VerifyData checks that data holds exactly the bytes FillData would produce
+// for the declared pattern under seed, reporting the first mismatch with its
+// file offset — the read-back validator.
+func VerifyData(declared [][]storage.Seg, seed uint64, data [][]byte) error {
+	if len(declared) != len(data) {
+		return fmt.Errorf("workload: %d declared operations, %d payload buffers", len(declared), len(data))
+	}
+	for op, segs := range declared {
+		if want := storage.TotalBytes(segs); int64(len(data[op])) != want {
+			return fmt.Errorf("workload: operation %d holds %d bytes, declared %d", op, len(data[op]), want)
+		}
+		var pos int64
+		for _, s := range segs {
+			for i := int64(0); i < s.Count; i++ {
+				off := s.Off + i*s.Stride
+				for k := int64(0); k < s.Len; k++ {
+					if got, want := data[op][pos+k], fillByte(seed, off+k); got != want {
+						return fmt.Errorf("workload: operation %d file offset %d: got 0x%02x, want 0x%02x",
+							op, off+k, got, want)
+					}
+				}
+				pos += s.Len
+			}
+		}
+	}
+	return nil
+}

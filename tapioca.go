@@ -23,6 +23,13 @@
 //
 // All time is virtual: identical programs produce identical timings, and the
 // paper's figures regenerate deterministically (cmd/tapiocabench).
+//
+// Two data modes are available. The phantom mode (Writer.Init) moves only
+// virtual byte counts — what every paper-scale figure runs. The data plane
+// (Writer.InitData) carries real payload bytes end to end: puts copy into
+// actual aggregator window memory, flushes land in a pluggable backing
+// store (File.SetStore), reads return the bytes, and CRC-64 checksums
+// verify the round trip (Writer.DataChecksum, File.StoreChecksum).
 package tapioca
 
 import (
@@ -55,6 +62,19 @@ func Strided(off, length, stride, count int64) Seg {
 
 // FileOptions carries file-creation tuning (Lustre striping).
 type FileOptions = storage.FileOptions
+
+// Store is a pluggable backing byte store for a simulated file — the data
+// plane's durable end (see File.SetStore). NewMemStore and NewFileStore
+// provide the two implementations.
+type Store = storage.Store
+
+// NewMemStore returns an in-memory sparse extent store: chunks allocate on
+// first write, so memory tracks the data, not the file span. It is also
+// what a file attaches automatically on its first payload-carrying write.
+func NewMemStore() *storage.MemStore { return storage.NewMemStore() }
+
+// NewFileStore creates (or truncates) path as an on-disk backing store.
+func NewFileStore(path string) (*storage.FileStore, error) { return storage.NewFileStore(path) }
 
 // Config tunes a TAPIOCA session (see internal/core.Config).
 type Config = core.Config
@@ -316,6 +336,16 @@ type File struct {
 	m *Machine
 }
 
+// SetStore attaches a backing byte store for real payload bytes (the data
+// plane). Without one, a MemStore is attached automatically on the first
+// payload-carrying write; phantom sessions never touch a store.
+func (f *File) SetStore(s Store) { f.f.SetStore(s) }
+
+// StoreChecksum returns the CRC-64/ECMA of the stored bytes over the given
+// extents — the storage end of the data plane's end-to-end verification
+// (compare with Writer.DataChecksum over the same declared pattern).
+func (f *File) StoreChecksum(segs []Seg) (uint64, error) { return f.f.StoreChecksum(segs) }
+
 // CreateFile creates (or opens, if it exists) a file on the machine's file
 // system. Safe to call from every rank; creation is idempotent per name.
 func (x *Ctx) CreateFile(name string, opt FileOptions) *File {
@@ -419,11 +449,17 @@ func Autotune(m *Machine, w Workload, opts ...AutotuneOption) (Config, FileOptio
 				if ctx.Rank() == 0 {
 					t0 = ctx.Now()
 				}
-				wr.Init(decl)
+				if err := wr.Init(decl); err != nil {
+					panic(err)
+				}
+				var ioErr error
 				if pw.Read {
-					wr.ReadAll()
+					ioErr = wr.ReadAll()
 				} else {
-					wr.WriteAll()
+					ioErr = wr.WriteAll()
+				}
+				if ioErr != nil {
+					panic(ioErr)
 				}
 				ctx.Barrier()
 				if ctx.Rank() == 0 {
