@@ -55,6 +55,12 @@ type jsonResult struct {
 	// and read back checksum-identical) passed before the experiments ran.
 	// Omitted when -verify was not requested.
 	Verified bool `json:"verified,omitempty"`
+	// VerifyPipelineSeconds and VerifyVerifySeconds split the -verify run's
+	// host wall-clock into the pipeline itself (write + read sessions) and
+	// the verification work (byte compare + CRC-64 parity, including the
+	// store-side checksum). Omitted when -verify was not requested.
+	VerifyPipelineSeconds float64 `json:"verify_pipeline_seconds,omitempty"`
+	VerifyVerifySeconds   float64 `json:"verify_verify_seconds,omitempty"`
 }
 
 type jsonRow struct {
@@ -142,6 +148,9 @@ func run() int {
 		for _, s := range expt.FullScale() {
 			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
+		for _, s := range expt.DataPlane() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
 		return 0
 	}
 
@@ -164,13 +173,16 @@ func run() int {
 	}
 
 	verified := false
+	var verifyStats expt.VerifyStats
 	if *verify {
-		if err := expt.VerifyDataPlane(); err != nil {
+		var err error
+		if verifyStats, err = expt.VerifyDataPlaneStats(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		verified = true
-		fmt.Print("data plane verified: write→read round trip checksum-identical on both platforms\n\n")
+		fmt.Printf("data plane verified: write→read round trip checksum-identical on both platforms (pipeline %.2fs, verification %.2fs)\n\n",
+			verifyStats.PipelineSeconds, verifyStats.VerifySeconds)
 	}
 
 	var records []jsonResult
@@ -208,6 +220,10 @@ func run() int {
 				Transfers:      transfers,
 				PeakHeapBytes:  peak,
 				Verified:       verified,
+			}
+			if verified {
+				rec.VerifyPipelineSeconds = verifyStats.PipelineSeconds
+				rec.VerifyVerifySeconds = verifyStats.VerifySeconds
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})

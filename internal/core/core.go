@@ -79,6 +79,13 @@ type Config struct {
 	// rank during Init, in nanoseconds. Zero selects the 50 µs default;
 	// ElectionDisabled (or any negative value) charges nothing.
 	ElectionOverhead int64
+	// Codec enables the per-round reduction stage: each aggregator
+	// compresses a filled buffer before flushing it, trading compute time
+	// for flush bytes. Virtual time prices the codec's modeled ratio and
+	// rates (deterministic, data-independent); with the data plane on, the
+	// real bytes additionally round-trip through the codec so a broken
+	// implementation fails verification. Nil disables the stage (default).
+	Codec dataplane.Codec
 }
 
 // ApplyDefaults resolves the zero-value fields to the library defaults for a
@@ -133,8 +140,12 @@ type Writer struct {
 	// pl is the rank's data plane: non-nil when InitData attached real
 	// payload buffers. Phantom sessions (Init) leave it nil and move only
 	// virtual byte counts.
-	pl      *dataplane.Plane
-	gatherB []byte // per-round payload gather/scatter scratch
+	pl *dataplane.Plane
+	// Codec scratch, reused across rounds. Only the pipeline's single
+	// in-flight store job touches these (jobs are joined before the next
+	// launch), so plain fields are race-free.
+	compB   []byte
+	decompB []byte
 
 	stats Stats
 }
@@ -151,6 +162,11 @@ type Stats struct {
 	BytesFlushed int64
 	// Flushes counts buffer flushes issued by this rank.
 	Flushes int64
+	// BytesCompressed counts the post-codec bytes of this rank's flush
+	// stream (aggregators, codec sessions only): the achieved compressed
+	// sizes when real payload flowed through the codec, the modeled sizes
+	// in phantom mode and on the read path. Zero without a Codec.
+	BytesCompressed int64
 	// AggregatorWorldRank is the elected aggregator's world rank.
 	AggregatorWorldRank int
 	// ElectionCost is this rank's own C1+C2 candidacy cost in seconds

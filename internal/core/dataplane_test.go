@@ -17,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"tapioca/internal/dataplane"
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
@@ -196,6 +197,112 @@ func TestDataPlaneRoundTrip(t *testing.T) {
 				if t.Failed() {
 					t.Fatalf("trial %d (seed %d) failed", trial, seed)
 				}
+			}
+		})
+	}
+}
+
+// TestDataPlaneCodecRoundTrip is the reduction-stage property: with the LZ
+// codec in the flush path, every round's real bytes are compressed and
+// decompressed on their way to the backing store, so the same end-to-end
+// verification (VerifyData + checksum parity against the store) proves the
+// codec lossless under the full pipeline — over both MemStore (default) and
+// an on-disk FileStore.
+func TestDataPlaneCodecRoundTrip(t *testing.T) {
+	for _, backing := range []string{"memstore", "filestore"} {
+		backing := backing
+		t.Run(backing, func(t *testing.T) {
+			const ranks, rpn = 16, 2
+			seed := int64(4242)
+			rng := rand.New(rand.NewSource(seed))
+			decl := genDeclared(rng, ranks, ranks*3)
+			topo := topology.ThetaDragonfly(8, topology.RouteMinimal)
+			fab := netsim.New(topo, netsim.Config{})
+			sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: 8})
+			dir := t.TempDir()
+			var mu sync.Mutex
+			var failures []string
+			var aggCompressed int64
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+			_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+				var f *storage.File
+				if c.Rank() == 0 {
+					f = sys.Create("codec", storage.FileOptions{StripeCount: 4, StripeSize: 16 << 10})
+					if backing == "filestore" {
+						fs, err := storage.NewFileStore(dir + "/codec.bin")
+						if err != nil {
+							panic(err)
+						}
+						f.SetStore(fs)
+					}
+				}
+				f = c.Bcast(0, 8, f).(*storage.File)
+				mine := decl[c.Rank()]
+				data := workload.FillData(mine, uint64(seed))
+				cfg := Config{Aggregators: 4, BufferSize: 8 << 10, Codec: dataplane.LZ}
+
+				w := New(c, sys, f, cfg)
+				if err := w.InitData(mine, data); err != nil {
+					fail("rank %d InitData(write): %v", c.Rank(), err)
+					return
+				}
+				if err := w.WriteAll(); err != nil {
+					fail("rank %d WriteAll: %v", c.Rank(), err)
+					return
+				}
+				writeCRC := w.DataChecksum()
+				if w.Aggregator() {
+					mu.Lock()
+					aggCompressed += w.Stats().BytesCompressed
+					mu.Unlock()
+				}
+				c.Barrier()
+
+				rbuf := make([][]byte, len(data))
+				for i := range data {
+					rbuf[i] = make([]byte, len(data[i]))
+				}
+				r := New(c, sys, f, cfg)
+				if err := r.InitData(mine, rbuf); err != nil {
+					fail("rank %d InitData(read): %v", c.Rank(), err)
+					return
+				}
+				if err := r.ReadAll(); err != nil {
+					fail("rank %d ReadAll: %v", c.Rank(), err)
+					return
+				}
+				if err := workload.VerifyData(mine, uint64(seed), rbuf); err != nil {
+					fail("rank %d read-back: %v", c.Rank(), err)
+				}
+				if got := r.DataChecksum(); got != writeCRC {
+					fail("rank %d checksum: wrote %#x, read %#x", c.Rank(), writeCRC, got)
+				}
+				var runs []storage.Seg
+				for _, segs := range mine {
+					storage.Enumerate(segs, 1<<20, func(off, length int64) {
+						runs = append(runs, storage.Contig(off, length))
+					})
+				}
+				sort.Slice(runs, func(i, j int) bool { return runs[i].Off < runs[j].Off })
+				if crc, err := f.StoreChecksum(runs); err != nil {
+					fail("rank %d StoreChecksum: %v", c.Rank(), err)
+				} else if crc != writeCRC {
+					fail("rank %d store checksum %#x != write checksum %#x", c.Rank(), crc, writeCRC)
+				}
+				c.Barrier()
+			})
+			for _, f := range failures {
+				t.Error(f)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aggCompressed == 0 {
+				t.Error("no aggregator reported compressed flush bytes")
 			}
 		})
 	}

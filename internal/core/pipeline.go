@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tapioca/internal/dataplane"
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 )
@@ -15,19 +16,67 @@ func grow(scratch []byte, n int64) []byte {
 	return scratch[:n]
 }
 
-// gatherPiece fills the rank's put payload for one round: its declared bytes
-// inside the round's file window, in file-offset order — the layout the
-// aggregator's flush assumes. Phantom sessions return nil.
-func (w *Writer) gatherPiece(r int, bytes int64) ([]byte, error) {
-	if w.pl == nil {
-		return nil, nil
+// storeJob is one round's real store I/O running on a background goroutine,
+// off the simulation's critical path: the double-buffer schedule that
+// already overlaps the virtual flush with the next round's aggregation now
+// carries the actual bytes too. At most one job per writer is in flight
+// (the join point precedes the next launch), so the writer's codec scratch
+// needs no locking.
+type storeJob struct {
+	done   chan struct{}
+	err    error
+	stored int64 // post-codec bytes handed to the store (codec rounds)
+}
+
+// launchStore runs fn on a background goroutine. Everything fn touches must
+// be captured in a synchronized context before the launch (window slices,
+// layouts, the file's attached store).
+func launchStore(fn func() (int64, error)) *storeJob {
+	j := &storeJob{done: make(chan struct{})}
+	go func() {
+		defer close(j.done)
+		j.stored, j.err = fn()
+	}()
+	return j
+}
+
+// codecModel resolves the codec's deterministic pricing terms: compress and
+// decompress nanoseconds-per-byte and the modeled compressed size of n
+// bytes. Virtual time must not depend on payload content, so the model —
+// not the achieved ratio — is what the simulation charges.
+func (w *Writer) codecModel() (cNsPerByte, dNsPerByte float64) {
+	crate, drate := w.cfg.Codec.ModelRates()
+	return 1e9 / crate, 1e9 / drate
+}
+
+// flushSegsFor prices a round's flush extent: without a codec the plan's
+// real extents, with one a single contiguous extent of the modeled
+// compressed size at the round's base offset.
+func (w *Writer) flushSegsFor(fl flushInfo) []storage.Seg {
+	if w.cfg.Codec == nil {
+		return fl.segs
 	}
-	lo, hi := storage.SpanAll(w.plan.parts[w.part].flush[r].segs)
-	w.gatherB = grow(w.gatherB, bytes)
-	if n := w.pl.Gather(w.gatherB, lo, hi); n != bytes {
-		return nil, fmt.Errorf("core: round %d gather produced %d bytes, plan expects %d", r, n, bytes)
+	lo, _ := storage.SpanAll(fl.segs)
+	return []storage.Seg{storage.Contig(lo, dataplane.ModeledSize(w.cfg.Codec, fl.bytes))}
+}
+
+// storeRound lands one filled buffer in the backing store. With a codec the
+// bytes genuinely round-trip through it (compress, then decompress into the
+// store), so the reduction stage is verified by the same end-to-end
+// checksums as the rest of the pipeline; the achieved compressed size is
+// returned for stats.
+func (w *Writer) storeRound(buf []byte, layout []storage.Seg) (stored int64, err error) {
+	codec := w.cfg.Codec
+	if codec == nil {
+		return 0, w.f.StoreWrite(layout, buf)
 	}
-	return w.gatherB, nil
+	w.compB = codec.Compress(w.compB, buf)
+	stored = int64(len(w.compB))
+	w.decompB = grow(w.decompB, int64(len(buf)))
+	if err := codec.Decompress(w.decompB, w.compB); err != nil {
+		return stored, fmt.Errorf("core: codec %s round trip on flush: %w", codec.Name(), err)
+	}
+	return stored, w.f.StoreWrite(layout, w.decompB)
 }
 
 // runWrite executes the paper's Algorithm 3 over the partition: for every
@@ -38,18 +87,36 @@ func (w *Writer) gatherPiece(r int, bytes int64) ([]byte, error) {
 // its previous flush — arriving late at the fence, which is how a slow
 // storage phase throttles the whole partition.
 //
-// With the data plane on, the same schedule moves real bytes: puts carry
-// payload slices into the aggregator's window memory, and each flush
-// scatters the filled buffer into the file's backing store via the plan's
-// buffer-ordered run layout. Data-plane errors are deferred to the return
-// value: the fences and the closing barrier are collective, so a rank must
-// finish the round structure in lockstep even when its store fails.
+// With the data plane on, the same schedule moves real bytes, zero-copy:
+// each put's payload is gathered by dataplane.Plane.Each directly into the
+// aggregator's window memory (Win.PutGather — no intermediate buffer), and
+// the aggregator's real store I/O for round r runs on a background goroutine
+// while round r+1 aggregates, joined before the fence that would let
+// members overwrite that buffer. Data-plane errors are deferred to the
+// return value: the fences and the closing barrier are collective, so a
+// rank must finish the round structure in lockstep even when its store
+// fails.
 func (w *Writer) runWrite() error {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
 	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
+	var jobs [2]*storeJob
 	var dataErr error
+	join := func(bufID int64) {
+		if j := jobs[bufID]; j != nil {
+			<-j.done
+			if j.err != nil && dataErr == nil {
+				dataErr = j.err
+			}
+			w.stats.BytesCompressed += j.stored
+			jobs[bufID] = nil
+		}
+	}
+	var cNsPerByte float64
+	if w.cfg.Codec != nil {
+		cNsPerByte, _ = w.codecModel()
+	}
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
@@ -63,14 +130,26 @@ func (w *Writer) runWrite() error {
 			if deferredFree > 0 {
 				p.HoldUntil(deferredFree) // yield before booking another put
 			}
-			payload, err := w.gatherPiece(r, pc.bytes)
-			if err != nil && dataErr == nil {
-				dataErr = err // keep the round structure; the put goes phantom
+			if w.pl != nil {
+				lo, hi := storage.SpanAll(pp.flush[r].segs)
+				round := r
+				deferredFree = w.win.PutGather(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, func(dst []byte) {
+					if n := w.pl.Gather(dst, lo, hi); n != int64(len(dst)) && dataErr == nil {
+						dataErr = fmt.Errorf("core: round %d gather produced %d bytes, plan expects %d", round, n, len(dst))
+					}
+				})
+			} else {
+				deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
 			}
-			deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, payload)
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
+		// Join the store job still reading the other buffer: the fence we
+		// are about to enter releases members into the round that next
+		// overwrites it. (The virtual flush completion is enforced
+		// separately by pending[…] below — joining here costs no virtual
+		// time, it is the host-side happens-before edge.)
+		join(1 - bufID)
 		// Buffer-reuse guard: the fence cannot release until the aggregator
 		// has finished the flush that last used this buffer.
 		if w.isAgg && pending[bufID] != nil {
@@ -81,15 +160,34 @@ func (w *Writer) runWrite() error {
 		if w.isAgg {
 			fl := pp.flush[r]
 			if fl.bytes > 0 {
-				if w.pl != nil {
-					// The fence published every member's payload; scatter the
-					// filled buffer into the backing store before reusing it.
-					buf := w.win.LocalData()[bufID*w.cfg.BufferSize:]
-					if err := w.f.StoreWrite(w.plan.layoutOf(w.part, r), buf[:fl.bytes]); err != nil && dataErr == nil {
-						dataErr = err
+				if w.cfg.Codec != nil {
+					// The reduction stage: compress compute before the flush
+					// can be issued, then a smaller flush extent.
+					p.Hold(int64(float64(fl.bytes) * cNsPerByte))
+					if w.pl == nil {
+						w.stats.BytesCompressed += dataplane.ModeledSize(w.cfg.Codec, fl.bytes)
 					}
 				}
-				ev := w.sys.WriteAsync(p, w.pc.Node(), w.f, fl.segs)
+				if w.pl != nil {
+					// The fence published every member's payload; hand the
+					// filled buffer to the background store job. Everything
+					// the job touches is resolved here, in proc context.
+					buf := w.win.LocalData()[bufID*w.cfg.BufferSize:][:fl.bytes]
+					layout := w.plan.layoutOf(w.part, r)
+					w.f.EnsureStore()
+					if w.cfg.SingleBuffer {
+						stored, err := w.storeRound(buf, layout)
+						if err != nil && dataErr == nil {
+							dataErr = err
+						}
+						w.stats.BytesCompressed += stored
+					} else {
+						jobs[bufID] = launchStore(func() (int64, error) {
+							return w.storeRound(buf, layout)
+						})
+					}
+				}
+				ev := w.sys.WriteAsync(p, w.pc.Node(), w.f, w.flushSegsFor(fl))
 				w.stats.BytesFlushed += fl.bytes
 				w.stats.Flushes++
 				if w.cfg.SingleBuffer {
@@ -113,6 +211,8 @@ func (w *Writer) runWrite() error {
 			}
 		}
 	}
+	join(0)
+	join(1)
 	w.pc.Barrier()
 	return dataErr
 }
@@ -122,28 +222,54 @@ func (w *Writer) runWrite() error {
 // one-sided gets. Two fences bound each round: one publishing the buffer,
 // one closing the get epoch.
 //
-// With the data plane on, the prefetch gathers real bytes from the backing
-// store into the window buffer, and each member's get scatters its piece
-// back into the payload buffers it passed to InitData.
+// With the data plane on, the prefetch's real store read runs on a
+// background goroutine (joined before the fence that publishes its buffer),
+// and each member's get scatters its piece straight out of window memory
+// into the payload buffers it passed to InitData (Win.GetScatter — no
+// intermediate buffer).
 func (w *Writer) runRead() error {
 	pp := &w.plan.parts[w.part]
 	p := w.c.Proc()
 	myPieces := w.plan.piecesOf(w.c.Rank())
 	var pending [2]*sim.Event
+	var jobs [2]*storeJob
 	var prefetchErr error
+	join := func(bufID int64) {
+		if j := jobs[bufID]; j != nil {
+			<-j.done
+			if j.err != nil && prefetchErr == nil {
+				prefetchErr = j.err
+			}
+			jobs[bufID] = nil
+		}
+	}
+	var dNsPerByte float64
+	if w.cfg.Codec != nil {
+		_, dNsPerByte = w.codecModel()
+	}
 	prefetch := func(r int) {
 		if w.isAgg && r < pp.rounds && pp.flush[r].bytes > 0 {
 			if w.pl != nil {
 				// Fill the inactive buffer from the backing store; the next
 				// fence publishes it to the members' gets.
-				buf := w.win.LocalData()[int64(r%2)*w.cfg.BufferSize:]
-				if err := w.f.StoreRead(w.plan.layoutOf(w.part, r), buf[:pp.flush[r].bytes]); err != nil && prefetchErr == nil {
-					prefetchErr = err
+				buf := w.win.LocalData()[int64(r%2)*w.cfg.BufferSize:][:pp.flush[r].bytes]
+				layout := w.plan.layoutOf(w.part, r)
+				if w.cfg.SingleBuffer {
+					if err := w.f.StoreRead(layout, buf); err != nil && prefetchErr == nil {
+						prefetchErr = err
+					}
+				} else {
+					jobs[r%2] = launchStore(func() (int64, error) {
+						return 0, w.f.StoreRead(layout, buf)
+					})
 				}
 			}
-			pending[r%2] = w.sys.ReadAsync(p, w.pc.Node(), w.f, pp.flush[r].segs)
+			pending[r%2] = w.sys.ReadAsync(p, w.pc.Node(), w.f, w.flushSegsFor(pp.flush[r]))
 			w.stats.BytesFlushed += pp.flush[r].bytes
 			w.stats.Flushes++
+			if w.cfg.Codec != nil {
+				w.stats.BytesCompressed += dataplane.ModeledSize(w.cfg.Codec, pp.flush[r].bytes)
+			}
 		}
 	}
 	if !w.cfg.SingleBuffer {
@@ -156,10 +282,16 @@ func (w *Writer) runRead() error {
 			// Ablation: no prefetch — read this round's data synchronously.
 			prefetch(r)
 		}
-		// The aggregator publishes the buffer once its read lands.
+		// The aggregator publishes the buffer once its read (and, with a
+		// codec, the decompress compute) lands; the background byte job for
+		// this buffer must be joined before the publishing fence.
+		join(bufID)
 		if w.isAgg && pending[bufID] != nil {
 			pending[bufID].Wait(p)
 			pending[bufID] = nil
+			if w.cfg.Codec != nil {
+				p.Hold(int64(float64(pp.flush[r].bytes) * dNsPerByte))
+			}
 		}
 		w.win.Fence()
 		// Members pull their pieces; the aggregator prefetches the next
@@ -168,12 +300,13 @@ func (w *Writer) runRead() error {
 			pc := myPieces[idx]
 			if w.pl != nil {
 				lo, hi := storage.SpanAll(pp.flush[r].segs)
-				w.gatherB = grow(w.gatherB, pc.bytes)
-				w.win.GetInto(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, w.gatherB)
-				if n := w.pl.Scatter(w.gatherB, lo, hi); n != pc.bytes && prefetchErr == nil {
-					// Deferred like prefetch errors: the fences are collective.
-					prefetchErr = fmt.Errorf("core: round %d scatter consumed %d bytes, plan expects %d", r, n, pc.bytes)
-				}
+				round := r
+				w.win.GetScatter(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, func(src []byte) {
+					if n := w.pl.Scatter(src, lo, hi); n != int64(len(src)) && prefetchErr == nil {
+						// Deferred like prefetch errors: fences are collective.
+						prefetchErr = fmt.Errorf("core: round %d scatter consumed %d bytes, plan expects %d", round, n, len(src))
+					}
+				})
 			} else {
 				w.win.Get(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes)
 			}
@@ -185,6 +318,8 @@ func (w *Writer) runRead() error {
 		}
 		w.win.Fence() // closes the get epoch
 	}
+	join(0)
+	join(1)
 	w.pc.Barrier()
 	return prefetchErr
 }

@@ -1,0 +1,229 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Codec is a pluggable per-round reduction stage for the flush path: an
+// aggregator compresses each filled buffer before it heads to storage,
+// trading compute for flush bytes (Huebl et al.'s data-reduction
+// direction). A nil Codec means no reduction — the default everywhere.
+//
+// The simulator prices the stage deterministically from ModelRatio and
+// ModelRates (virtual time must not depend on payload content); the real
+// byte path compresses and decompresses the actual round buffers, so a
+// broken codec corrupts the store and fails end-to-end verification rather
+// than passing silently.
+type Codec interface {
+	// Name labels the codec in stats, search keys and reports.
+	Name() string
+	// Compress appends src's compressed block to dst[:0] and returns it;
+	// dst supplies reusable capacity (grow with CompressBound).
+	Compress(dst, src []byte) []byte
+	// Decompress reverses Compress into dst, which must be exactly the
+	// original source length. It errors on malformed or mismatched input.
+	Decompress(dst, src []byte) error
+	// ModelRatio is the compressed/original size fraction the simulator and
+	// autotuner price. The achieved ratio is data-dependent and reported
+	// separately (core.Stats.BytesCompressed).
+	ModelRatio() float64
+	// ModelRates returns the modeled single-core compress and decompress
+	// throughputs in bytes/second — the compute cost the pipeline charges.
+	ModelRates() (compress, decompress float64)
+}
+
+// CompressBound returns a capacity sufficient for Compress's output on any
+// n-byte input (incompressible input expands by the literal-run headers).
+func CompressBound(n int) int { return n + n/255 + 16 }
+
+// ModeledSize is the deterministic post-codec size of an n-byte round that
+// the simulator and autotuner price: round(n·ModelRatio), at least 1 byte.
+// A nil codec leaves n unchanged. Core's pipeline and tune's predictor both
+// use this, so a prediction and a live run price identical flush extents.
+func ModeledSize(c Codec, n int64) int64 {
+	if c == nil || n <= 0 {
+		return n
+	}
+	s := int64(float64(n)*c.ModelRatio() + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// LZ is the reference reduction codec: a greedy byte-oriented LZ77 with an
+// LZ4-style block format (token byte with literal/match length nibbles,
+// 255-extension length bytes, 16-bit little-endian match offsets, minimum
+// match 4). It exists to make the compression stage real — bytes genuinely
+// round-trip through it — not to compete with tuned codecs.
+var LZ Codec = lzCodec{}
+
+type lzCodec struct{}
+
+const (
+	lzMinMatch  = 4
+	lzHashLog   = 13
+	lzMaxOffset = 65535
+)
+
+func (lzCodec) Name() string { return "lz" }
+
+// ModelRatio assumes 2:1 reduction — the order Huebl et al. report for
+// particle checkpoints under fast byte-oriented codecs.
+func (lzCodec) ModelRatio() float64 { return 0.5 }
+
+// ModelRates: ~600 MB/s compress, ~2.4 GB/s decompress per core, the class
+// of throughput fast LZ codecs sustain.
+func (lzCodec) ModelRates() (compress, decompress float64) { return 600e6, 2.4e9 }
+
+func lzHash(x uint32) uint32 { return (x * 2654435761) >> (32 - lzHashLog) }
+
+// lzAppendLen emits a length extension in 255-saturated bytes.
+func lzAppendLen(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// lzEmit appends one sequence: literals then a match of mlen at offset.
+func lzEmit(dst, lit []byte, offset, mlen int) []byte {
+	litLen, ml := len(lit), mlen-lzMinMatch
+	tok := byte(ml)
+	if ml >= 15 {
+		tok = 15
+	}
+	if litLen >= 15 {
+		tok |= 15 << 4
+	} else {
+		tok |= byte(litLen) << 4
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = lzAppendLen(dst, litLen-15)
+	}
+	dst = append(dst, lit...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = lzAppendLen(dst, ml-15)
+	}
+	return dst
+}
+
+func (lzCodec) Compress(dst, src []byte) []byte {
+	dst = dst[:0]
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	var table [1 << lzHashLog]int32
+	for i := range table {
+		table[i] = -1
+	}
+	anchor, i := 0, 0
+	for i+lzMinMatch <= n {
+		h := lzHash(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand >= 0 && i-cand <= lzMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			mlen := lzMinMatch
+			for i+mlen < n && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			dst = lzEmit(dst, src[anchor:i], i-cand, mlen)
+			i += mlen
+			anchor = i
+			continue
+		}
+		i++
+	}
+	// Final literals-only sequence (the block may also end exactly on a
+	// match, in which case nothing more is emitted).
+	if lit := src[anchor:]; len(lit) > 0 {
+		tok := byte(0)
+		if len(lit) >= 15 {
+			tok = 15 << 4
+		} else {
+			tok = byte(len(lit)) << 4
+		}
+		dst = append(dst, tok)
+		if len(lit) >= 15 {
+			dst = lzAppendLen(dst, len(lit)-15)
+		}
+		dst = append(dst, lit...)
+	}
+	return dst
+}
+
+var errLZCorrupt = fmt.Errorf("dataplane: lz block corrupt")
+
+// lzReadLen reads a 255-saturated length extension starting at si.
+func lzReadLen(src []byte, si, base int) (v, nsi int, err error) {
+	v = base
+	for {
+		if si >= len(src) {
+			return 0, 0, errLZCorrupt
+		}
+		b := src[si]
+		si++
+		v += int(b)
+		if b != 255 {
+			return v, si, nil
+		}
+	}
+}
+
+func (lzCodec) Decompress(dst, src []byte) error {
+	di, si := 0, 0
+	for si < len(src) {
+		tok := src[si]
+		si++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			var err error
+			if litLen, si, err = lzReadLen(src, si, 15); err != nil {
+				return err
+			}
+		}
+		if si+litLen > len(src) || di+litLen > len(dst) {
+			return errLZCorrupt
+		}
+		copy(dst[di:], src[si:si+litLen])
+		si += litLen
+		di += litLen
+		if si == len(src) {
+			break // final literals-only sequence
+		}
+		if si+2 > len(src) {
+			return errLZCorrupt
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if offset == 0 || offset > di {
+			return errLZCorrupt
+		}
+		mlen := int(tok & 0xF)
+		if mlen == 15 {
+			var err error
+			if mlen, si, err = lzReadLen(src, si, 15); err != nil {
+				return err
+			}
+		}
+		mlen += lzMinMatch
+		if di+mlen > len(dst) {
+			return errLZCorrupt
+		}
+		// Byte-wise copy: matches may overlap their own output (RLE).
+		for j := 0; j < mlen; j++ {
+			dst[di+j] = dst[di+j-offset]
+		}
+		di += mlen
+	}
+	if di != len(dst) {
+		return fmt.Errorf("dataplane: lz block decodes to %d bytes, want %d", di, len(dst))
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package dataplane
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tapioca/internal/storage"
+)
+
+// codecInputs builds a spread of payloads: incompressible noise, zeros,
+// repetitive structure, and short edge sizes.
+func codecInputs(rng *rand.Rand) [][]byte {
+	noise := make([]byte, 100_000)
+	rng.Read(noise)
+	zeros := make([]byte, 70_000)
+	rep := bytes.Repeat([]byte("particle checkpoint block "), 4000)
+	structured := make([]byte, 80_000)
+	for i := range structured {
+		structured[i] = byte(i / 64) // long runs with slow drift
+	}
+	out := [][]byte{nil, {0}, {1, 2, 3}, noise[:15], noise[:16], zeros, rep, structured, noise}
+	for t := 0; t < 20; t++ {
+		n := rng.Intn(5000)
+		mixed := make([]byte, n)
+		rng.Read(mixed)
+		if n > 10 { // splice in a compressible stretch
+			lo := rng.Intn(n / 2)
+			hi := lo + rng.Intn(n-lo)
+			for i := lo; i < hi; i++ {
+				mixed[i] = 0xAB
+			}
+		}
+		out = append(out, mixed)
+	}
+	return out
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var comp []byte
+	for ti, src := range codecInputs(rng) {
+		comp = LZ.Compress(comp, src)
+		if len(comp) > CompressBound(len(src)) {
+			t.Fatalf("input %d: compressed %d bytes exceeds CompressBound(%d)=%d", ti, len(comp), len(src), CompressBound(len(src)))
+		}
+		got := make([]byte, len(src))
+		if err := LZ.Decompress(got, comp); err != nil {
+			t.Fatalf("input %d: decompress: %v", ti, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("input %d: round trip mismatch (%d bytes)", ti, len(src))
+		}
+	}
+	// Compressible data must actually shrink.
+	zeros := make([]byte, 1<<20)
+	comp = LZ.Compress(comp, zeros)
+	if len(comp) >= len(zeros)/10 {
+		t.Fatalf("1 MiB of zeros compressed to only %d bytes", len(comp))
+	}
+}
+
+func TestLZDecompressRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := bytes.Repeat([]byte("abcdefgh"), 2000)
+	comp := LZ.Compress(nil, src)
+	dst := make([]byte, len(src))
+	// Truncations must error, never panic or silently succeed.
+	for _, cut := range []int{1, len(comp) / 2, len(comp) - 1} {
+		if err := LZ.Decompress(dst, comp[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	// Wrong output size must error.
+	if err := LZ.Decompress(dst[:len(src)-1], comp); err == nil {
+		t.Fatal("short destination decoded without error")
+	}
+	// Random garbage must never panic (errors are fine, and a garbage block
+	// that happens to decode is acceptable only at the exact length).
+	for trial := 0; trial < 200; trial++ {
+		garbage := make([]byte, rng.Intn(300))
+		rng.Read(garbage)
+		_ = LZ.Decompress(dst, garbage)
+	}
+}
+
+func TestPlaneChecksumParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Two declared ops, enough bytes to cross the parallel threshold, with
+	// strided runs so shard cuts land mid-run and mid-stream.
+	declared := [][]storage.Seg{
+		{storage.Contig(0, 6<<20), storage.Strided(32<<20, 96<<10, 256<<10, 64)},
+		{storage.Strided(8<<20, 1<<20, 2<<20, 6)},
+	}
+	data := make([][]byte, len(declared))
+	for i, segs := range declared {
+		data[i] = make([]byte, storage.TotalBytes(segs))
+		rng.Read(data[i])
+	}
+	pl, err := New(declared, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pl.Checksum(), pl.checksumRange(0, 0, pl.total); got != want {
+		t.Fatalf("parallel checksum %#x != serial %#x", got, want)
+	}
+}

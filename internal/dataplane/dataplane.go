@@ -19,6 +19,7 @@ import (
 	"hash/crc64"
 	"sort"
 
+	"tapioca/internal/par"
 	"tapioca/internal/storage"
 )
 
@@ -134,16 +135,73 @@ func (pl *Plane) Scatter(src []byte, lo, hi int64) int64 {
 	return n
 }
 
+// checksumShardBytes is the minimum payload per parallel checksum shard;
+// below that the serial scan wins.
+const checksumShardBytes = 4 << 20
+
 // Checksum returns the CRC-64/ECMA of the rank's payload bytes in
 // file-offset order. Because the order is file-positional (not declaration
 // order), a write session's checksum equals both the storage checksum over
 // the same extents and the checksum of a read session that declared the same
-// pattern — the end-to-end verification contract.
+// pattern — the end-to-end verification contract. Large payloads shard
+// across the worker pool and merge with storage.CRC64Combine; the result is
+// identical to the serial scan.
 func (pl *Plane) Checksum() uint64 {
+	k := int(pl.total / checksumShardBytes)
+	if lim := par.Limit(); k > lim {
+		k = lim
+	}
+	if k <= 1 || len(pl.runs) == 0 {
+		return pl.checksumRange(0, 0, pl.total)
+	}
+	// Cut the byte stream into k equal shards in one pass over the run
+	// index, splitting mid-run where a boundary lands inside one.
+	type shard struct {
+		run     int
+		skip, n int64
+	}
+	per := (pl.total + int64(k) - 1) / int64(k)
+	shards := make([]shard, 0, k)
+	runIdx, skip, remaining := 0, int64(0), pl.total
+	for remaining > 0 {
+		n := minI64(per, remaining)
+		shards = append(shards, shard{run: runIdx, skip: skip, n: n})
+		for adv := n; adv > 0; {
+			avail := (pl.runs[runIdx].end - pl.runs[runIdx].off) - skip
+			if adv < avail {
+				skip += adv
+				break
+			}
+			adv -= avail
+			runIdx++
+			skip = 0
+		}
+		remaining -= n
+	}
+	crcs := make([]uint64, len(shards))
+	par.Map(len(shards), func(i int) {
+		crcs[i] = pl.checksumRange(shards[i].run, shards[i].skip, shards[i].n)
+	})
 	var crc uint64
-	for i := range pl.runs {
+	for i, c := range crcs {
+		crc = storage.CRC64Combine(crc, c, shards[i].n)
+	}
+	return crc
+}
+
+// checksumRange checksums n bytes of the file-offset-ordered payload stream
+// starting skip bytes into run runIdx.
+func (pl *Plane) checksumRange(runIdx int, skip, n int64) uint64 {
+	var crc uint64
+	for i := runIdx; i < len(pl.runs) && n > 0; i++ {
 		r := &pl.runs[i]
-		crc = crc64.Update(crc, crcTable, pl.data[r.op][r.pos:r.pos+(r.end-r.off)])
+		p := pl.data[r.op][r.pos+skip : r.pos+(r.end-r.off)]
+		if int64(len(p)) > n {
+			p = p[:n]
+		}
+		crc = crc64.Update(crc, crcTable, p)
+		n -= int64(len(p))
+		skip = 0
 	}
 	return crc
 }

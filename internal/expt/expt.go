@@ -92,19 +92,16 @@ func FullScale() []Spec {
 	}
 }
 
-// ByID returns the experiment with the given id (reduced-scale set or a
-// registered full-scale variant), or nil.
+// ByID returns the experiment with the given id (reduced-scale set, a
+// registered full-scale variant, or a host-side data-plane experiment), or
+// nil.
 func ByID(id string) *Spec {
-	for _, s := range All() {
-		if s.ID == id {
-			sp := s
-			return &sp
-		}
-	}
-	for _, s := range FullScale() {
-		if s.ID == id {
-			sp := s
-			return &sp
+	for _, set := range [][]Spec{All(), FullScale(), DataPlane()} {
+		for _, s := range set {
+			if s.ID == id {
+				sp := s
+				return &sp
+			}
 		}
 	}
 	return nil

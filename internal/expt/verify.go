@@ -2,6 +2,8 @@ package expt
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"tapioca/internal/core"
 	"tapioca/internal/mpi"
@@ -10,14 +12,34 @@ import (
 	"tapioca/internal/workload"
 )
 
+// VerifyStats reports how a -verify run spent its host wall-clock, so the
+// cost of end-to-end verification is visible separately from the pipeline
+// it checks.
+type VerifyStats struct {
+	// PipelineSeconds is the host wall-clock of the write and read sessions
+	// themselves (simulation plus the real byte path).
+	PipelineSeconds float64
+	// VerifySeconds is the host wall-clock of byte comparison and checksum
+	// work (VerifyData, write/read CRC parity, store-side CRC parity).
+	VerifySeconds float64
+}
+
 // VerifyDataPlane runs the data-plane round-trip smoke behind tapiocabench
-// -verify: one reduced figure-style scenario per platform — the HACC-IO SoA
-// pattern on Theta/Lustre and on Mira/GPFS — with real payload bytes
-// enabled. Every rank writes deterministic offset-keyed bytes through the
-// full aggregation pipeline, a fresh session reads them back, and the run
-// fails unless the bytes match and the per-rank write/read/store CRC-64
-// checksums agree. It returns nil when every platform verifies.
+// -verify; see VerifyDataPlaneStats. It returns nil when every platform
+// verifies.
 func VerifyDataPlane() error {
+	_, err := VerifyDataPlaneStats()
+	return err
+}
+
+// VerifyDataPlaneStats runs one reduced figure-style scenario per platform —
+// the HACC-IO SoA pattern on Theta/Lustre and on Mira/GPFS — with real
+// payload bytes enabled. Every rank writes deterministic offset-keyed bytes
+// through the full aggregation pipeline, a fresh session reads them back,
+// and the run fails unless the bytes match and the per-rank write/read CRC-64
+// checksums agree with each other and with a CRC computed over the backing
+// store itself. Timings for the two phases are returned alongside the error.
+func VerifyDataPlaneStats() (VerifyStats, error) {
 	type platform struct {
 		name string
 		rig  *rig
@@ -27,11 +49,14 @@ func VerifyDataPlane() error {
 		{"mira-gpfs", miraRig(128, 1, storage.LockShared)},
 	}
 	const seed = 20170905 // the paper's CLUSTER year+month+day, any constant works
+	var stats VerifyStats
 	for _, pf := range platforms {
 		r := pf.rig
 		ranks := r.ranks()
 		pattern := workload.HACC(ranks, 512, workload.SoA)
 		var failure error
+		var verifyDur time.Duration
+		start := time.Now()
 		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: r.rpn, Fabric: r.fab}, func(c *mpi.Comm) {
 			var f *storage.File
 			if c.Rank() == 0 {
@@ -62,23 +87,44 @@ func VerifyDataPlane() error {
 					err = rd.ReadAll()
 				}
 			}
+			// Rank procs execute serially under the scheduler, so summing
+			// per-rank spans yields the phase's host wall-clock.
+			vstart := time.Now()
 			if err == nil {
 				err = workload.VerifyData(decl, seed, got)
 			}
 			if err == nil && rd.DataChecksum() != writeCRC {
 				err = fmt.Errorf("read checksum %#x != write checksum %#x", rd.DataChecksum(), writeCRC)
 			}
+			if err == nil {
+				var runs []storage.Seg
+				for _, segs := range decl {
+					storage.Enumerate(segs, 1<<20, func(off, length int64) {
+						runs = append(runs, storage.Contig(off, length))
+					})
+				}
+				sort.Slice(runs, func(i, j int) bool { return runs[i].Off < runs[j].Off })
+				if crc, cerr := f.StoreChecksum(runs); cerr != nil {
+					err = cerr
+				} else if crc != writeCRC {
+					err = fmt.Errorf("store checksum %#x != write checksum %#x", crc, writeCRC)
+				}
+			}
+			verifyDur += time.Since(vstart)
 			if err != nil && failure == nil {
 				failure = fmt.Errorf("rank %d: %w", c.Rank(), err)
 			}
 			c.Barrier()
 		})
+		total := time.Since(start)
+		stats.VerifySeconds += verifyDur.Seconds()
+		stats.PipelineSeconds += (total - verifyDur).Seconds()
 		if err == nil {
 			err = failure
 		}
 		if err != nil {
-			return fmt.Errorf("data-plane verify on %s: %w", pf.name, err)
+			return stats, fmt.Errorf("data-plane verify on %s: %w", pf.name, err)
 		}
 	}
-	return nil
+	return stats, nil
 }

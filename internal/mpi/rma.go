@@ -90,6 +90,26 @@ func (w *Win) Put(target int, offset, bytes int64, payload any) {
 // round's last — the Algorithm 3 pattern, which saves one context switch
 // per rank per round.
 func (w *Win) PutAsync(target int, offset, bytes int64, payload any) (senderFree int64) {
+	senderFree = w.bookPut(target, offset, bytes)
+	if b, ok := payload.([]byte); ok && len(b) > 0 {
+		// Data plane: the put carries real bytes into the target's window
+		// memory. The copy happens at issue time (the origin buffer is
+		// reusable immediately, MPI_Put semantics), and the fence's
+		// happens-before edge publishes it to the target.
+		copy(w.s.memOf(target)[offset:], b)
+		if w.s.capture {
+			payload = append([]byte(nil), b...) // capture a stable snapshot
+		}
+	}
+	if w.s.capture {
+		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: w.c.rank, Payload: payload})
+	}
+	return senderFree
+}
+
+// bookPut performs a one-sided put's fabric reservation and epoch
+// bookkeeping (shared by PutAsync and PutGather); it moves no bytes.
+func (w *Win) bookPut(target int, offset, bytes int64) (senderFree int64) {
 	c := w.c
 	if target < 0 || target >= c.Size() {
 		panic(fmt.Sprintf("mpi: Put to invalid rank %d", target))
@@ -104,18 +124,30 @@ func (w *Win) PutAsync(target int, offset, bytes int64, payload any) (senderFree
 	w.s.epochOps++
 	w.s.epochBytes += bytes
 	w.s.fill[target] += bytes
-	if b, ok := payload.([]byte); ok && len(b) > 0 {
-		// Data plane: the put carries real bytes into the target's window
-		// memory. The copy happens at issue time (the origin buffer is
-		// reusable immediately, MPI_Put semantics), and the fence's
-		// happens-before edge publishes it to the target.
-		copy(w.s.memOf(target)[offset:], b)
+	return senderFree
+}
+
+// PutGather is PutAsync with a zero-copy payload: instead of receiving a
+// pre-gathered buffer (which PutAsync must copy into window memory — two
+// copies per payload byte), the caller's fill function writes the payload
+// directly into the target's exposed window slice [offset, offset+bytes).
+// Timing, epoch bookkeeping and MPI_Put semantics are identical to PutAsync
+// over the same byte count; fill runs at issue time, so — as with PutAsync's
+// issue-time copy — the fence's happens-before edge publishes the bytes to
+// the target.
+func (w *Win) PutGather(target int, offset, bytes int64, fill func(dst []byte)) (senderFree int64) {
+	senderFree = w.bookPut(target, offset, bytes)
+	if bytes > 0 && fill != nil {
+		dst := w.s.memOf(target)[offset : offset+bytes]
+		fill(dst)
 		if w.s.capture {
-			payload = append([]byte(nil), b...) // capture a stable snapshot
+			w.s.writes[target] = append(w.s.writes[target],
+				WinSpan{Offset: offset, Bytes: bytes, From: w.c.rank, Payload: append([]byte(nil), dst...)})
 		}
+		return senderFree
 	}
 	if w.s.capture {
-		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: c.rank, Payload: payload})
+		w.s.writes[target] = append(w.s.writes[target], WinSpan{Offset: offset, Bytes: bytes, From: w.c.rank})
 	}
 	return senderFree
 }
@@ -149,6 +181,19 @@ func (w *Win) Get(target int, offset, bytes int64) {
 func (w *Win) GetInto(target int, offset int64, dst []byte) {
 	w.Get(target, offset, int64(len(dst)))
 	copy(dst, w.s.memOf(target)[offset:])
+}
+
+// GetScatter is GetInto with a zero-copy destination: instead of copying the
+// target's window bytes into an intermediate buffer for the caller to
+// scatter, the scatter function receives the window slice [offset,
+// offset+bytes) directly and distributes it into the final payload buffers.
+// Timing matches Get over the same byte count; the same publication contract
+// as GetInto applies (issue after the fence that exposed the buffer).
+func (w *Win) GetScatter(target int, offset, bytes int64, scatter func(src []byte)) {
+	w.Get(target, offset, bytes)
+	if bytes > 0 && scatter != nil {
+		scatter(w.s.memOf(target)[offset : offset+bytes])
+	}
 }
 
 // LocalData returns (allocating on first use) the caller's own exposed

@@ -140,6 +140,7 @@ type File struct {
 	arrScratch []aggArrival             // reused per-round arrival-horizon contribution
 	arrBox     any                      // &arrScratch boxed once: no per-round interface alloc
 	horizonFn  func(contribs []any) any // per-handle combiner, built once in Open
+	extScratch []storage.Extent         // reused per-round batched store extents
 }
 
 // Open creates (on rank 0) and opens a file collectively.

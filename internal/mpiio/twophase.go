@@ -397,17 +397,21 @@ func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece, planes
 			p.Hold(int64(rd.pieces)*fh.hints.RecvOverhead + sim.TransferTime(rd.bytes, fh.hints.CopyRate))
 			if planes != nil {
 				// Land the received payload: every contributing rank's bytes
-				// within this round's window, straight to the backing store.
+				// within this round's window, batched into one store call so
+				// lock-and-chunk overhead is paid per round, not per run.
+				exts := fh.extScratch[:0]
 				for _, rp := range planes {
 					if rp == nil {
 						continue
 					}
 					rp.Each(rd.wlo, rd.whi, func(off int64, chunk []byte) {
-						if err := fh.f.StoreWriteAt(chunk, off); err != nil && dataErr == nil {
-							dataErr = err
-						}
+						exts = append(exts, storage.Extent{Off: off, P: chunk})
 					})
 				}
+				if err := fh.f.StoreWriteExtents(exts); err != nil && dataErr == nil {
+					dataErr = err
+				}
+				fh.extScratch = exts
 			}
 			fh.flush(rd)
 		}
@@ -490,11 +494,14 @@ func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece, pl *dat
 		}
 		if pl != nil {
 			rd := &plan.aggRounds[piece.agg][piece.round]
+			exts := fh.extScratch[:0]
 			pl.Each(rd.wlo, rd.whi, func(off int64, chunk []byte) {
-				if err := fh.f.StoreReadAt(chunk, off); err != nil && dataErr == nil {
-					dataErr = err
-				}
+				exts = append(exts, storage.Extent{Off: off, P: chunk})
 			})
+			if err := fh.f.StoreReadExtents(exts); err != nil && dataErr == nil {
+				dataErr = err
+			}
+			fh.extScratch = exts
 		}
 	}
 	p.JumpTo(latest) // the barrier's park supplies the ordered yield

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"hash/crc64"
+	"math/rand"
+	"testing"
+)
+
+func TestCRC64CombineMatchesConcatenation(t *testing.T) {
+	table := crc64.MakeTable(crc64.ECMA)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		la, lb := rng.Intn(5000), rng.Intn(5000)
+		a, b := make([]byte, la), make([]byte, lb)
+		rng.Read(a)
+		rng.Read(b)
+		ca := crc64.Update(0, table, a)
+		cb := crc64.Update(0, table, b)
+		whole := crc64.Update(ca, table, b)
+		if got := CRC64Combine(ca, cb, int64(lb)); got != whole {
+			t.Fatalf("trial %d (|A|=%d |B|=%d): combine %#x, concatenated %#x", trial, la, lb, got, whole)
+		}
+	}
+}
+
+func TestCRC64CombineEdgeCases(t *testing.T) {
+	table := crc64.MakeTable(crc64.ECMA)
+	a := []byte("tapioca")
+	ca := crc64.Update(0, table, a)
+	if got := CRC64Combine(ca, 0, 0); got != ca {
+		t.Fatalf("combining with the empty stream changed the checksum: %#x != %#x", got, ca)
+	}
+	if got := CRC64Combine(0, ca, int64(len(a))); got != ca {
+		t.Fatalf("combining the empty prefix changed the checksum: %#x != %#x", got, ca)
+	}
+}
+
+func TestCRC64CombineManyShards(t *testing.T) {
+	table := crc64.MakeTable(crc64.ECMA)
+	rng := rand.New(rand.NewSource(7))
+	whole := make([]byte, 1<<16)
+	rng.Read(whole)
+	want := crc64.Update(0, table, whole)
+	for _, shards := range []int{2, 3, 7, 64} {
+		var crc uint64
+		per := len(whole) / shards
+		for i := 0; i < shards; i++ {
+			lo, hi := i*per, (i+1)*per
+			if i == shards-1 {
+				hi = len(whole)
+			}
+			part := crc64.Update(0, table, whole[lo:hi])
+			crc = CRC64Combine(crc, part, int64(hi-lo))
+		}
+		if crc != want {
+			t.Fatalf("%d shards: merged %#x, direct %#x", shards, crc, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"tapioca/internal/core"
 	"tapioca/internal/cost"
+	"tapioca/internal/dataplane"
 	"tapioca/internal/mpiio"
 	"tapioca/internal/par"
 	"tapioca/internal/storage"
@@ -64,6 +65,10 @@ type Options struct {
 	// Placements lists the election strategies to consider; nil selects
 	// topology-aware and two-level.
 	Placements []cost.Placement
+	// Codecs lists the reduction stages to consider; a nil entry means no
+	// compression. Nil (the default) searches only the uncompressed path, so
+	// the codec dimension is strictly opt-in.
+	Codecs []dataplane.Codec
 	// NoRefine restricts the search to the exact grid — what an exhaustive
 	// sweep over the same space evaluates, so ablations compare
 	// like-for-like.
@@ -132,12 +137,18 @@ func Autotune(p Platform, w workload.Pattern, opt Options) Result {
 	if len(placements) == 0 {
 		placements = []cost.Placement{cost.TopologyAware(), cost.TwoLevel()}
 	}
+	codecs := opt.Codecs
+	if len(codecs) == 0 {
+		codecs = []dataplane.Codec{nil}
+	}
 
 	s := &search{p: p, pr: pr, advisor: advisor, seen: map[string]bool{}}
 	for _, a := range aggGrid {
 		for _, b := range bufGrid {
 			for _, pl := range placements {
-				s.evaluate(a, b, pl)
+				for _, cd := range codecs {
+					s.evaluate(a, b, pl, cd)
+				}
 			}
 		}
 	}
@@ -147,16 +158,16 @@ func Autotune(p Platform, w workload.Pattern, opt Options) Result {
 	s.rank()
 
 	// Local refinement: probe the geometric neighborhood of the best grid
-	// point along each axis, twice, keeping the winner's placement.
+	// point along each axis, twice, keeping the winner's placement and codec.
 	if !opt.NoRefine {
 		for iter := 0; iter < 2; iter++ {
 			best := s.cands[0]
 			a, b := best.Config.Aggregators, best.Config.BufferSize
 			for _, na := range neighborInts(a, aggGrid) {
-				s.evaluate(na, b, best.Config.Placement)
+				s.evaluate(na, b, best.Config.Placement, best.Config.Codec)
 			}
 			for _, nb := range neighborSizes(b, bufGrid) {
-				s.evaluate(a, nb, best.Config.Placement)
+				s.evaluate(a, nb, best.Config.Placement, best.Config.Codec)
 			}
 			s.rank()
 		}
@@ -206,26 +217,35 @@ func (s *search) fileOptions(bufSize int64, aggregators int) storage.FileOptions
 	return s.advisor.RecommendStripe(s.pr.totalBytes, bufSize, aggregators)
 }
 
-func key(a int, b int64, pl cost.Placement) string {
-	return fmt.Sprintf("%d/%d/%s", a, b, pl.Name())
+// codecName labels a codec grid entry in search keys and rank tie-breaks;
+// nil (no reduction) sorts before every named codec.
+func codecName(cd dataplane.Codec) string {
+	if cd == nil {
+		return ""
+	}
+	return cd.Name()
 }
 
-// evaluate scores one (aggregators, buffer, placement) point; both pipeline
-// variants come out of a single prediction pass.
-func (s *search) evaluate(a int, b int64, pl cost.Placement) {
+func key(a int, b int64, pl cost.Placement, cd dataplane.Codec) string {
+	return fmt.Sprintf("%d/%d/%s/%s", a, b, pl.Name(), codecName(cd))
+}
+
+// evaluate scores one (aggregators, buffer, placement, codec) point; both
+// pipeline variants come out of a single prediction pass.
+func (s *search) evaluate(a int, b int64, pl cost.Placement, cd dataplane.Codec) {
 	if a < 1 || b < 1 {
 		return
 	}
 	if a > len(s.pr.all) {
 		a = len(s.pr.all)
 	}
-	k := key(a, b, pl)
+	k := key(a, b, pl, cd)
 	if s.seen[k] {
 		return
 	}
 	s.seen[k] = true
 	fopt := s.fileOptions(b, a)
-	cfg := core.Config{Aggregators: a, BufferSize: b, Placement: pl}
+	cfg := core.Config{Aggregators: a, BufferSize: b, Placement: pl, Codec: cd}
 	double, single := s.pr.predict(cfg, fopt)
 	s.cands = append(s.cands, Candidate{Config: cfg, FileOptions: fopt, Predicted: double, Corrected: double})
 	scfg := cfg
@@ -234,8 +254,8 @@ func (s *search) evaluate(a int, b int64, pl cost.Placement) {
 }
 
 // rank orders candidates best-first, deterministically: corrected time, then
-// fewer aggregators, smaller buffers, double-buffered before single, and
-// placement name as the last resort.
+// fewer aggregators, smaller buffers, double-buffered before single, no codec
+// before a named one, and placement name as the last resort.
 func (s *search) rank() {
 	sort.SliceStable(s.cands, func(i, j int) bool {
 		a, b := s.cands[i], s.cands[j]
@@ -250,6 +270,9 @@ func (s *search) rank() {
 		}
 		if a.Config.SingleBuffer != b.Config.SingleBuffer {
 			return !a.Config.SingleBuffer
+		}
+		if an, bn := codecName(a.Config.Codec), codecName(b.Config.Codec); an != bn {
+			return an < bn
 		}
 		return a.Config.Placement.Name() < b.Config.Placement.Name()
 	})
