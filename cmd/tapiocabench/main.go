@@ -7,6 +7,7 @@
 //	tapiocabench -experiment all -scale full -csv out/
 //	tapiocabench -experiment all -json results.json
 //	tapiocabench -experiment all -parallel=false   # serial reference run
+//	tapiocabench -experiment fig7 -trace fig7.trace.json -phases
 //
 // At the default -scale reduced, experiments run at ≈1/4 the paper's nodes
 // (preserving its shapes). -scale full uses the paper's own node counts (up
@@ -16,8 +17,13 @@
 // cells execute on a bounded worker pool by default (-parallel); results
 // are identical to the serial order. -json writes one machine-readable file
 // covering every experiment run — including per-figure wall-clock seconds,
-// peak heap bytes, and simulated transfer counts, so benchmark trajectories
-// capture simulator speed and footprint, not just simulated GB/s.
+// peak heap bytes, simulated transfer counts, a flight-recorder metrics
+// snapshot, and a per-phase time breakdown — so benchmark trajectories
+// capture simulator speed and footprint, not just simulated GB/s. -trace
+// writes the whole run's flight recording as Chrome trace-event JSON
+// (byte-identical across serial and parallel runs; open in Perfetto), and
+// -phases prints each figure's aggregation/exchange/storage/codec
+// rank-seconds table.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"tapioca/internal/expt"
+	"tapioca/internal/obs"
 )
 
 // jsonResult is the machine-readable record of one experiment run.
@@ -61,6 +68,16 @@ type jsonResult struct {
 	// store-side checksum). Omitted when -verify was not requested.
 	VerifyPipelineSeconds float64 `json:"verify_pipeline_seconds,omitempty"`
 	VerifyVerifySeconds   float64 `json:"verify_verify_seconds,omitempty"`
+	// Phases breaks the figure's rank-time (virtual seconds summed over
+	// ranks and cells) down by pipeline phase: aggregation, exchange,
+	// storage, codec.
+	Phases map[string]float64 `json:"phases,omitempty"`
+	// Metrics is the flight recorder's registry snapshot for this figure's
+	// cells: counters (bytes per tier, rounds, transfers), gauges (peak
+	// utilization, codec ratio) and histogram stats (link/NIC utilization
+	// percentiles, host-side store and codec timings under the
+	// nondeterministic "host." prefix).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 type jsonRow struct {
@@ -96,6 +113,8 @@ func run() int {
 		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		verify   = flag.Bool("verify", false, "run the data-plane round-trip smoke (real bytes, checksum-verified) before the experiments")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON flight recording to this file (open in Perfetto)")
+		phases   = flag.Bool("phases", false, "print a per-figure phase breakdown table (aggregation/exchange/storage/codec rank-seconds)")
 	)
 	flag.Parse()
 
@@ -172,9 +191,19 @@ func run() int {
 		specs = []expt.Spec{*s}
 	}
 
+	// -trace records full event streams; -json and -phases only need the
+	// metrics/phase side of the recorder (far cheaper). Either way the hot
+	// paths see one nil/bool check per phase boundary.
+	if *trace != "" {
+		expt.StartObservation(true)
+	} else if *jsonPath != "" || *phases {
+		expt.StartObservation(false)
+	}
+
 	verified := false
 	var verifyStats expt.VerifyStats
 	if *verify {
+		expt.ObserveFigure("verify")
 		var err error
 		if verifyStats, err = expt.VerifyDataPlaneStats(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -186,9 +215,25 @@ func run() int {
 	}
 
 	var records []jsonResult
+	if verified && *jsonPath != "" {
+		// The -verify run's own flight-recorder metrics (including the
+		// pipeline/verify wall-clock split and the capture-truncation
+		// count) become a synthetic leading record.
+		if snap := expt.MetricsOf("verify").Snapshot(); !snap.Empty() {
+			records = append(records, jsonResult{
+				ID:                    "verify",
+				Title:                 "Data-plane round-trip verification (flight-recorder metrics)",
+				Verified:              true,
+				VerifyPipelineSeconds: verifyStats.PipelineSeconds,
+				VerifyVerifySeconds:   verifyStats.VerifySeconds,
+				Metrics:               &snap,
+			})
+		}
+	}
 	for _, s := range specs {
 		expt.ResetTransferCount()
 		expt.ResetPeakHeap()
+		expt.ObserveFigure(s.ID)
 		start := time.Now()
 		res := s.Run(fullScale)
 		elapsed := time.Since(start).Seconds()
@@ -197,6 +242,11 @@ func run() int {
 		fmt.Print(expt.Render(res))
 		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, peak heap %.0f MiB)\n\n",
 			elapsed, expt.Parallelism(), transfers, mb(peak))
+		if *phases {
+			if tbl := expt.PhaseTable(s.ID); tbl != "" {
+				fmt.Println(tbl)
+			}
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -225,6 +275,10 @@ func run() int {
 				rec.VerifyPipelineSeconds = verifyStats.PipelineSeconds
 				rec.VerifyVerifySeconds = verifyStats.VerifySeconds
 			}
+			rec.Phases = expt.PhaseSeconds(s.ID)
+			if snap := expt.MetricsOf(s.ID).Snapshot(); !snap.Empty() {
+				rec.Metrics = &snap
+			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})
 			}
@@ -241,5 +295,51 @@ func run() int {
 			return 1
 		}
 	}
+	if *trace != "" {
+		if err := writeTrace(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeTrace writes the session's merged flight recording in Chrome
+// trace-event JSON, then re-reads the file and parses it — the trace is only
+// reported as written once it is known to be valid JSON with events in it.
+func writeTrace(path string) error {
+	tr := expt.ObservedTrace()
+	if tr == nil || tr.NumEvents() == 0 {
+		return fmt.Errorf("tapiocabench: no trace events recorded (nothing ran?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tr.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("tapiocabench: trace %s is not valid JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("tapiocabench: trace %s has no events", path)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Printf("trace: %d events over the per-cell cap were dropped\n", n)
+	}
+	fmt.Printf("trace: %d events across %d cells -> %s (open in https://ui.perfetto.dev)\n",
+		tr.NumEvents(), tr.NumCells(), path)
+	return nil
 }

@@ -36,8 +36,13 @@ func main() {
 		probes    = flag.Int("probes", 0, "closed-loop probe count (0 = pure model)")
 		parallel  = flag.Bool("parallel", true, "run closed-loop probes on a worker pool (identical pick)")
 		verify    = flag.Bool("verify", false, "run tuned vs default end to end")
+		trace     = flag.String("trace", "", "write a Chrome trace-event flight recording of the tuned run to this file (implies -verify)")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		*verify = true
+	}
 
 	if !*parallel {
 		par.SetLimit(1)
@@ -84,8 +89,11 @@ func main() {
 	if !*verify {
 		return
 	}
-	run := func(c tapioca.Config, fo tapioca.FileOptions) float64 {
+	run := func(c tapioca.Config, fo tapioca.FileOptions, tracePath string) float64 {
 		vm := build()
+		if tracePath != "" {
+			vm.EnableTracing()
+		}
 		var elapsed float64
 		_, err := vm.Run(*rpn, func(ctx *tapioca.Ctx) {
 			f := ctx.CreateFile("verify", fo)
@@ -108,11 +116,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if tracePath != "" {
+			tf, terr := os.Create(tracePath)
+			if terr == nil {
+				terr = vm.WriteTrace(tf)
+				if cerr := tf.Close(); terr == nil {
+					terr = cerr
+				}
+			}
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, terr)
+				os.Exit(1)
+			}
+			fmt.Printf("\n  trace: tuned run -> %s (open in https://ui.perfetto.dev)\n", tracePath)
+		}
 		return elapsed
 	}
 	total := float64(w.TotalBytes())
-	tuned := run(cfg, fopt)
-	def := run(tapioca.Config{}, tapioca.FileOptions{})
+	tuned := run(cfg, fopt, *trace)
+	def := run(tapioca.Config{}, tapioca.FileOptions{}, "")
 	fmt.Printf("\n  verify: tuned %8.1f ms (%6.2f GB/s)   defaults %8.1f ms (%6.2f GB/s)   %.2fx\n",
 		tuned*1e3, total/tuned/1e9, def*1e3, total/def/1e9, def/tuned)
 }

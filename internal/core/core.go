@@ -33,6 +33,7 @@ import (
 	"tapioca/internal/cost"
 	"tapioca/internal/dataplane"
 	"tapioca/internal/mpi"
+	"tapioca/internal/obs"
 	"tapioca/internal/storage"
 )
 
@@ -147,6 +148,11 @@ type Writer struct {
 	compB   []byte
 	decompB []byte
 
+	// rec is the engine's flight recorder (nil when observability is off;
+	// cached by InitData so the pipeline pays one nil check per phase
+	// boundary, never a lookup).
+	rec *obs.Recorder
+
 	stats Stats
 }
 
@@ -230,6 +236,7 @@ func (w *Writer) InitData(declared [][]storage.Seg, data [][]byte) error {
 		w.pl = pl
 	}
 	c := w.c
+	w.rec = c.Proc().Recorder()
 	w.nops = len(declared)
 	// Flatten this rank's declared segments; the schedule orders by file
 	// offset, so per-call boundaries don't matter to it.

@@ -2,11 +2,33 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tapioca/internal/dataplane"
+	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 )
+
+// hostClock returns the wall-clock start of a host-side measurement, or the
+// zero time when observability is off. Host timings (real codec and store
+// work on background goroutines) go only to the registry, under the "host."
+// prefix — never into the deterministic virtual-time trace.
+func hostClock(rec *obs.Recorder) time.Time {
+	if rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// hostObserve records the wall seconds since start into a "host." histogram.
+// The registry is goroutine-safe, so background store jobs report directly.
+func hostObserve(rec *obs.Recorder, name string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	rec.Registry().Observe(name, time.Since(start).Seconds())
+}
 
 // grow returns scratch with capacity for n bytes (reused across rounds).
 func grow(scratch []byte, n int64) []byte {
@@ -68,15 +90,25 @@ func (w *Writer) flushSegsFor(fl flushInfo) []storage.Seg {
 func (w *Writer) storeRound(buf []byte, layout []storage.Seg) (stored int64, err error) {
 	codec := w.cfg.Codec
 	if codec == nil {
-		return 0, w.f.StoreWrite(layout, buf)
+		t := hostClock(w.rec)
+		err := w.f.StoreWrite(layout, buf)
+		hostObserve(w.rec, "host.store_write_seconds", t)
+		return 0, err
 	}
+	t := hostClock(w.rec)
 	w.compB = codec.Compress(w.compB, buf)
+	hostObserve(w.rec, "host.codec_compress_seconds", t)
 	stored = int64(len(w.compB))
 	w.decompB = grow(w.decompB, int64(len(buf)))
+	t = hostClock(w.rec)
 	if err := codec.Decompress(w.decompB, w.compB); err != nil {
 		return stored, fmt.Errorf("core: codec %s round trip on flush: %w", codec.Name(), err)
 	}
-	return stored, w.f.StoreWrite(layout, w.decompB)
+	hostObserve(w.rec, "host.codec_decompress_seconds", t)
+	t = hostClock(w.rec)
+	err = w.f.StoreWrite(layout, w.decompB)
+	hostObserve(w.rec, "host.store_write_seconds", t)
+	return stored, err
 }
 
 // runWrite executes the paper's Algorithm 3 over the partition: for every
@@ -117,9 +149,16 @@ func (w *Writer) runWrite() error {
 	if w.cfg.Codec != nil {
 		cNsPerByte, _ = w.codecModel()
 	}
+	rec := w.rec
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
+		var roundStart int64
+		var roundPut int64
+		if rec != nil {
+			roundStart = p.Now()
+			roundPut = w.stats.BytesPut
+		}
 		// The round's puts: the plan coalesces each rank's contribution to
 		// one piece per round in the common case, and the last put's
 		// injection hold is deferred into the fence (FenceAfter) — one
@@ -144,6 +183,16 @@ func (w *Writer) runWrite() error {
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
+		if rec != nil {
+			// Aggregation phase: the puts loop plus the deferred injection
+			// hold that FenceAfter will ride into the fence.
+			aggEnd := p.Now()
+			if deferredFree > aggEnd {
+				aggEnd = deferredFree
+			}
+			rec.Phase(obs.PhaseAggregation, aggEnd-roundStart)
+			p.TraceSpan("tapioca", "gather", roundStart, aggEnd, w.stats.BytesPut-roundPut)
+		}
 		// Join the store job still reading the other buffer: the fence we
 		// are about to enter releases members into the round that next
 		// overwrites it. (The virtual flush completion is enforced
@@ -153,17 +202,37 @@ func (w *Writer) runWrite() error {
 		// Buffer-reuse guard: the fence cannot release until the aggregator
 		// has finished the flush that last used this buffer.
 		if w.isAgg && pending[bufID] != nil {
+			waitStart := p.Now()
 			pending[bufID].Wait(p)
 			pending[bufID] = nil
+			if rec != nil {
+				rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
+				p.TraceSpan("tapioca", "flush-wait", waitStart, p.Now(), 0)
+			}
+		}
+		var fenceStart int64
+		if rec != nil {
+			if fenceStart = p.Now(); deferredFree > fenceStart {
+				fenceStart = deferredFree
+			}
 		}
 		w.win.FenceAfter(deferredFree)
+		if rec != nil {
+			rec.Phase(obs.PhaseExchange, p.Now()-fenceStart)
+			p.TraceSpan("tapioca", "exchange", fenceStart, p.Now(), 0)
+		}
 		if w.isAgg {
 			fl := pp.flush[r]
 			if fl.bytes > 0 {
 				if w.cfg.Codec != nil {
 					// The reduction stage: compress compute before the flush
 					// can be issued, then a smaller flush extent.
-					p.Hold(int64(float64(fl.bytes) * cNsPerByte))
+					cd := int64(float64(fl.bytes) * cNsPerByte)
+					p.Hold(cd)
+					if rec != nil {
+						rec.Phase(obs.PhaseCodec, cd)
+						p.TraceSpan("tapioca", "compress", p.Now()-cd, p.Now(), fl.bytes)
+					}
 					if w.pl == nil {
 						w.stats.BytesCompressed += dataplane.ModeledSize(w.cfg.Codec, fl.bytes)
 					}
@@ -191,7 +260,12 @@ func (w *Writer) runWrite() error {
 				w.stats.BytesFlushed += fl.bytes
 				w.stats.Flushes++
 				if w.cfg.SingleBuffer {
+					waitStart := p.Now()
 					ev.Wait(p)
+					if rec != nil {
+						rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
+						p.TraceSpan("tapioca", "flush-wait", waitStart, p.Now(), fl.bytes)
+					}
 				} else {
 					pending[bufID] = ev
 				}
@@ -200,21 +274,60 @@ func (w *Writer) runWrite() error {
 		if w.cfg.SingleBuffer {
 			// Ablation: with one buffer the next round's aggregation cannot
 			// start until the flush lands; a second fence serializes it.
+			serStart := p.Now()
 			w.win.Fence()
+			if rec != nil {
+				rec.Phase(obs.PhaseExchange, p.Now()-serStart)
+			}
+		}
+		if rec != nil {
+			p.TraceSpan("tapioca", "round", roundStart, p.Now(), w.stats.BytesPut-roundPut)
 		}
 	}
 	// Drain outstanding flushes, then close the session collectively.
 	if w.isAgg {
 		for _, ev := range pending {
 			if ev != nil {
+				waitStart := p.Now()
 				ev.Wait(p)
+				if rec != nil {
+					rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
+					p.TraceSpan("tapioca", "flush-wait", waitStart, p.Now(), 0)
+				}
 			}
 		}
 	}
 	join(0)
 	join(1)
+	barStart := p.Now()
 	w.pc.Barrier()
+	if rec != nil {
+		rec.Phase(obs.PhaseExchange, p.Now()-barStart)
+		w.sessionMetrics(rec)
+	}
 	return dataErr
+}
+
+// sessionMetrics folds this rank's session totals into the metrics registry
+// once the pipeline closes. Every rank contributes its put bytes; only the
+// aggregator contributes the partition-level round/flush counters, so the
+// sums are per partition, not duplicated per member.
+func (w *Writer) sessionMetrics(rec *obs.Recorder) {
+	reg := rec.Registry()
+	reg.Add("tapioca.bytes_put", w.stats.BytesPut)
+	if !w.isAgg {
+		return
+	}
+	reg.Add("tapioca.rounds", int64(w.stats.Rounds))
+	reg.Add("tapioca.flushes", w.stats.Flushes)
+	reg.Add("tapioca.bytes_flushed", w.stats.BytesFlushed)
+	if w.cfg.Codec != nil {
+		reg.Add("tapioca.bytes_compressed", w.stats.BytesCompressed)
+		if w.stats.BytesFlushed > 0 {
+			reg.SetMax("tapioca.codec_ratio",
+				float64(w.stats.BytesCompressed)/float64(w.stats.BytesFlushed))
+		}
+	}
 }
 
 // runRead executes the reverse pipeline: the aggregator prefetches round
@@ -247,6 +360,7 @@ func (w *Writer) runRead() error {
 	if w.cfg.Codec != nil {
 		_, dNsPerByte = w.codecModel()
 	}
+	rec := w.rec
 	prefetch := func(r int) {
 		if w.isAgg && r < pp.rounds && pp.flush[r].bytes > 0 {
 			if w.pl != nil {
@@ -255,12 +369,17 @@ func (w *Writer) runRead() error {
 				buf := w.win.LocalData()[int64(r%2)*w.cfg.BufferSize:][:pp.flush[r].bytes]
 				layout := w.plan.layoutOf(w.part, r)
 				if w.cfg.SingleBuffer {
+					t := hostClock(rec)
 					if err := w.f.StoreRead(layout, buf); err != nil && prefetchErr == nil {
 						prefetchErr = err
 					}
+					hostObserve(rec, "host.store_read_seconds", t)
 				} else {
 					jobs[r%2] = launchStore(func() (int64, error) {
-						return 0, w.f.StoreRead(layout, buf)
+						t := hostClock(rec)
+						err := w.f.StoreRead(layout, buf)
+						hostObserve(rec, "host.store_read_seconds", t)
+						return 0, err
 					})
 				}
 			}
@@ -278,6 +397,11 @@ func (w *Writer) runRead() error {
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
+		var roundStart, roundPut int64
+		if rec != nil {
+			roundStart = p.Now()
+			roundPut = w.stats.BytesPut
+		}
 		if w.cfg.SingleBuffer {
 			// Ablation: no prefetch — read this round's data synchronously.
 			prefetch(r)
@@ -287,15 +411,33 @@ func (w *Writer) runRead() error {
 		// this buffer must be joined before the publishing fence.
 		join(bufID)
 		if w.isAgg && pending[bufID] != nil {
+			waitStart := p.Now()
 			pending[bufID].Wait(p)
 			pending[bufID] = nil
+			if rec != nil {
+				rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
+				p.TraceSpan("tapioca", "read-wait", waitStart, p.Now(), pp.flush[r].bytes)
+			}
 			if w.cfg.Codec != nil {
-				p.Hold(int64(float64(pp.flush[r].bytes) * dNsPerByte))
+				cd := int64(float64(pp.flush[r].bytes) * dNsPerByte)
+				p.Hold(cd)
+				if rec != nil {
+					rec.Phase(obs.PhaseCodec, cd)
+					p.TraceSpan("tapioca", "decompress", p.Now()-cd, p.Now(), pp.flush[r].bytes)
+				}
 			}
 		}
+		fenceStart := p.Now()
 		w.win.Fence()
+		if rec != nil {
+			rec.Phase(obs.PhaseExchange, p.Now()-fenceStart)
+		}
 		// Members pull their pieces; the aggregator prefetches the next
 		// round into the other buffer meanwhile.
+		var getStart int64
+		if rec != nil {
+			getStart = p.Now()
+		}
 		for idx < len(myPieces) && myPieces[idx].round == r {
 			pc := myPieces[idx]
 			if w.pl != nil {
@@ -313,13 +455,27 @@ func (w *Writer) runRead() error {
 			w.stats.BytesPut += pc.bytes
 			idx++
 		}
+		if rec != nil {
+			rec.Phase(obs.PhaseAggregation, p.Now()-getStart)
+			p.TraceSpan("tapioca", "scatter", getStart, p.Now(), w.stats.BytesPut-roundPut)
+		}
 		if !w.cfg.SingleBuffer {
 			prefetch(r + 1)
 		}
+		closeStart := p.Now()
 		w.win.Fence() // closes the get epoch
+		if rec != nil {
+			rec.Phase(obs.PhaseExchange, p.Now()-closeStart)
+			p.TraceSpan("tapioca", "round", roundStart, p.Now(), w.stats.BytesPut-roundPut)
+		}
 	}
 	join(0)
 	join(1)
+	barStart := p.Now()
 	w.pc.Barrier()
+	if rec != nil {
+		rec.Phase(obs.PhaseExchange, p.Now()-barStart)
+		w.sessionMetrics(rec)
+	}
 	return prefetchErr
 }

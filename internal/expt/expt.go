@@ -281,15 +281,21 @@ func (r *rig) run(body func(c *mpi.Comm, tm *timer)) (float64, error) {
 		sampleHeap()
 	}()
 	tm := &timer{}
-	_, err := mpi.Run(mpi.Config{
+	rec := cellRecorder()
+	eng, err := mpi.Run(mpi.Config{
 		Ranks:        r.ranks(),
 		RanksPerNode: r.rpn,
 		Fabric:       r.fab,
+		Recorder:     rec,
 	}, func(c *mpi.Comm) {
 		body(c, tm)
 	})
 	if err != nil {
 		return 0, err
+	}
+	if rec != nil {
+		r.fab.SnapshotMetrics(rec.Registry(), eng.Now())
+		observeCell(rec)
 	}
 	return sim.ToSeconds(tm.t1 - tm.t0), nil
 }

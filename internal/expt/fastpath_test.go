@@ -38,7 +38,12 @@ func TestFastPathsMatchReference(t *testing.T) {
 			netsim.SetPathCache(prevCache)
 			storage.SetSegCompaction(prevCompact)
 
+			// The optimized run executes with the flight recorder live, so
+			// this equivalence also asserts tracing perturbs nothing.
+			StartObservation(true)
+			ObserveFigure(id)
 			optimized := s.Run(false)
+			StopObservation()
 			if !reflect.DeepEqual(reference, optimized) {
 				t.Fatalf("optimized run diverged from uncached/uncompacted reference:\nref: %+v\nopt: %+v", reference, optimized)
 			}

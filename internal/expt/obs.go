@@ -1,0 +1,206 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tapioca/internal/obs"
+)
+
+// observer is the package-level observation session behind tapiocabench
+// -trace/-phases/-json metrics: every measurement cell that funnels through
+// rig.run contributes one per-cell recorder, merged here. All merge
+// operations (Trace.AddCell, Registry.MergeFrom, PhaseTotals.Add) are
+// order-independent, so parallel grid execution produces byte-identical
+// output.
+type observer struct {
+	trace bool
+	tr    *obs.Trace
+
+	mu     sync.Mutex
+	label  string
+	order  []string
+	phases map[string]*obs.PhaseTotals
+	regs   map[string]*obs.Registry
+}
+
+// registryOf returns the label's metrics registry, creating it on first use.
+// Callers must hold o.mu.
+func (o *observer) registryOf(label string) *obs.Registry {
+	reg := o.regs[label]
+	if reg == nil {
+		reg = obs.NewRegistry()
+		o.regs[label] = reg
+	}
+	return reg
+}
+
+var obsState atomic.Pointer[observer]
+
+// StartObservation begins an observation session, replacing any previous
+// one. With trace true, cells also record full event streams (merged by
+// ObservedTrace); with trace false only metrics and phase totals accumulate
+// (the cheap -json/-phases mode).
+func StartObservation(trace bool) {
+	obsState.Store(&observer{
+		trace:  trace,
+		tr:     obs.NewTrace(),
+		phases: map[string]*obs.PhaseTotals{},
+		regs:   map[string]*obs.Registry{},
+	})
+}
+
+// StopObservation ends the observation session; subsequent runs are
+// unobserved (and pay nothing).
+func StopObservation() { obsState.Store(nil) }
+
+// Observing reports whether an observation session is active.
+func Observing() bool { return obsState.Load() != nil }
+
+// ObserveFigure labels subsequently run cells with a figure id (trace cell
+// grouping and the per-figure phase table). Call between figures, never
+// while one is running.
+func ObserveFigure(id string) {
+	if o := obsState.Load(); o != nil {
+		o.mu.Lock()
+		o.label = id
+		o.mu.Unlock()
+	}
+}
+
+// cellRecorder returns a fresh per-cell recorder, or nil when no
+// observation session is active.
+func cellRecorder() *obs.Recorder {
+	o := obsState.Load()
+	if o == nil {
+		return nil
+	}
+	return obs.NewRecorder(o.trace)
+}
+
+// observeCell folds one completed cell into the session. Goroutine-safe
+// (cells run on the worker pool).
+func observeCell(rec *obs.Recorder) {
+	o := obsState.Load()
+	if o == nil || rec == nil {
+		return
+	}
+	o.mu.Lock()
+	label := o.label
+	pt := o.phases[label]
+	if pt == nil {
+		pt = &obs.PhaseTotals{}
+		o.phases[label] = pt
+		o.order = append(o.order, label)
+	}
+	pt.Add(rec.PhaseTotals())
+	reg := o.registryOf(label)
+	o.mu.Unlock()
+	o.tr.AddCell(label, rec)
+	reg.MergeFrom(rec.Registry())
+}
+
+// ObservedTrace returns the session's merged trace, or nil when not tracing.
+func ObservedTrace() *obs.Trace {
+	o := obsState.Load()
+	if o == nil || !o.trace {
+		return nil
+	}
+	return o.tr
+}
+
+// ObservedMetrics returns the metrics registry for the currently observed
+// label (nil when no session is active; Registry methods are nil-safe).
+func ObservedMetrics() *obs.Registry {
+	o := obsState.Load()
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.registryOf(o.label)
+}
+
+// MetricsOf returns a figure's merged metrics registry, or nil if the figure
+// reported none (Registry methods are nil-safe).
+func MetricsOf(id string) *obs.Registry {
+	o := obsState.Load()
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.regs[id]
+}
+
+// PhaseFigures returns the figure ids that have reported phase time, in
+// first-run order.
+func PhaseFigures() []string {
+	o := obsState.Load()
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.order...)
+}
+
+// PhaseTotalsOf returns a figure's accumulated phase breakdown (rank-time:
+// every rank's virtual seconds in each phase, summed over the figure's
+// cells).
+func PhaseTotalsOf(id string) obs.PhaseTotals {
+	o := obsState.Load()
+	if o == nil {
+		return obs.PhaseTotals{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if pt := o.phases[id]; pt != nil {
+		return *pt
+	}
+	return obs.PhaseTotals{}
+}
+
+// PhaseSeconds returns a figure's phase breakdown as a name→seconds map
+// (the -json shape).
+func PhaseSeconds(id string) map[string]float64 {
+	pt := PhaseTotalsOf(id)
+	if pt.Empty() {
+		return nil
+	}
+	m := make(map[string]float64, int(obs.NumPhases))
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		m[ph.String()] = pt.Seconds(ph)
+	}
+	return m
+}
+
+// PhaseTable renders one figure's phase breakdown as an aligned text table
+// row block — the paper's stacked-bar analyses in text form. Values are
+// rank-seconds (virtual), with each phase's share of the total.
+func PhaseTable(id string) string {
+	pt := PhaseTotalsOf(id)
+	if pt.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s phase breakdown (rank-seconds, virtual) --\n", id)
+	total := pt.Total()
+	names := make([]string, obs.NumPhases)
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		names[ph] = ph.String()
+	}
+	sorted := make([]obs.Phase, obs.NumPhases)
+	for i := range sorted {
+		sorted[i] = obs.Phase(i)
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return pt[sorted[i]] > pt[sorted[j]] })
+	for _, ph := range sorted {
+		fmt.Fprintf(&b, "%-14s %12.3f s  %5.1f%%\n", names[ph], pt.Seconds(ph), 100*pt.Seconds(ph)/total)
+	}
+	fmt.Fprintf(&b, "%-14s %12.3f s\n", "total", total)
+	return b.String()
+}

@@ -56,8 +56,9 @@ func VerifyDataPlaneStats() (VerifyStats, error) {
 		pattern := workload.HACC(ranks, 512, workload.SoA)
 		var failure error
 		var verifyDur time.Duration
+		rec := cellRecorder()
 		start := time.Now()
-		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: r.rpn, Fabric: r.fab}, func(c *mpi.Comm) {
+		eng, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: r.rpn, Fabric: r.fab, Recorder: rec}, func(c *mpi.Comm) {
 			var f *storage.File
 			if c.Rank() == 0 {
 				f = r.sys.Create("verify", storage.FileOptions{StripeCount: 8, StripeSize: 1 << 20})
@@ -119,12 +120,27 @@ func VerifyDataPlaneStats() (VerifyStats, error) {
 		total := time.Since(start)
 		stats.VerifySeconds += verifyDur.Seconds()
 		stats.PipelineSeconds += (total - verifyDur).Seconds()
+		if rec != nil {
+			if eng != nil {
+				r.fab.SnapshotMetrics(rec.Registry(), eng.Now())
+			}
+			if f := r.sys.Lookup("verify"); f != nil {
+				rec.Registry().Add("storage.capture_dropped", f.CaptureDropped())
+			}
+			observeCell(rec)
+		}
 		if err == nil {
 			err = failure
 		}
 		if err != nil {
 			return stats, fmt.Errorf("data-plane verify on %s: %w", pf.name, err)
 		}
+	}
+	// Host wall-clock (nondeterministic) — "host." prefix keeps it out of
+	// any determinism comparison, matching the pipeline's convention.
+	if reg := ObservedMetrics(); reg != nil {
+		reg.SetMax("host.verify_pipeline_seconds", stats.PipelineSeconds)
+		reg.SetMax("host.verify_verify_seconds", stats.VerifySeconds)
 	}
 	return stats, nil
 }

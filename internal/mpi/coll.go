@@ -68,8 +68,10 @@ func (c *Comm) collectiveImpl(kind string, contrib any, finish func(contribs []a
 		st.maxT = c.p.Now()
 	}
 	if st.arrived < c.Size() {
+		entry := c.p.Now()
 		st.waiters = append(st.waiters, c.p)
 		c.p.Park(kind)
+		c.p.TraceSpan("mpi", kind, entry, c.p.Now(), 0)
 		res := st.result
 		s.recycleColl(st)
 		return res
@@ -86,8 +88,10 @@ func (c *Comm) collectiveImpl(kind string, contrib any, finish func(contribs []a
 		st.release = st.maxT
 	}
 	s.coll = nil
+	entry := c.p.Now()
 	c.p.Engine().UnparkBatch(st.waiters, st.release)
 	c.p.HoldUntil(st.release)
+	c.p.TraceSpan("mpi", kind, entry, c.p.Now(), 0)
 	res := st.result
 	s.recycleColl(st)
 	return res

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"tapioca/internal/netsim"
+	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 	"tapioca/internal/topology"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// CollectiveHops is the per-round hop estimate used by the analytic
 	// collective cost model (default: topology-dependent).
 	CollectiveHops int
+	// Recorder is the optional flight recorder. When set it is attached to
+	// the engine and fabric, and rank procs are assigned trace tracks
+	// (pid = compute node, tid = world rank).
+	Recorder *obs.Recorder
 }
 
 // World is the simulated MPI job: the scheduler-facing handle that owns all
@@ -76,8 +81,10 @@ func Run(cfg Config, body func(*Comm)) (*sim.Engine, error) {
 	// Sprintf names would cost an allocation per rank per job at scale.
 	for r := 0; r < cfg.Ranks; r++ {
 		c := world.handle(r)
+		node := w.nodeOf[r]
 		w.eng.Spawn("rank", func(p *sim.Proc) {
 			c.p = p
+			p.SetTraceID(int32(node), int32(c.WorldRank()))
 			body(c)
 		})
 	}
@@ -104,6 +111,10 @@ func NewWorld(cfg Config) (*World, *commShared, error) {
 	}
 	if cfg.CollectiveHops <= 0 {
 		cfg.CollectiveHops = defaultCollectiveHops(cfg.Fabric.Topology())
+	}
+	if cfg.Recorder != nil {
+		cfg.Engine.SetRecorder(cfg.Recorder)
+		cfg.Fabric.SetRecorder(cfg.Recorder)
 	}
 	w := &World{cfg: cfg, eng: cfg.Engine, fabric: cfg.Fabric}
 	w.nodeOf = make([]int, cfg.Ranks)

@@ -118,6 +118,7 @@ func (w *Win) bookPut(target int, offset, bytes int64) (senderFree int64) {
 		panic(fmt.Sprintf("mpi: Put [%d,%d) outside window of %d bytes", offset, offset+bytes, w.s.size))
 	}
 	senderFree, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.Node(), c.NodeOfRank(target), bytes)
+	c.p.TraceSpan("rma", "put", c.p.Now(), senderFree, bytes)
 	if arrival > w.s.epochArrival {
 		w.s.epochArrival = arrival
 	}
@@ -164,6 +165,7 @@ func (w *Win) Get(target int, offset, bytes int64) {
 		panic(fmt.Sprintf("mpi: Get [%d,%d) outside window of %d bytes", offset, offset+bytes, w.s.size))
 	}
 	_, arrival := c.s.w.fabric.Reserve(c.p.Now(), c.NodeOfRank(target), c.Node(), bytes)
+	c.p.TraceSpan("rma", "get", c.p.Now(), arrival, bytes)
 	if arrival > w.s.epochArrival {
 		w.s.epochArrival = arrival
 	}

@@ -315,11 +315,13 @@ func (fh *File) collectiveIO(segs []storage.Seg, data []byte, read bool) error {
 	}
 	cur := 0
 	var dataErr error
+	p := c.Proc()
 	for round := 0; round < plan.rounds; round++ {
 		end := cur
 		for end < len(my) && my[end].round == round {
 			end++
 		}
+		roundStart := p.Now()
 		var err error
 		if read {
 			err = fh.readRound(plan, round, my[cur:end], pl)
@@ -328,6 +330,13 @@ func (fh *File) collectiveIO(segs []storage.Seg, data []byte, read bool) error {
 		}
 		if err != nil && dataErr == nil {
 			dataErr = err
+		}
+		if p.Traced() {
+			var bytes int64
+			for _, piece := range my[cur:end] {
+				bytes += piece.bytes
+			}
+			p.TraceSpan("mpiio", "round", roundStart, p.Now(), bytes)
 		}
 		cur = end
 	}

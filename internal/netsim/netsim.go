@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 	"tapioca/internal/topology"
 )
@@ -92,6 +93,13 @@ type Fabric struct {
 	stater     topology.PathStater // non-nil when topo supports PathStats
 	paths      map[int64]pathEntry // (src*Nodes + dst) → cached path facts
 	resArena   []*sim.GapResource  // interned link resources (links mode)
+	resIDs     []int32             // topology link ids parallel to resArena
+
+	// rec is the optional flight recorder: reservation spans on the NIC and
+	// link timelines plus stride-sampled rolling-utilization counters. nil
+	// when observability is off.
+	rec        *obs.Recorder
+	traceLinks []int32 // scratch: link ids of the transfer being traced
 
 	distOnce sync.Once
 	dist     *topology.DistanceCache
@@ -136,6 +144,9 @@ func New(topo topology.Topology, cfg Config) *Fabric {
 
 // Topology returns the underlying topology.
 func (f *Fabric) Topology() topology.Topology { return f.topo }
+
+// SetRecorder attaches a flight recorder. Call before the first transfer.
+func (f *Fabric) SetRecorder(r *obs.Recorder) { f.rec = r }
 
 // Distances returns the machine-wide memoized distance cache over the
 // fabric's topology. Every rank, session and cost model on the machine
@@ -232,6 +243,7 @@ func (f *Fabric) buildPath(src, dst int) pathEntry {
 		e.n = int32(len(route))
 		for _, l := range route {
 			f.resArena = append(f.resArena, f.link(l))
+			f.resIDs = append(f.resIDs, int32(l))
 		}
 	}
 	return e
@@ -260,6 +272,10 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 
 	// Collect the resources this transfer occupies. The NICs bound the
 	// bandwidth; the path's minimum link rate tightens it further.
+	tracing := f.rec.Tracing()
+	if tracing {
+		f.traceLinks = f.traceLinks[:0]
+	}
 	bottleneck := f.minNIC
 	resources := append(f.scratch[:0], f.nicOutFor(src))
 	var hops int
@@ -269,6 +285,9 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 			bottleneck = e.bottleneck
 		}
 		resources = append(resources, f.resArena[e.off:e.off+e.n]...)
+		if tracing {
+			f.traceLinks = append(f.traceLinks, f.resIDs[e.off:e.off+e.n]...)
+		}
 	} else {
 		// Uncached reference path: walk the route per transfer.
 		route := f.topo.Route(src, dst)
@@ -279,6 +298,9 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 			}
 			if f.cfg.Contention == ContentionLinks {
 				resources = append(resources, f.link(l))
+				if tracing {
+					f.traceLinks = append(f.traceLinks, int32(l))
+				}
 			}
 		}
 	}
@@ -292,10 +314,91 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 	// Only park the scratch once ReserveTogether is done with the list: an
 	// earlier reset would let a reentrant Reserve overwrite live entries.
 	f.scratch = resources[:0]
+	if tracing {
+		f.traceReserve(src, dst, start, end, bytes)
+	}
 
 	senderFree = end
 	arrival = start + int64(hops)*f.cfg.PerHopLatency + dur
 	return senderFree, arrival
+}
+
+// utilSampleStride throttles rolling-utilization counter emission: every
+// Nth transfer samples the involved resources. Dense enough for a smooth
+// Perfetto track, sparse enough that counters stay a small fraction of the
+// span volume.
+const utilSampleStride = 8
+
+// traceReserve emits one booked transfer's reservation spans — injection
+// NIC, ejection NIC, and each occupied link — plus, every
+// utilSampleStride-th transfer, rolling busy-fraction counters for those
+// resources. Virtual-time only, called from the running proc.
+func (f *Fabric) traceReserve(src, dst int, start, end, bytes int64) {
+	rec := f.rec
+	txTID, rxTID := int32(src)*2, int32(dst)*2+1
+	rec.Span(obs.PIDNICs, txTID, "net", "tx", start, end, bytes)
+	rec.Span(obs.PIDNICs, rxTID, "net", "rx", start, end, bytes)
+	for _, l := range f.traceLinks {
+		rec.Span(obs.PIDLinks, l, "net", "xfer", start, end, bytes)
+	}
+	if end <= 0 || f.transfers%utilSampleStride != 0 {
+		return
+	}
+	h := float64(end)
+	rec.Counter(obs.PIDNICs, txTID, "util", end, float64(f.nicOut[src].BusyTime())/h)
+	rec.Counter(obs.PIDNICs, rxTID, "util", end, float64(f.nicIn[dst].BusyTime())/h)
+	for _, l := range f.traceLinks {
+		rec.Counter(obs.PIDLinks, l, "util", end, float64(f.links[l].BusyTime())/h)
+	}
+}
+
+// SnapshotMetrics folds the fabric's end-of-run statistics into a metrics
+// registry: transfer and byte counters plus the distribution of busy-time
+// fractions over [0, horizon] across every NIC and link that ever carried
+// traffic (idle resources are never created, so they are excluded).
+func (f *Fabric) SnapshotMetrics(reg *obs.Registry, horizon int64) {
+	if reg == nil {
+		return
+	}
+	reg.Add("net.transfers", f.transfers)
+	reg.Add("net.bytes", f.totalBytes)
+	if horizon <= 0 {
+		return
+	}
+	h := float64(horizon)
+	var maxLink, maxNIC float64
+	for _, r := range f.links {
+		if r == nil {
+			continue
+		}
+		u := float64(r.BusyTime()) / h
+		reg.Observe("net.link_utilization", u)
+		if u > maxLink {
+			maxLink = u
+		}
+	}
+	for i := range f.nicIn {
+		if r := f.nicIn[i]; r != nil {
+			u := float64(r.BusyTime()) / h
+			reg.Observe("net.nic_utilization", u)
+			if u > maxNIC {
+				maxNIC = u
+			}
+		}
+		if r := f.nicOut[i]; r != nil {
+			u := float64(r.BusyTime()) / h
+			reg.Observe("net.nic_utilization", u)
+			if u > maxNIC {
+				maxNIC = u
+			}
+		}
+	}
+	if maxLink > 0 {
+		reg.SetMax("net.max_link_utilization", maxLink)
+	}
+	if maxNIC > 0 {
+		reg.SetMax("net.max_nic_utilization", maxNIC)
+	}
 }
 
 // LatencyTo returns the pure request latency from src to dst (software

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Trace accumulates per-simulation event streams ("cells": one independent
+// simulation each, e.g. one experiment-grid cell) and writes them as one
+// Chrome trace-event JSON file, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Determinism contract: AddCell may be called concurrently (grid cells run
+// on a worker pool), but WriteTo sorts cells by (label, event stream), so
+// the serialized trace is byte-identical no matter the completion order —
+// serial and -parallel runs produce the same file.
+type Trace struct {
+	mu      sync.Mutex
+	cells   []traceCell
+	dropped int64
+}
+
+type traceCell struct {
+	label  string
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// AddCell appends one simulation's events under a label (typically the
+// figure id). Recorders without events are skipped. Goroutine-safe.
+func (t *Trace) AddCell(label string, r *Recorder) {
+	if t == nil || r == nil {
+		return
+	}
+	ev := r.Events()
+	drop := r.Dropped()
+	if len(ev) == 0 && drop == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.cells = append(t.cells, traceCell{label: label, events: ev})
+	t.dropped += drop
+	t.mu.Unlock()
+}
+
+// NumEvents returns the total recorded events across cells.
+func (t *Trace) NumEvents() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, c := range t.cells {
+		n += len(c.events)
+	}
+	return n
+}
+
+// NumCells returns the number of recorded cells.
+func (t *Trace) NumCells() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cells)
+}
+
+// Dropped returns the events lost to per-recorder caps across all cells.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// compareEvents orders two event streams lexicographically — the
+// deterministic tiebreak for cells sharing a label.
+func compareEvents(a, b []Event) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		x, y := a[i], b[i]
+		switch {
+		case x.Kind != y.Kind:
+			if x.Kind < y.Kind {
+				return -1
+			}
+			return 1
+		case x.TS != y.TS:
+			if x.TS < y.TS {
+				return -1
+			}
+			return 1
+		case x.PID != y.PID:
+			if x.PID < y.PID {
+				return -1
+			}
+			return 1
+		case x.TID != y.TID:
+			if x.TID < y.TID {
+				return -1
+			}
+			return 1
+		case x.Dur != y.Dur:
+			if x.Dur < y.Dur {
+				return -1
+			}
+			return 1
+		case x.Name != y.Name:
+			if x.Name < y.Name {
+				return -1
+			}
+			return 1
+		case x.Bytes != y.Bytes:
+			if x.Bytes < y.Bytes {
+				return -1
+			}
+			return 1
+		case x.Val != y.Val:
+			if x.Val < y.Val {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// sortedCells returns the cells in canonical order without mutating the
+// shared slice.
+func (t *Trace) sortedCells() []traceCell {
+	t.mu.Lock()
+	cells := append([]traceCell(nil), t.cells...)
+	t.mu.Unlock()
+	// Insertion-ordered stable sort by (label, stream). Cell counts are
+	// small (tens to hundreds); simplicity over asymptotics.
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cells[j-1], cells[j]
+			if a.label < b.label || (a.label == b.label && compareEvents(a.events, b.events) <= 0) {
+				break
+			}
+			cells[j-1], cells[j] = b, a
+		}
+	}
+	return cells
+}
+
+// cellPIDStride separates cells' pid spaces in the merged trace; must
+// exceed every pseudo-pid (PIDStorage is the largest).
+const cellPIDStride = int64(1)<<24 + 8
+
+// writeTS writes a virtual-nanosecond timestamp as fractional microseconds
+// (the trace-event unit) with exact thousandths — no float formatting, so
+// output is bit-stable.
+func writeTS(w *bufio.Writer, ns int64) {
+	fmt.Fprintf(w, "%d.%03d", ns/1000, ns%1000)
+}
+
+func processName(pid int32) string {
+	switch pid {
+	case PIDLinks:
+		return "links"
+	case PIDNICs:
+		return "nics"
+	case PIDStorage:
+		return "storage"
+	default:
+		return fmt.Sprintf("node%d", pid)
+	}
+}
+
+func threadName(pid, tid int32) string {
+	switch pid {
+	case PIDLinks:
+		return fmt.Sprintf("link%d", tid)
+	case PIDNICs:
+		if tid%2 == 0 {
+			return fmt.Sprintf("nic-out%d", tid/2)
+		}
+		return fmt.Sprintf("nic-in%d", tid/2)
+	case PIDStorage:
+		return fmt.Sprintf("node%d", tid)
+	default:
+		return fmt.Sprintf("rank%d", tid)
+	}
+}
+
+// Write serializes the trace as Chrome trace-event JSON. Each cell's
+// tracks get a disjoint pid range with process/thread name metadata
+// ("fig7#3/node12", thread "rank197"), so Perfetto shows one process per
+// simulated node per cell with one thread per rank, plus the links/nics/
+// storage resource timelines.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+	for ci, cell := range t.sortedCells() {
+		base := int64(ci) * cellPIDStride
+		// Emit name metadata for every distinct track, in first-use order
+		// (deterministic: the event stream is).
+		seenPID := map[int32]bool{}
+		seenTID := map[int64]bool{}
+		for _, e := range cell.events {
+			if !seenPID[e.PID] {
+				seenPID[e.PID] = true
+				sep()
+				fmt.Fprintf(bw, `{"ph":"M","name":"process_name","pid":%d,"args":{"name":%q}}`,
+					base+int64(e.PID), fmt.Sprintf("%s#%d/%s", cell.label, ci, processName(e.PID)))
+			}
+			if e.Kind == KindSpan {
+				key := int64(e.PID)<<32 | int64(uint32(e.TID))
+				if !seenTID[key] {
+					seenTID[key] = true
+					sep()
+					fmt.Fprintf(bw, `{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%q}}`,
+						base+int64(e.PID), e.TID, threadName(e.PID, e.TID))
+				}
+			}
+		}
+		for _, e := range cell.events {
+			sep()
+			switch e.Kind {
+			case KindCounter:
+				fmt.Fprintf(bw, `{"ph":"C","pid":%d,"name":"%s/%d","ts":`, base+int64(e.PID), e.Name, e.TID)
+				writeTS(bw, e.TS)
+				fmt.Fprintf(bw, `,"args":{"value":%g}}`, e.Val)
+			default:
+				fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"cat":%q,"name":%q,"ts":`,
+					base+int64(e.PID), e.TID, e.Cat, e.Name)
+				writeTS(bw, e.TS)
+				bw.WriteString(`,"dur":`)
+				writeTS(bw, e.Dur)
+				if e.Bytes != 0 {
+					fmt.Fprintf(bw, `,"args":{"bytes":%d}`, e.Bytes)
+				}
+				bw.WriteString("}")
+			}
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tapioca/internal/obs"
 )
 
 // Handy duration constants in virtual nanoseconds.
@@ -113,6 +115,14 @@ type Proc struct {
 
 	heapIndex int // position in the engine run queue, -1 if absent
 
+	// Flight-recorder track identity (see SetTraceID). traceOn is true only
+	// when the engine recorder has a live event buffer, so the untraced Park
+	// pays a single predicted-false branch and Hold pays nothing at all.
+	traceOn  bool
+	tracePID int32
+	traceTID int32
+	runStart int64 // virtual time the current run interval began
+
 	// Timer-node fields (goroutine-less run-queue entries).
 	timerEv   *Event // event to complete when dispatched
 	timerNext *Proc  // engine free list
@@ -134,6 +144,24 @@ func (p *Proc) Now() int64 { return p.now }
 
 // Engine returns the engine that owns this proc.
 func (p *Proc) Engine() *Engine { return p.eng }
+
+// Recorder returns the engine's flight recorder (nil when observability is
+// off — obs methods are nil-receiver-safe, so callers need no guard).
+func (p *Proc) Recorder() *obs.Recorder { return p.eng.rec }
+
+// SetTraceID assigns the proc's trace track — (pid, tid) in the Chrome
+// trace's process/thread convention (compute node id, world rank) — and
+// starts its first run interval. Until called, the proc emits no scheduler
+// spans. No-op unless the engine recorder is tracing.
+func (p *Proc) SetTraceID(pid, tid int32) {
+	if !p.eng.rec.Tracing() {
+		return
+	}
+	p.traceOn = true
+	p.tracePID = pid
+	p.traceTID = tid
+	p.runStart = p.now
+}
 
 // Engine coordinates a set of procs over a shared virtual clock. The zero
 // value is not usable; call NewEngine.
@@ -163,7 +191,19 @@ type Engine struct {
 	// is exactly the order an all-heap schedule would produce.
 	batch    []*Proc
 	batchPos int
+
+	// rec is the optional flight recorder. nil (the default) is the disabled
+	// state: procs skip all instrumentation, and the engine's hot paths carry
+	// no recorder checks at all.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches a flight recorder to the engine. Call before Run;
+// procs cache tracing state when they call SetTraceID.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // NewEngine returns an empty engine ready for Spawn and Run.
 func NewEngine() *Engine {
@@ -213,6 +253,9 @@ func (p *Proc) run() {
 			if _, isAbort := r.(abortError); !isAbort && p.eng.err == nil {
 				p.eng.err = fmt.Errorf("sim: proc %d (%s) panicked at t=%d: %v", p.id, p.name, p.now, r)
 			}
+		}
+		if p.traceOn && r == nil {
+			p.eng.rec.Span(p.tracePID, p.traceTID, "sched", "run", p.runStart, p.now, 0)
 		}
 		p.state = stateFinished
 		e := p.eng
@@ -484,15 +527,48 @@ func (p *Proc) JumpTo(t int64) {
 	}
 }
 
+// Traced reports whether this proc emits trace spans (SetTraceID was called
+// under a tracing recorder).
+func (p *Proc) Traced() bool { return p.traceOn }
+
+// TraceSpan records a completed interval on this proc's own trace track.
+// No-op (one predicted branch, zero allocations) when the proc is untraced.
+func (p *Proc) TraceSpan(cat, name string, start, end, bytes int64) {
+	if p.traceOn {
+		p.eng.rec.Span(p.tracePID, p.traceTID, cat, name, start, end, bytes)
+	}
+}
+
 // Park blocks the proc until another proc calls Unpark on it. The reason
 // string appears in deadlock diagnostics. The proc resumes with its clock
 // advanced to at least the unparker-provided wake time.
 func (p *Proc) Park(reason string) {
+	if p.traceOn {
+		p.parkTraced(reason)
+		return
+	}
 	p.state = stateParked
 	p.parkReason = reason
 	p.handoff()
 	p.state = stateRunning
 	p.parkReason = ""
+}
+
+// parkTraced is Park with scheduler-span emission: the run interval that
+// ends here and, once resumed, the parked interval named by the reason.
+// Both spans are emitted while this proc is the (single) running proc, so
+// the event order is deterministic.
+func (p *Proc) parkTraced(reason string) {
+	rec := p.eng.rec
+	rec.Span(p.tracePID, p.traceTID, "sched", "run", p.runStart, p.now, 0)
+	at := p.now
+	p.state = stateParked
+	p.parkReason = reason
+	p.handoff()
+	p.state = stateRunning
+	p.parkReason = ""
+	rec.Span(p.tracePID, p.traceTID, "sched", reason, at, p.now, 0)
+	p.runStart = p.now
 }
 
 // Unpark makes a parked proc runnable at virtual time at (or the target's

@@ -146,11 +146,11 @@ func (bb *BurstBuffer) RecommendStripe(totalBytes, bufSize int64, aggregators in
 
 func (bb *BurstBuffer) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	// recordWrite happens in the backing WriteAsync inside stage.
-	return blockingWrite(p, bb.stage(p, node, f, segs))
+	return blockingWrite(p, node, "bb-write", false, segs, bb.stage(p, node, f, segs))
 }
 
 func (bb *BurstBuffer) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
-	return asyncEvent(p, "bb-write", bb.stage(p, node, f, segs))
+	return asyncEvent(p, node, "bb-write", false, segs, bb.stage(p, node, f, segs))
 }
 
 func (bb *BurstBuffer) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
@@ -163,12 +163,12 @@ func (bb *BurstBuffer) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordRead(segs)
 	bytes := TotalBytes(segs)
 	_, end := bb.server(f, segs).ReserveDur(p.Now()+bb.cfg.PerOp, sim.TransferTime(bytes, bb.cfg.ServerBW), bytes)
-	return blockingWrite(p, end)
+	return blockingWrite(p, node, "bb-read", true, segs, end)
 }
 
 func (bb *BurstBuffer) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordRead(segs)
 	bytes := TotalBytes(segs)
 	_, end := bb.server(f, segs).ReserveDur(p.Now()+bb.cfg.PerOp, sim.TransferTime(bytes, bb.cfg.ServerBW), bytes)
-	return asyncEvent(p, "bb-read", end)
+	return asyncEvent(p, node, "bb-read", true, segs, end)
 }

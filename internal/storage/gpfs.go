@@ -314,12 +314,12 @@ func (g *GPFS) AlignUnit(opt FileOptions) int64 { return g.cfg.BlockSize }
 
 func (g *GPFS) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
-	return blockingWrite(p, g.reserve(p.Now(), node, f, segs, false))
+	return blockingWrite(p, node, "gpfs-write", false, segs, g.reserve(p.Now(), node, f, segs, false))
 }
 
 func (g *GPFS) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordWrite(node, p.Now(), segs)
-	return asyncEvent(p, "gpfs-write", g.reserve(p.Now(), node, f, segs, false))
+	return asyncEvent(p, node, "gpfs-write", false, segs, g.reserve(p.Now(), node, f, segs, false))
 }
 
 func (g *GPFS) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
@@ -328,15 +328,15 @@ func (g *GPFS) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	span := []Seg{Contig(lo, hi-lo)}
 	f.bytesRead += hi - lo
 	tRead := g.reserve(p.Now(), node, f, span, true)
-	return blockingWrite(p, g.reserve(tRead, node, f, span, false))
+	return blockingWrite(p, node, "gpfs-write-sieved", false, span, g.reserve(tRead, node, f, span, false))
 }
 
 func (g *GPFS) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordRead(segs)
-	return blockingWrite(p, g.reserve(p.Now(), node, f, segs, true))
+	return blockingWrite(p, node, "gpfs-read", true, segs, g.reserve(p.Now(), node, f, segs, true))
 }
 
 func (g *GPFS) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordRead(segs)
-	return asyncEvent(p, "gpfs-read", g.reserve(p.Now(), node, f, segs, true))
+	return asyncEvent(p, node, "gpfs-read", true, segs, g.reserve(p.Now(), node, f, segs, true))
 }

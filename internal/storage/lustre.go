@@ -339,12 +339,12 @@ func (l *Lustre) RecommendStripe(totalBytes, bufSize int64, aggregators int) Fil
 
 func (l *Lustre) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
-	return blockingWrite(p, l.reserve(p.Now(), node, f, segs, false))
+	return blockingWrite(p, node, "lustre-write", false, segs, l.reserve(p.Now(), node, f, segs, false))
 }
 
 func (l *Lustre) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordWrite(node, p.Now(), segs)
-	return asyncEvent(p, "lustre-write", l.reserve(p.Now(), node, f, segs, false))
+	return asyncEvent(p, node, "lustre-write", false, segs, l.reserve(p.Now(), node, f, segs, false))
 }
 
 // WriteSieved on Lustre models page-granular writeback rather than a
@@ -355,15 +355,16 @@ func (l *Lustre) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
 	lo, _ := SpanAll(segs)
 	footprint := PageFootprint(segs, 4096)
-	return blockingWrite(p, l.reserve(p.Now(), node, f, []Seg{Contig(lo, footprint)}, false))
+	span := []Seg{Contig(lo, footprint)}
+	return blockingWrite(p, node, "lustre-write-sieved", false, span, l.reserve(p.Now(), node, f, span, false))
 }
 
 func (l *Lustre) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordRead(segs)
-	return blockingWrite(p, l.reserve(p.Now(), node, f, segs, true))
+	return blockingWrite(p, node, "lustre-read", true, segs, l.reserve(p.Now(), node, f, segs, true))
 }
 
 func (l *Lustre) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordRead(segs)
-	return asyncEvent(p, "lustre-read", l.reserve(p.Now(), node, f, segs, true))
+	return asyncEvent(p, node, "lustre-read", true, segs, l.reserve(p.Now(), node, f, segs, true))
 }

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 
+	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 )
 
@@ -190,14 +191,39 @@ func (f *File) VerifyCoverage(lo, hi int64) error {
 	return nil
 }
 
+// traceExtentIO reports one extent operation to the flight recorder: a
+// service-interval span on the storage timeline (pid PIDStorage, tid = the
+// issuing node) plus per-tier byte/op counters. One nil check when
+// observability is off.
+func traceExtentIO(p *sim.Proc, node int, name string, read bool, segs []Seg, completion int64) {
+	rec := p.Recorder()
+	if rec == nil {
+		return
+	}
+	bytes := TotalBytes(segs)
+	reg := rec.Registry()
+	if read {
+		reg.Add("storage.bytes_read", bytes)
+	} else {
+		reg.Add("storage.bytes_written", bytes)
+	}
+	reg.Add("storage.ops", 1)
+	rec.Span(obs.PIDStorage, int32(node), "storage", name, p.Now(), completion, bytes)
+}
+
 // blockingWrite adapts a reservation function into the System.Write shape.
-func blockingWrite(p *sim.Proc, completion int64) int64 {
+// Every System implementation funnels blocking extent I/O through here, so
+// this is also the single observability hook for it.
+func blockingWrite(p *sim.Proc, node int, name string, read bool, segs []Seg, completion int64) int64 {
+	traceExtentIO(p, node, name, read, segs, completion)
 	p.HoldUntil(completion)
 	return completion
 }
 
-// asyncEvent adapts a reservation completion into a sim.Event.
-func asyncEvent(p *sim.Proc, name string, completion int64) *sim.Event {
+// asyncEvent adapts a reservation completion into a sim.Event (and, like
+// blockingWrite, reports the operation to the flight recorder).
+func asyncEvent(p *sim.Proc, node int, name string, read bool, segs []Seg, completion int64) *sim.Event {
+	traceExtentIO(p, node, name, read, segs, completion)
 	ev := sim.NewEvent(name)
 	sim.CompleteAt(p, ev, completion)
 	return ev
@@ -242,27 +268,27 @@ func (n *NullFS) AlignUnit(opt FileOptions) int64 { return 1 << 20 }
 
 func (n *NullFS) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
-	return blockingWrite(p, p.Now()+n.PerOp)
+	return blockingWrite(p, node, "nullfs-write", false, segs, p.Now()+n.PerOp)
 }
 
 func (n *NullFS) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordWrite(node, p.Now(), segs)
 	lo, hi := SpanAll(segs)
 	f.bytesRead += hi - lo
-	return blockingWrite(p, p.Now()+2*n.PerOp)
+	return blockingWrite(p, node, "nullfs-write-sieved", false, segs, p.Now()+2*n.PerOp)
 }
 
 func (n *NullFS) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordWrite(node, p.Now(), segs)
-	return asyncEvent(p, "nullfs-write", p.Now()+n.PerOp)
+	return asyncEvent(p, node, "nullfs-write", false, segs, p.Now()+n.PerOp)
 }
 
 func (n *NullFS) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
 	f.recordRead(segs)
-	return blockingWrite(p, p.Now()+n.PerOp)
+	return blockingWrite(p, node, "nullfs-read", true, segs, p.Now()+n.PerOp)
 }
 
 func (n *NullFS) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
 	f.recordRead(segs)
-	return asyncEvent(p, "nullfs-read", p.Now()+n.PerOp)
+	return asyncEvent(p, node, "nullfs-read", true, segs, p.Now()+n.PerOp)
 }

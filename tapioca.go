@@ -34,6 +34,7 @@ package tapioca
 
 import (
 	"fmt"
+	"io"
 
 	"tapioca/internal/core"
 	"tapioca/internal/cost"
@@ -41,6 +42,7 @@ import (
 	"tapioca/internal/mpi"
 	"tapioca/internal/mpiio"
 	"tapioca/internal/netsim"
+	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
@@ -187,6 +189,7 @@ type Machine struct {
 	sys     storage.System
 	burst   *storage.BurstBuffer // non-nil with WithBurstBuffer
 	nodes   int
+	rec     *obs.Recorder   // non-nil after EnableTracing
 	rebuild func() *Machine // fresh identical machine (autotune probes)
 }
 
@@ -242,6 +245,23 @@ func Theta(nodes int, opts ...MachineOption) *Machine {
 // Name returns the machine's name.
 func (m *Machine) Name() string { return m.name }
 
+// EnableTracing arms the flight recorder for the machine's next Run: the
+// simulation records scheduler, network, MPI, pipeline and storage spans in
+// virtual time. Retrieve the trace with WriteTrace after Run returns.
+func (m *Machine) EnableTracing() { m.rec = obs.NewRecorder(true) }
+
+// WriteTrace writes the flight recording of the machine's Run in Chrome
+// trace-event JSON (load it in Perfetto or chrome://tracing). It returns an
+// error if EnableTracing was not called before Run.
+func (m *Machine) WriteTrace(w io.Writer) error {
+	if m.rec == nil {
+		return fmt.Errorf("tapioca: no trace recorded (call EnableTracing before Run)")
+	}
+	tr := obs.NewTrace()
+	tr.AddCell(m.name, m.rec)
+	return tr.Write(w)
+}
+
 // Nodes returns the compute-node count.
 func (m *Machine) Nodes() int { return m.nodes }
 
@@ -273,12 +293,16 @@ func (m *Machine) Run(ranksPerNode int, body func(*Ctx)) (Report, error) {
 		Ranks:        m.nodes * ranksPerNode,
 		RanksPerNode: ranksPerNode,
 		Fabric:       m.fab,
+		Recorder:     m.rec,
 	}, func(c *mpi.Comm) {
 		body(&Ctx{c: c, m: m, files: files})
 	})
 	rep := Report{}
 	if eng != nil {
 		rep.Elapsed = sim.ToSeconds(eng.Now())
+		if m.rec != nil {
+			m.fab.SnapshotMetrics(m.rec.Registry(), eng.Now())
+		}
 	}
 	for name, f := range files {
 		rep.Files = append(rep.Files, FileReport{
