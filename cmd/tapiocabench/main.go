@@ -34,9 +34,12 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"tapioca/internal/expt"
+	"tapioca/internal/fault"
 	"tapioca/internal/obs"
 )
 
@@ -78,6 +81,33 @@ type jsonResult struct {
 	// percentiles, host-side store and codec timings under the
 	// nondeterministic "host." prefix).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Faults and Recovery are the fault-plane event counters ("fault." and
+	// "recovery." prefixes of the metrics snapshot): injected transients,
+	// latency spikes, retransmits, corruptions and aggregator deaths on the
+	// fault side; retries, backoff time, failovers, replayed/degraded rounds
+	// and repaired extents on the recovery side. Present only when fault
+	// injection ran (-faults, or the abl-faults chaos experiment).
+	Faults   map[string]int64 `json:"faults,omitempty"`
+	Recovery map[string]int64 `json:"recovery,omitempty"`
+}
+
+// splitFaultCounters extracts the fault-plane blocks from a metrics snapshot.
+func splitFaultCounters(snap *obs.Snapshot) (faults, recovery map[string]int64) {
+	for name, v := range snap.Counters {
+		switch {
+		case strings.HasPrefix(name, "fault."):
+			if faults == nil {
+				faults = map[string]int64{}
+			}
+			faults[strings.TrimPrefix(name, "fault.")] = v
+		case strings.HasPrefix(name, "recovery."):
+			if recovery == nil {
+				recovery = map[string]int64{}
+			}
+			recovery[strings.TrimPrefix(name, "recovery.")] = v
+		}
+	}
+	return faults, recovery
 }
 
 type jsonRow struct {
@@ -115,8 +145,23 @@ func run() int {
 		verify   = flag.Bool("verify", false, "run the data-plane round-trip smoke (real bytes, checksum-verified) before the experiments")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON flight recording to this file (open in Perfetto)")
 		phases   = flag.Bool("phases", false, "print a per-figure phase breakdown table (aggregation/exchange/storage/codec rank-seconds)")
+		faults   = flag.String("faults", "", "arm deterministic fault injection for every cell as \"seed,rate\" (e.g. 7,0.05)")
+		recovery = flag.Bool("recovery", true, "with -faults: arm the self-healing machinery (retry, failover, degraded writes, repair)")
+		short    = flag.Bool("short", false, "shrink the abl-faults chaos sweep to its CI smoke subset")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		seed, rate, err := parseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg := fault.Profile(seed, rate)
+		expt.SetFaultConfig(&cfg)
+	}
+	expt.SetFaultRecovery(*recovery)
+	expt.SetChaosShort(*short)
 
 	fullScale := *full
 	switch *scale {
@@ -168,6 +213,9 @@ func run() int {
 			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
 		for _, s := range expt.DataPlane() {
+			fmt.Printf("%-16s %s\n", s.ID, s.Title)
+		}
+		for _, s := range expt.Chaos() {
 			fmt.Printf("%-16s %s\n", s.ID, s.Title)
 		}
 		return 0
@@ -278,6 +326,7 @@ func run() int {
 			rec.Phases = expt.PhaseSeconds(s.ID)
 			if snap := expt.MetricsOf(s.ID).Snapshot(); !snap.Empty() {
 				rec.Metrics = &snap
+				rec.Faults, rec.Recovery = splitFaultCounters(&snap)
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})
@@ -302,6 +351,26 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// parseFaults parses the -faults "seed,rate" argument.
+func parseFaults(s string) (uint64, float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-faults wants \"seed,rate\", got %q", s)
+	}
+	seed, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-faults seed: %v", err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-faults rate: %v", err)
+	}
+	if rate < 0 || rate > 1 {
+		return 0, 0, fmt.Errorf("-faults rate %g outside [0, 1]", rate)
+	}
+	return seed, rate, nil
 }
 
 // writeTrace writes the session's merged flight recording in Chrome

@@ -34,6 +34,8 @@ func main() {
 		particles = flag.Int64("particles", 25000, "particles per rank (hacc)")
 		read      = flag.Bool("read", false, "tune a collective read instead of a write")
 		probes    = flag.Int("probes", 0, "closed-loop probe count (0 = pure model)")
+		burst     = flag.Bool("burst", false, "stack a burst-buffer staging tier on the machine")
+		degraded  = flag.Bool("degraded", false, "tune for degraded mode: assume the burst-buffer tier is down and price against the tier behind it (implies -burst)")
 		parallel  = flag.Bool("parallel", true, "run closed-loop probes on a worker pool (identical pick)")
 		verify    = flag.Bool("verify", false, "run tuned vs default end to end")
 		trace     = flag.String("trace", "", "write a Chrome trace-event flight recording of the tuned run to this file (implies -verify)")
@@ -48,11 +50,18 @@ func main() {
 		par.SetLimit(1)
 	}
 
+	if *degraded {
+		*burst = true
+	}
 	build := func() *tapioca.Machine {
-		if *machine == "mira" {
-			return tapioca.Mira(*nodes, tapioca.WithLockSharing())
+		var mo []tapioca.MachineOption
+		if *burst {
+			mo = append(mo, tapioca.WithBurstBuffer(tapioca.BurstBufferConfig{}))
 		}
-		return tapioca.Theta(*nodes)
+		if *machine == "mira" {
+			return tapioca.Mira(*nodes, append(mo, tapioca.WithLockSharing())...)
+		}
+		return tapioca.Theta(*nodes, mo...)
 	}
 	m := build()
 	ranks := *nodes * *rpn
@@ -74,6 +83,9 @@ func main() {
 	var opts []tapioca.AutotuneOption
 	if *probes > 0 {
 		opts = append(opts, tapioca.WithProbes(*probes))
+	}
+	if *degraded {
+		opts = append(opts, tapioca.WithDegraded())
 	}
 	cfg, fopt, hints := tapioca.Autotune(m, w, opts...)
 

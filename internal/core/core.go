@@ -32,6 +32,7 @@ import (
 
 	"tapioca/internal/cost"
 	"tapioca/internal/dataplane"
+	"tapioca/internal/fault"
 	"tapioca/internal/mpi"
 	"tapioca/internal/obs"
 	"tapioca/internal/storage"
@@ -87,6 +88,20 @@ type Config struct {
 	// real bytes additionally round-trip through the codec so a broken
 	// implementation fails verification. Nil disables the stage (default).
 	Codec dataplane.Codec
+	// Faults attaches a deterministic fault plan (see internal/fault):
+	// aggregator deaths and round corruption are decided here; store and
+	// network faults additionally require the fabric/storage wrappers to
+	// carry the same plan. Nil (the default) leaves every fault path
+	// compiled out of the session — the zero-fault pipeline is byte-
+	// identical to a session that never heard of faults.
+	Faults *fault.Plan
+	// Recovery arms the self-healing machinery under Faults: bounded retry
+	// with virtual-time backoff, aggregator failover with §IV-B re-election
+	// and round replay, degraded-mode writes past a dead burst-buffer tier,
+	// and verify-and-repair of corrupted extents. Nil with Faults set means
+	// faults inject but nothing recovers: losses are counted, and a dead
+	// aggregator deadlocks its partition (diagnosed by the engine).
+	Recovery *fault.Recovery
 }
 
 // ApplyDefaults resolves the zero-value fields to the library defaults for a
@@ -153,6 +168,11 @@ type Writer struct {
 	// boundary, never a lookup).
 	rec *obs.Recorder
 
+	// degradedSys, once set, replaces sys for the rest of the session's
+	// flush traffic: the degraded-mode fallback tier a writer switches to
+	// when Config.Faults takes the primary tier down (see recover.go).
+	degradedSys storage.System
+
 	stats Stats
 }
 
@@ -180,6 +200,25 @@ type Stats struct {
 	ElectionCost float64
 	// Placement names the strategy that ran the election.
 	Placement string
+
+	// Recovery accounting (zero without Config.Faults).
+	//
+	// Retries counts transient-store retries this rank issued; BackoffNs is
+	// the virtual backoff time they waited. Failovers counts aggregator
+	// failovers this rank's partition performed (every member reports its
+	// partition's failovers); ReplayedRounds the rounds this rank replayed
+	// as the replacement aggregator. DegradedFlushes counts flushes served
+	// by the degraded fallback tier, RepairedExtents the corrupt extents
+	// scrubbed and rewritten, and LostFlushes/LostBytes the flushes absorbed
+	// as data loss because no recovery path remained.
+	Retries         int64
+	BackoffNs       int64
+	Failovers       int64
+	ReplayedRounds  int64
+	DegradedFlushes int64
+	RepairedExtents int64
+	LostFlushes     int64
+	LostBytes       int64
 }
 
 // New creates a TAPIOCA session on comm for the given storage file.

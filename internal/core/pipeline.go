@@ -87,12 +87,18 @@ func (w *Writer) flushSegsFor(fl flushInfo) []storage.Seg {
 // store), so the reduction stage is verified by the same end-to-end
 // checksums as the rest of the pipeline; the achieved compressed size is
 // returned for stats.
-func (w *Writer) storeRound(buf []byte, layout []storage.Seg) (stored int64, err error) {
+// dmg and repair carry the fault plane's corruption decision for this round
+// (both zero on the fault-free path): after the write lands, applyDamage
+// flips the damaged byte and — with repair on — scrubs it back.
+func (w *Writer) storeRound(buf []byte, layout []storage.Seg, dmg []int64, repair bool) (stored int64, err error) {
 	codec := w.cfg.Codec
 	if codec == nil {
 		t := hostClock(w.rec)
 		err := w.f.StoreWrite(layout, buf)
 		hostObserve(w.rec, "host.store_write_seconds", t)
+		if err == nil && len(dmg) > 0 {
+			err = applyDamage(w.f, layout, buf, dmg, repair)
+		}
 		return 0, err
 	}
 	t := hostClock(w.rec)
@@ -108,6 +114,9 @@ func (w *Writer) storeRound(buf []byte, layout []storage.Seg) (stored int64, err
 	t = hostClock(w.rec)
 	err = w.f.StoreWrite(layout, w.decompB)
 	hostObserve(w.rec, "host.store_write_seconds", t)
+	if err == nil && len(dmg) > 0 {
+		err = applyDamage(w.f, layout, w.decompB, dmg, repair)
+	}
 	return stored, err
 }
 
@@ -150,13 +159,25 @@ func (w *Writer) runWrite() error {
 		cNsPerByte, _ = w.codecModel()
 	}
 	rec := w.rec
+	faults := w.cfg.Faults != nil
+	deadRound := w.deathRound()
 	idx := 0
 	for r := 0; r < pp.rounds; r++ {
 		bufID := int64(r % 2)
+		if faults || rec != nil {
+			p.SetPhaseLabel(fmt.Sprintf("tapioca round %d/%d", r+1, pp.rounds))
+		}
+		if r == deadRound {
+			if err := w.failover(p, r, &pending, join, &dataErr); err != nil {
+				return err
+			}
+		}
 		var roundStart int64
 		var roundPut int64
-		if rec != nil {
+		if faults || rec != nil {
 			roundStart = p.Now()
+		}
+		if rec != nil {
 			roundPut = w.stats.BytesPut
 		}
 		// The round's puts: the plan coalesces each rank's contribution to
@@ -237,6 +258,11 @@ func (w *Writer) runWrite() error {
 						w.stats.BytesCompressed += dataplane.ModeledSize(w.cfg.Codec, fl.bytes)
 					}
 				}
+				var dmg []int64
+				var repair bool
+				if faults {
+					dmg, repair = w.checkCorruption(p, r, fl)
+				}
 				if w.pl != nil {
 					// The fence published every member's payload; hand the
 					// filled buffer to the background store job. Everything
@@ -245,26 +271,28 @@ func (w *Writer) runWrite() error {
 					layout := w.plan.layoutOf(w.part, r)
 					w.f.EnsureStore()
 					if w.cfg.SingleBuffer {
-						stored, err := w.storeRound(buf, layout)
+						stored, err := w.storeRound(buf, layout, dmg, repair)
 						if err != nil && dataErr == nil {
 							dataErr = err
 						}
 						w.stats.BytesCompressed += stored
 					} else {
 						jobs[bufID] = launchStore(func() (int64, error) {
-							return w.storeRound(buf, layout)
+							return w.storeRound(buf, layout, dmg, repair)
 						})
 					}
 				}
-				ev := w.sys.WriteAsync(p, w.pc.Node(), w.f, w.flushSegsFor(fl))
+				ev := w.flushAsync(p, fl, false)
 				w.stats.BytesFlushed += fl.bytes
 				w.stats.Flushes++
 				if w.cfg.SingleBuffer {
-					waitStart := p.Now()
-					ev.Wait(p)
-					if rec != nil {
-						rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
-						p.TraceSpan("tapioca", "flush-wait", waitStart, p.Now(), fl.bytes)
+					if ev != nil {
+						waitStart := p.Now()
+						ev.Wait(p)
+						if rec != nil {
+							rec.Phase(obs.PhaseStorage, p.Now()-waitStart)
+							p.TraceSpan("tapioca", "flush-wait", waitStart, p.Now(), fl.bytes)
+						}
 					}
 				} else {
 					pending[bufID] = ev
@@ -283,6 +311,15 @@ func (w *Writer) runWrite() error {
 		if rec != nil {
 			p.TraceSpan("tapioca", "round", roundStart, p.Now(), w.stats.BytesPut-roundPut)
 		}
+		if faults && w.isAgg {
+			// Per-round latency distribution (p99 under faults is a headline
+			// number of the chaos experiment). Faults-only: the zero-fault
+			// metrics snapshot must stay byte-identical to the baseline.
+			rec.Registry().Observe("tapioca.round_seconds", sim.ToSeconds(p.Now()-roundStart))
+		}
+	}
+	if faults || rec != nil {
+		p.SetPhaseLabel("tapioca drain")
 	}
 	// Drain outstanding flushes, then close the session collectively.
 	if w.isAgg {
@@ -383,7 +420,7 @@ func (w *Writer) runRead() error {
 					})
 				}
 			}
-			pending[r%2] = w.sys.ReadAsync(p, w.pc.Node(), w.f, w.flushSegsFor(pp.flush[r]))
+			pending[r%2] = w.flushAsync(p, pp.flush[r], true)
 			w.stats.BytesFlushed += pp.flush[r].bytes
 			w.stats.Flushes++
 			if w.cfg.Codec != nil {

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tapioca/internal/cost"
+	"tapioca/internal/fault"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+)
+
+// This file is the recovery side of the deterministic fault plane
+// (internal/fault): bounded retry with virtual-time backoff for transient
+// store errors, aggregator failover (re-election over the survivors plus
+// replay of the dead aggregator's un-flushed rounds from rank-side payload
+// buffers), degraded-mode writes past a dead burst-buffer tier, and
+// verify-and-repair of corrupted flush extents. Every path here is gated on
+// Config.Faults; a nil plan leaves the pipeline on its original code path.
+
+// ioSys is the tier the session's flush traffic currently targets: the
+// configured system, or the degraded fallback once the primary went down.
+func (w *Writer) ioSys() storage.System {
+	if w.degradedSys != nil {
+		return w.degradedSys
+	}
+	return w.sys
+}
+
+// degrade switches the session's flush traffic to the fallback tier (the
+// file system behind the burst buffer), reporting whether one exists. The
+// switch is per-writer and sticky: once the primary tier is down it stays
+// down for the session.
+func (w *Writer) degrade() bool {
+	if w.degradedSys != nil {
+		return true
+	}
+	d := storage.DegradedSystemOf(w.sys)
+	if d == nil {
+		return false
+	}
+	w.degradedSys = d
+	return true
+}
+
+// restripe re-cuts flush extents for the degraded tier: contiguous runs are
+// split at the fallback system's optimal-unit boundaries, so the direct-to-
+// PFS stream the degraded path prices sees aligned extents instead of
+// buffer-sized runs aligned to the dead tier.
+func restripe(segs []storage.Seg, unit int64) []storage.Seg {
+	if unit <= 0 {
+		return segs
+	}
+	out := make([]storage.Seg, 0, len(segs))
+	for _, s := range segs {
+		for i := int64(0); i < s.Runs(); i++ {
+			off, length := s.Off+i*s.Stride, s.Len
+			for length > 0 {
+				n := unit - off%unit
+				if n > length {
+					n = length
+				}
+				out = append(out, storage.Contig(off, n))
+				off += n
+				length -= n
+			}
+		}
+	}
+	return out
+}
+
+// loseFlush absorbs an unrecoverable flush failure as counted data loss:
+// without recovery armed (or with the retry budget exhausted and no
+// fallback tier), the round's bytes never land. The chaos experiment's
+// goodput subtracts LostBytes; correctness tests run with recovery armed
+// and assert this stays zero.
+func (w *Writer) loseFlush(fl flushInfo) {
+	w.stats.LostFlushes++
+	w.stats.LostBytes += fl.bytes
+	w.rec.Registry().Add(fault.MetricLostFlushes, 1)
+}
+
+// flushAsync issues one round's virtual flush (write, or read-path
+// prefetch) against the current tier, owning the recovery loop: transient
+// errors retry under the tier's policy with deterministic virtual-time
+// backoff; a tier outage degrades to the fallback tier when armed;
+// anything unrecoverable is absorbed as a lost flush and returns nil.
+// Without Config.Faults this is exactly the original non-blocking call.
+func (w *Writer) flushAsync(p *sim.Proc, fl flushInfo, read bool) *sim.Event {
+	segs := w.flushSegsFor(fl)
+	node := w.pc.Node()
+	sys := w.ioSys()
+	if w.cfg.Faults == nil {
+		if read {
+			return sys.ReadAsync(p, node, w.f, segs)
+		}
+		return sys.WriteAsync(p, node, w.f, segs)
+	}
+	reg := w.rec.Registry()
+	rc := w.cfg.Recovery
+	degraded := func() {
+		if w.degradedSys != nil {
+			w.stats.DegradedFlushes++
+			reg.Add(fault.MetricDegradedRounds, 1)
+		}
+	}
+	attempt, spent := 0, int64(0)
+	for {
+		fb := storage.FallibleOf(sys)
+		if fb == nil {
+			// The degraded tier (or an unwrapped system) has no fault face.
+			degraded()
+			if read {
+				return sys.ReadAsync(p, node, w.f, segs)
+			}
+			return sys.WriteAsync(p, node, w.f, segs)
+		}
+		var ev *sim.Event
+		var err error
+		if read {
+			ev, err = fb.ReadAsyncTry(p, node, w.f, segs)
+		} else {
+			ev, err = fb.WriteAsyncTry(p, node, w.f, segs)
+		}
+		if err == nil {
+			degraded()
+			return ev
+		}
+		if errors.Is(err, fault.ErrTierDown) {
+			if rc != nil && rc.Degraded && w.degrade() {
+				sys = w.ioSys()
+				if !read {
+					segs = restripe(segs, sys.OptimalUnit(w.f))
+				}
+				continue
+			}
+			w.loseFlush(fl)
+			return nil
+		}
+		// Transient: bounded retry with deterministic backoff.
+		pol := rc.PolicyFor(sys.Name())
+		if rc != nil && attempt < pol.MaxAttempts && spent < pol.Budget {
+			d := pol.Backoff(attempt)
+			attempt++
+			spent += d
+			p.Hold(d)
+			w.stats.Retries++
+			w.stats.BackoffNs += d
+			reg.Add(fault.MetricRetries, 1)
+			reg.Add(fault.MetricBackoffNs, d)
+			continue
+		}
+		w.loseFlush(fl)
+		return nil
+	}
+}
+
+// deathRound resolves this partition's scheduled aggregator death, or -1.
+// Single-member partitions host no deaths: there is no survivor to elect.
+func (w *Writer) deathRound() int {
+	if w.cfg.Faults == nil || w.pc.Size() < 2 {
+		return -1
+	}
+	return w.cfg.Faults.AggregatorDeath(w.part, w.plan.parts[w.part].rounds)
+}
+
+// lostRounds is the deterministic replay set of a death at the top of round
+// r: under the double-buffer schedule the only flushes that can still be in
+// flight are rounds r-2 and r-1 (anything older was waited by a
+// buffer-reuse guard). Every member computes the same set from the shared
+// plan — no aggregator-local state crosses ranks. SingleBuffer flushes
+// synchronously, so nothing is ever in flight.
+func (w *Writer) lostRounds(r int) []int {
+	if w.cfg.SingleBuffer {
+		return nil
+	}
+	pp := &w.plan.parts[w.part]
+	var lost []int
+	for _, q := range []int{r - 2, r - 1} {
+		if q >= 0 && pp.flush[q].bytes > 0 {
+			lost = append(lost, q)
+		}
+	}
+	return lost
+}
+
+// reelect re-runs the §IV-B election over the partition's surviving
+// candidates. Every member holds the full cached member table, so the
+// election runs in the cost engine's local mode (no MinLoc collective):
+// each rank scans the filtered table and lands on the same winner.
+func (w *Writer) reelect(dead int) int {
+	pp := &w.plan.parts[w.part]
+	cand := make([]cost.Member, 0, len(pp.members)-1)
+	idx := make([]int, 0, len(pp.members)-1)
+	for i, m := range pp.members {
+		if i != dead {
+			cand = append(cand, m)
+			idx = append(idx, i)
+		}
+	}
+	e := &cost.Election{
+		Model:     w.model(),
+		Members:   cand,
+		IOBytes:   pp.bytes,
+		Partition: w.part,
+	}
+	return idx[w.cfg.Placement.Elect(e)]
+}
+
+// failover handles the aggregator death scheduled at the top of round r.
+// Collective over the partition: every member pays detection and election
+// time, computes the same replacement and the same replay set.
+//
+// Without Failover armed, the death is terminal: the demoted aggregator
+// returns ErrAggregatorDead and its members, with nobody left to fence
+// with, park until the engine's deadlock detector names them (with their
+// phase labels) — the diagnosable no-recovery baseline.
+//
+// With Failover armed: the survivors re-elect over the remaining
+// candidates, the dead aggregator's un-flushed rounds are replayed from the
+// members' rank-side payload buffers into the new aggregator's window, and
+// the new aggregator flushes them synchronously (with retry) before normal
+// rounds resume. The demoted rank survives as a member — the model is
+// gray failure of the aggregator role (its NVRAM lease expires, its buffers
+// are fenced off) — so its own declared data still lands.
+func (w *Writer) failover(p *sim.Proc, r int, pending *[2]*sim.Event, join func(int64), dataErr *error) error {
+	reg := w.rec.Registry()
+	rc := w.cfg.Recovery
+	if rc == nil || !rc.Failover {
+		if w.isAgg {
+			reg.Add(fault.MetricAggrDeaths, 1)
+			return fault.ErrAggregatorDead
+		}
+		return nil
+	}
+	// Detection plus the local re-election compute, charged on every member.
+	hold := rc.DetectCost()
+	if w.cfg.ElectionOverhead > 0 {
+		hold += w.cfg.ElectionOverhead
+	}
+	p.Hold(hold)
+
+	wasAgg := w.isAgg
+	newAgg := w.reelect(w.aggLocal)
+	w.aggLocal = newAgg
+	w.isAgg = w.pc.Rank() == newAgg
+	w.stats.AggregatorWorldRank = w.pc.WorldRankOf(newAgg)
+	w.stats.Failovers++
+	if w.isAgg {
+		reg.Add(fault.MetricAggrDeaths, 1)
+		reg.Add(fault.MetricFailovers, 1)
+	}
+	if wasAgg {
+		// The demoted aggregator's in-flight virtual flushes complete by
+		// timer with no waiter; its background store jobs are joined here,
+		// in proc context, so the replacement's replay rewrites are ordered
+		// after them on the host side (the engine serializes procs).
+		join(0)
+		join(1)
+		pending[0], pending[1] = nil, nil
+	}
+	for _, q := range w.lostRounds(r) {
+		w.replayRound(p, q, dataErr)
+	}
+	// Serializing fence: normal rounds resume only once the replacement's
+	// replay flushes have landed (round r reuses the r-2 buffer).
+	w.win.Fence()
+	return nil
+}
+
+// replayRound re-runs round q's aggregation into the replacement
+// aggregator's window and flushes it synchronously. The bytes come from the
+// members' own payload buffers (data-plane sessions) or move as virtual
+// counts (phantom sessions) — the dead aggregator contributes nothing
+// beyond its own declared data, which it still holds as a member.
+func (w *Writer) replayRound(p *sim.Proc, q int, dataErr *error) {
+	pp := &w.plan.parts[w.part]
+	fl := pp.flush[q]
+	bufID := int64(q % 2)
+	var deferredFree int64
+	for _, pc := range w.plan.piecesOf(w.c.Rank()) {
+		if pc.round != q {
+			if pc.round > q {
+				break
+			}
+			continue
+		}
+		if deferredFree > 0 {
+			p.HoldUntil(deferredFree)
+		}
+		if w.pl != nil {
+			lo, hi := storage.SpanAll(fl.segs)
+			deferredFree = w.win.PutGather(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, func(dst []byte) {
+				if n := w.pl.Gather(dst, lo, hi); n != int64(len(dst)) && *dataErr == nil {
+					*dataErr = fmt.Errorf("core: replay of round %d gathered %d bytes, plan expects %d", q, n, len(dst))
+				}
+			})
+		} else {
+			deferredFree = w.win.PutAsync(w.aggLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, nil)
+		}
+	}
+	w.win.FenceAfter(deferredFree)
+	if !w.isAgg || fl.bytes == 0 {
+		return
+	}
+	if w.cfg.Codec != nil {
+		cNsPerByte, _ := w.codecModel()
+		p.Hold(int64(float64(fl.bytes) * cNsPerByte))
+	}
+	if w.pl != nil {
+		buf := w.win.LocalData()[bufID*w.cfg.BufferSize:][:fl.bytes]
+		layout := w.plan.layoutOf(w.part, q)
+		w.f.EnsureStore()
+		// Synchronous: replay is already off the steady-state schedule, and
+		// the serializing fence in failover needs the bytes durable. The
+		// original corruption key for round q was consumed at first flush,
+		// so the replay rewrites clean bytes over any damage.
+		stored, err := w.storeRound(buf, layout, nil, false)
+		if err != nil && *dataErr == nil {
+			*dataErr = err
+		}
+		w.stats.BytesCompressed += stored
+	}
+	if ev := w.flushAsync(p, fl, false); ev != nil {
+		ev.Wait(p)
+	}
+	w.stats.BytesFlushed += fl.bytes
+	w.stats.Flushes++
+	w.stats.ReplayedRounds++
+	w.rec.Registry().Add(fault.MetricReplayedRounds, 1)
+}
+
+// repairBlock is the scrub granularity of verify-and-repair: the targeted
+// re-read/re-write covers at most this much of the extent around the
+// damaged byte, not the whole round.
+const repairBlock = 64 << 10
+
+// locateByte maps the k-th positional byte of segs (enumeration order) to
+// its file offset and the containing contiguous run. ok=false when k is
+// past the segments' total bytes.
+func locateByte(segs []storage.Seg, k int64) (off, runOff, runLen int64, ok bool) {
+	for _, s := range segs {
+		for i := int64(0); i < s.Runs(); i++ {
+			if k < s.Len {
+				return s.Off + i*s.Stride + k, s.Off + i*s.Stride, s.Len, true
+			}
+			k -= s.Len
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// checkCorruption consumes round r's corruption decision (proc context). It
+// returns the damaged positional byte indexes to hand to storeRound. With
+// Repair armed it also prices the targeted scrub — a blocking re-read and
+// re-write of a repairBlock-sized window of the damaged extent against the
+// current tier — and counts the repair; the host-side job then performs the
+// real verify-and-rewrite (see applyDamage).
+func (w *Writer) checkCorruption(p *sim.Proc, r int, fl flushInfo) (dmg []int64, repair bool) {
+	k, ok := w.cfg.Faults.TakeCorruption(w.part, r, fl.bytes)
+	if !ok {
+		return nil, false
+	}
+	reg := w.rec.Registry()
+	reg.Add(fault.MetricCorruptions, 1)
+	dmg = []int64{k}
+	rc := w.cfg.Recovery
+	if rc == nil || !rc.Repair {
+		return dmg, false
+	}
+	if off, runOff, runLen, ok := locateByte(fl.segs, k); ok {
+		within := off - runOff
+		lo := runOff + within - within%repairBlock
+		n := runLen - (lo - runOff)
+		if n > repairBlock {
+			n = repairBlock
+		}
+		scrub := []storage.Seg{storage.Contig(lo, n)}
+		sys := w.ioSys()
+		node := w.pc.Node()
+		sys.Read(p, node, w.f, scrub)
+		sys.Write(p, node, w.f, scrub)
+	}
+	w.stats.RepairedExtents++
+	reg.Add(fault.MetricRepairedExtents, 1)
+	return dmg, true
+}
+
+// applyDamage runs on the host side of a store job, after the round's bytes
+// landed: it flips the damaged byte in the backing store (the modeled
+// bit-flip between buffer and platter), then — with repair on — performs
+// the verify-and-repair pass: re-read the scrub window, compare against the
+// source bytes, and rewrite exactly the ranges that differ. Without repair
+// the flip stays, and end-to-end CRC verification reports it.
+func applyDamage(f *storage.File, layout []storage.Seg, src []byte, dmg []int64, repair bool) error {
+	for _, k := range dmg {
+		off, runOff, runLen, ok := locateByte(layout, k)
+		if !ok {
+			continue
+		}
+		var b [1]byte
+		if err := f.StoreReadAt(b[:], off); err != nil {
+			return err
+		}
+		b[0] ^= 0xFF
+		if err := f.StoreWriteAt(b[:], off); err != nil {
+			return err
+		}
+		if !repair {
+			continue
+		}
+		// Positional index of the run's first byte within src.
+		runPos := k - (off - runOff)
+		within := off - runOff
+		lo := within - within%repairBlock
+		n := runLen - lo
+		if n > repairBlock {
+			n = repairBlock
+		}
+		want := src[runPos+lo : runPos+lo+n]
+		got := make([]byte, n)
+		if err := f.StoreReadAt(got, runOff+lo); err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if got[i] != want[i] {
+				if err := f.StoreWriteAt(want[i:i+1], runOff+lo+i); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tapioca/internal/fault"
 	"tapioca/internal/mpi"
 	"tapioca/internal/netsim"
 	"tapioca/internal/par"
@@ -96,7 +97,7 @@ func FullScale() []Spec {
 // registered full-scale variant, or a host-side data-plane experiment), or
 // nil.
 func ByID(id string) *Spec {
-	for _, set := range [][]Spec{All(), FullScale(), DataPlane()} {
+	for _, set := range [][]Spec{All(), FullScale(), DataPlane(), Chaos()} {
 		for _, s := range set {
 			if s.ID == id {
 				sp := s
@@ -188,6 +189,10 @@ type rig struct {
 	sys   storage.System
 	nodes int
 	rpn   int
+	// fplan is the cell's deterministic fault plan — non-nil when a fault
+	// config is armed (SetFaultConfig, or the chaos experiment's own plans).
+	// One plan per rig: its consumed-once state never crosses cells.
+	fplan *fault.Plan
 }
 
 func (r *rig) ranks() int { return r.nodes * r.rpn }
@@ -249,7 +254,7 @@ func miraRig(nodes, rpn, lockMode int) *rig {
 	})
 	fab.ShareDistances(dc)
 	sys := storage.NewGPFS(topo, fab, storage.GPFSConfig{LockMode: lockMode})
-	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+	return armFaults(&rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn})
 }
 
 // thetaRig builds a Theta platform with the given routing mode and OST
@@ -260,7 +265,7 @@ func thetaRig(nodes, rpn, routing, numOST int) *rig {
 	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
 	fab.ShareDistances(dc)
 	sys := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: numOST})
-	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+	return armFaults(&rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn})
 }
 
 // measure runs body on the rig and returns the I/O bandwidth in GB/s:
@@ -282,16 +287,24 @@ func (r *rig) run(body func(c *mpi.Comm, tm *timer)) (float64, error) {
 	}()
 	tm := &timer{}
 	rec := cellRecorder()
+	// Watchdog: a cell that exceeds the virtual-time budget is killed by the
+	// engine and surfaces as a structured CellError (wrapping
+	// sim.BudgetError) instead of hanging the whole grid.
+	weng := sim.NewEngine()
+	if b := CellBudget(); b > 0 {
+		weng.SetBudget(b)
+	}
 	eng, err := mpi.Run(mpi.Config{
 		Ranks:        r.ranks(),
 		RanksPerNode: r.rpn,
 		Fabric:       r.fab,
+		Engine:       weng,
 		Recorder:     rec,
 	}, func(c *mpi.Comm) {
 		body(c, tm)
 	})
 	if err != nil {
-		return 0, err
+		return 0, &CellError{Nodes: r.nodes, Ranks: r.ranks(), Err: err}
 	}
 	if rec != nil {
 		r.fab.SnapshotMetrics(rec.Registry(), eng.Now())

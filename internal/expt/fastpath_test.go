@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tapioca/internal/fault"
 	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
 )
@@ -38,12 +39,17 @@ func TestFastPathsMatchReference(t *testing.T) {
 			netsim.SetPathCache(prevCache)
 			storage.SetSegCompaction(prevCompact)
 
-			// The optimized run executes with the flight recorder live, so
-			// this equivalence also asserts tracing perturbs nothing.
+			// The optimized run executes with the flight recorder live and a
+			// zero-rate fault profile armed, so this equivalence also asserts
+			// that tracing and the fault-plane plumbing perturb nothing on
+			// the zero-fault path.
+			zero := fault.Profile(7, 0)
+			SetFaultConfig(&zero)
 			StartObservation(true)
 			ObserveFigure(id)
 			optimized := s.Run(false)
 			StopObservation()
+			SetFaultConfig(nil)
 			if !reflect.DeepEqual(reference, optimized) {
 				t.Fatalf("optimized run diverged from uncached/uncompacted reference:\nref: %+v\nopt: %+v", reference, optimized)
 			}

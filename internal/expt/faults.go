@@ -1,0 +1,268 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"tapioca/internal/core"
+	"tapioca/internal/fault"
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/obs"
+	"tapioca/internal/par"
+	"tapioca/internal/sim"
+	"tapioca/internal/storage"
+	"tapioca/internal/topology"
+	"tapioca/internal/workload"
+)
+
+// Package-level fault state behind tapiocabench's -faults flag: when a fault
+// config is armed, every rig built afterwards carries the plan (network
+// degradation on the fabric, transient/outage injection on the storage tier,
+// death/corruption schedules in the pipeline). Nil (the default) leaves every
+// rig on the original zero-fault path, byte-identical to a build without the
+// fault plane.
+var (
+	faultCfgState atomic.Pointer[fault.Config]
+	recoveryOff   atomic.Bool // inverted: zero value means recovery armed
+	chaosShort    atomic.Bool
+	cellBudgetNs  atomic.Int64
+)
+
+// defaultCellBudget is the per-cell virtual-time watchdog: four simulated
+// hours, an order of magnitude past the slowest legitimate full-scale cell.
+// A cell that exceeds it is killed by the engine (sim.BudgetError) and
+// reported as a structured CellError instead of hanging the whole run.
+const defaultCellBudget = 4 * 3600 * 1e9
+
+// SetFaultConfig arms (or, with nil, clears) deterministic fault injection
+// for subsequently built measurement cells.
+func SetFaultConfig(cfg *fault.Config) { faultCfgState.Store(cfg) }
+
+// FaultConfig returns the armed fault config, or nil.
+func FaultConfig() *fault.Config { return faultCfgState.Load() }
+
+// SetFaultRecovery arms or disarms the recovery machinery (retry, failover,
+// degraded-mode writes, repair) under an armed fault config. Default: armed.
+func SetFaultRecovery(on bool) { recoveryOff.Store(!on) }
+
+// FaultRecovery reports whether recovery is armed.
+func FaultRecovery() bool { return !recoveryOff.Load() }
+
+// SetChaosShort shrinks the abl-faults rate sweep to its CI smoke subset.
+func SetChaosShort(on bool) { chaosShort.Store(on) }
+
+// SetCellBudget overrides the per-cell virtual-time watchdog budget in
+// nanoseconds; v <= 0 restores the default.
+func SetCellBudget(v int64) { cellBudgetNs.Store(v) }
+
+// CellBudget returns the effective per-cell virtual-time budget.
+func CellBudget() int64 {
+	if v := cellBudgetNs.Load(); v > 0 {
+		return v
+	}
+	return defaultCellBudget
+}
+
+// CellError wraps a measurement-cell failure with the cell's shape, so a
+// grid run reports which simulation died (watchdog, deadlock, session error)
+// instead of hanging or printing a bare engine error.
+type CellError struct {
+	Nodes, Ranks int
+	Err          error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("expt: measurement cell (%d nodes, %d ranks) failed: %v", e.Nodes, e.Ranks, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// armFaults attaches the globally armed fault plan (if any) to a fresh rig:
+// one plan per cell, so plan state (op counters, consumed-once corruption
+// keys) never crosses cells and parallel grids stay deterministic.
+func armFaults(r *rig) *rig {
+	cfg := faultCfgState.Load()
+	if cfg == nil || !cfg.Enabled() {
+		return r
+	}
+	plan := fault.NewPlan(*cfg)
+	r.fplan = plan
+	r.fab.SetFaults(plan)
+	r.sys = storage.NewFaulty(r.sys, plan)
+	return r
+}
+
+// faultConfigFor injects the rig's fault plan (and, when armed, the default
+// recovery policy) into a session config. A rig without a plan returns cfg
+// untouched — the byte-identical zero-fault path.
+func faultConfigFor(r *rig, cfg core.Config) core.Config {
+	if r.fplan == nil {
+		return cfg
+	}
+	cfg.Faults = r.fplan
+	if FaultRecovery() {
+		cfg.Recovery = fault.DefaultRecovery()
+	}
+	return cfg
+}
+
+// Chaos lists the fault-injection experiments. They are registered for
+// -experiment/-list but excluded from All(): "tapiocabench all" output stays
+// byte-identical to a zero-fault build.
+func Chaos() []Spec {
+	return []Spec{
+		{"abl-faults", "Chaos: goodput vs fault rate, with and without recovery", AblationFaults},
+	}
+}
+
+// chaosRig builds the chaos platform: a burst-buffer staging tier over
+// Lustre on a Theta dragonfly — the stack with a degraded-mode story (buffer
+// down ⇒ direct-to-PFS).
+func chaosRig(nodes, rpn, numOST int) *rig {
+	topo, dc := sharedTheta(nodes, topology.RouteMinimal)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	fab.ShareDistances(dc)
+	lustre := storage.NewLustre(topo, fab, storage.LustreConfig{NumOST: numOST})
+	sys := storage.NewBurstBuffer(lustre, storage.BurstBufferConfig{})
+	return &rig{topo: topo, fab: fab, sys: sys, nodes: nodes, rpn: rpn}
+}
+
+// chaosOut is one chaos cell's measurements.
+type chaosOut struct {
+	goodput float64 // (bytes landed)/(elapsed), GB/s
+	p99     float64 // p99 round latency, seconds (0 at rate 0)
+	lost    int64   // bytes absorbed as data loss
+	events  map[string]int64
+}
+
+// chaosCell runs one fault-rate × recovery-mode measurement: an IOR write
+// through the full pipeline on a fresh chaos rig, under its own deterministic
+// fault plan.
+func chaosCell(nodes, rpn, numOST int, rate float64, withRec bool) chaosOut {
+	const seed = 0x7A910CA
+	r := chaosRig(nodes, rpn, numOST)
+	if rate > 0 {
+		fc := fault.Profile(seed, rate)
+		// Take the buffer tier down mid-run (the short cells finish in about
+		// 20 ms of virtual time) so the degraded-mode path (or, without
+		// recovery, counted data loss) is exercised every cell.
+		fc.TierDownAfter = 10 * sim.Millisecond
+		if !withRec {
+			// A dead aggregator without failover deadlocks its partition by
+			// design (the engine diagnoses it); the no-recovery goodput series
+			// must still complete, so deaths stay off and the series absorbs
+			// every other fault class.
+			fc.AggrDeathRate = 0
+		}
+		plan := fault.NewPlan(fc)
+		r.fplan = plan
+		r.fab.SetFaults(plan)
+		r.sys = storage.NewFaulty(r.sys, plan)
+	}
+
+	pattern := workload.IOR(r.ranks(), 1<<20)
+	rec := cellRecorder()
+	if rec == nil {
+		// The chaos figure always records: round-latency percentiles and
+		// recovery counters are half its point. (Virtual time is unaffected.)
+		rec = obs.NewRecorder(false)
+	}
+	eng := sim.NewEngine()
+	if b := CellBudget(); b > 0 {
+		eng.SetBudget(b)
+	}
+	tm := &timer{}
+	var total, lost int64
+	_, err := mpi.Run(mpi.Config{
+		Ranks:        r.ranks(),
+		RanksPerNode: r.rpn,
+		Fabric:       r.fab,
+		Engine:       eng,
+		Recorder:     rec,
+	}, func(c *mpi.Comm) {
+		decl := pattern.Declared(c.Rank(), c.Size())
+		var mine int64
+		for _, segs := range decl {
+			mine += storage.TotalBytes(segs)
+		}
+		sum := c.AllreduceI64(mpi.OpSum, mine)
+		f := openShared(c, r.sys, "chaos", storage.FileOptions{StripeCount: numOST, StripeSize: 1 << 20})
+		cfg := core.Config{Aggregators: 8, BufferSize: 1 << 20, Faults: r.fplan}
+		if withRec && r.fplan != nil {
+			cfg.Recovery = fault.DefaultRecovery()
+		}
+		w := core.New(c, r.sys, f, cfg)
+		tm.Start(c)
+		must(w.Init(decl))
+		must(w.WriteAll())
+		tm.Stop(c)
+		lostSum := c.AllreduceI64(mpi.OpSum, w.Stats().LostBytes)
+		if c.Rank() == 0 {
+			total, lost = sum, lostSum
+		}
+	})
+	if err != nil {
+		panic(&CellError{Nodes: nodes, Ranks: r.ranks(), Err: err})
+	}
+	transferCount.Add(r.fab.Transfers())
+	sampleHeap()
+	r.fab.SnapshotMetrics(rec.Registry(), eng.Now())
+	observeCell(rec)
+
+	snap := rec.Registry().Snapshot()
+	events := map[string]int64{}
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "fault.") || strings.HasPrefix(name, "recovery.") {
+			events[name] = v
+		}
+	}
+	return chaosOut{
+		goodput: gbps(total-lost, sim.ToSeconds(tm.t1-tm.t0)),
+		p99:     snap.Histograms["tapioca.round_seconds"].P99,
+		lost:    lost,
+		events:  events,
+	}
+}
+
+// AblationFaults is the chaos experiment: goodput (bytes that actually
+// landed over elapsed time) against fault rate, with recovery disarmed vs
+// armed, plus p99 round latency and recovery-event totals in the notes. All
+// fault schedules are pure functions of (seed, virtual time), so the figure
+// is deterministic, serial or parallel.
+func AblationFaults(full bool) Result {
+	nodes, rpn, osts := 32, 4, 8
+	if full {
+		nodes, rpn = 64, 8
+	}
+	rates := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	if chaosShort.Load() {
+		rates = []float64{0, 0.1}
+	}
+	res := Result{
+		ID:     "abl-faults",
+		Title:  "Chaos: goodput vs fault rate, with and without recovery",
+		XLabel: "fault rate",
+		Labels: []string{"no recovery", "with recovery"},
+		Notes: []string{
+			fmt.Sprintf("IOR 1 MB/rank on Theta, burst buffer over Lustre, %d nodes x %d ranks; buffer tier down at 10 ms", nodes, rpn),
+			"goodput = bytes landed (total minus lost) / elapsed; fault schedules are pure (seed, virtual time)",
+		},
+	}
+	cells := make([]chaosOut, len(rates)*2)
+	par.Map(len(cells), func(i int) {
+		cells[i] = chaosCell(nodes, rpn, osts, rates[i/2], i%2 == 1)
+	})
+	for i, rate := range rates {
+		no, with := cells[2*i], cells[2*i+1]
+		res.Rows = append(res.Rows, Row{X: rate, Values: []float64{no.goodput, with.goodput}})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"rate %.2f: p99 round %.2f/%.2f ms (no rec/rec), lost %d/%d MB, retries %d, failovers %d, replayed %d, degraded %d, repaired %d",
+			rate, no.p99*1e3, with.p99*1e3, no.lost>>20, with.lost>>20,
+			with.events[fault.MetricRetries], with.events[fault.MetricFailovers],
+			with.events[fault.MetricReplayedRounds], with.events[fault.MetricDegradedRounds],
+			with.events[fault.MetricRepairedExtents]))
+	}
+	return res
+}

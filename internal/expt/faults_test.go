@@ -1,0 +1,96 @@
+package expt
+
+// Tests for the chaos experiment and the fault-plane plumbing at the
+// experiment layer: the abl-faults figure must be deterministic serial vs
+// parallel (fault schedules are pure functions of seed and virtual time, and
+// each cell owns its plan), a zero-rate armed profile must leave every
+// figure byte-identical to an unarmed run, and the per-cell virtual-time
+// watchdog must kill a cell as a structured CellError wrapping the engine's
+// BudgetError instead of hanging the grid.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tapioca/internal/fault"
+	"tapioca/internal/sim"
+)
+
+// TestChaosDeterminism: the abl-faults figure — every cell carrying its own
+// instantiated fault plan — produces a deeply equal Result (rows, notes,
+// recovery-event totals) serial and on a worker pool.
+func TestChaosDeterminism(t *testing.T) {
+	SetChaosShort(true)
+	defer SetChaosShort(false)
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial := AblationFaults(false)
+	SetParallelism(8)
+	parallel := AblationFaults(false)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("abl-faults diverged serial vs parallel:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial.Rows) != 2 || len(serial.Rows[0].Values) != 2 {
+		t.Fatalf("short chaos sweep shape: %+v", serial.Rows)
+	}
+}
+
+// TestZeroRateFaultsByteIdentical: arming a fault profile with rate 0 (the
+// -faults flag's no-op configuration) must leave a figure byte-identical to
+// a run with no profile armed at all — the zero-fault path is exactly the
+// original code path.
+func TestZeroRateFaultsByteIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	s := ByID("abl-pipeline")
+	if s == nil {
+		t.Fatal("unknown spec abl-pipeline")
+	}
+	plain := s.Run(false)
+	cfg := fault.Profile(7, 0)
+	SetFaultConfig(&cfg)
+	defer SetFaultConfig(nil)
+	armed := s.Run(false)
+	if !reflect.DeepEqual(plain, armed) {
+		t.Fatalf("zero-rate fault profile perturbed the figure:\nplain: %+v\narmed: %+v", plain, armed)
+	}
+}
+
+// TestCellBudgetWatchdog: a cell that exceeds the virtual-time budget is
+// killed by the engine and surfaces as a CellError (naming the cell's shape)
+// wrapping the engine's BudgetError — the structured report a grid run
+// prints instead of hanging.
+func TestCellBudgetWatchdog(t *testing.T) {
+	SetCellBudget(1) // 1 ns: any real cell blows through it immediately
+	defer SetCellBudget(0)
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var ok bool
+				if err, ok = r.(error); !ok {
+					t.Fatalf("cell panicked with a non-error: %v", r)
+				}
+			}
+		}()
+		chaosCell(2, 2, 2, 0, true)
+	}()
+	if err == nil {
+		t.Fatal("cell completed under a 1 ns budget")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected a CellError, got %T: %v", err, err)
+	}
+	if ce.Nodes != 2 || ce.Ranks != 4 {
+		t.Errorf("CellError shape = %d nodes, %d ranks; want 2, 4", ce.Nodes, ce.Ranks)
+	}
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("CellError does not wrap the engine's BudgetError: %v", err)
+	}
+	if be.Limit != 1 {
+		t.Errorf("BudgetError.Limit = %d, want 1", be.Limit)
+	}
+}

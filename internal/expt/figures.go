@@ -66,7 +66,7 @@ func runIO(j ioJob, method int) (float64, error) {
 		switch method {
 		case methodTapioca:
 			f := openShared(group, j.r.sys, fileName, j.fileOpt)
-			w := core.New(group, j.r.sys, f, j.cfg)
+			w := core.New(group, j.r.sys, f, faultConfigFor(j.r, j.cfg))
 			tm.Start(c)
 			must(w.Init(decl))
 			if j.read {

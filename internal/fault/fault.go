@@ -1,0 +1,388 @@
+// Package fault is the deterministic fault plane: a seed-driven schedule of
+// component failures injected beneath the simulation layers (netsim link
+// degradation and loss, storage transients and latency spikes, tier outages,
+// payload bit flips, aggregator deaths), plus the recovery knobs — retry
+// policies, failover, degraded-mode writes, verify-and-repair — that let the
+// layers above absorb them.
+//
+// Every decision is a pure function of (seed, injection site, site-local
+// ordinals): the same seed replays the same faults byte for byte, serial or
+// parallel, so recovery paths are testable as equivalence properties rather
+// than probabilistically. The package depends on nothing above the standard
+// library so every layer (netsim, storage, core, mpiio, expt) can import it.
+package fault
+
+import (
+	"errors"
+	"math"
+)
+
+// Sentinel errors surfaced by fallible storage wrappers and the recovery
+// machinery. Match with errors.Is.
+var (
+	// ErrTransient is a retryable failure: the op did not happen, but an
+	// immediate or backed-off retry may succeed.
+	ErrTransient = errors.New("fault: transient I/O failure")
+	// ErrTierDown is a persistent tier outage: retries against the same
+	// tier cannot succeed; callers must degrade to a fallback tier or
+	// absorb the loss.
+	ErrTierDown = errors.New("fault: storage tier down")
+	// ErrAggregatorDead marks an aggregator whose role was revoked by the
+	// fault plan while recovery (failover) is disabled.
+	ErrAggregatorDead = errors.New("fault: aggregator dead")
+)
+
+// Registry metric names. The "fault." prefix counts injected faults, the
+// "recovery." prefix counts recovery actions; tapiocabench surfaces each
+// prefix as its own block in -json output.
+const (
+	MetricStoreTransients = "fault.store_transients"
+	MetricSlowSpikes      = "fault.slow_spikes"
+	MetricNetRetransmits  = "fault.net_retransmits"
+	MetricDegradedLinks   = "fault.degraded_transfers"
+	MetricStragglerHits   = "fault.straggler_transfers"
+	MetricCorruptions     = "fault.corruptions"
+	MetricAggrDeaths      = "fault.aggr_deaths"
+	MetricTierDown        = "fault.tier_down_detected"
+	MetricLostFlushes     = "fault.lost_flushes"
+
+	MetricRetries         = "recovery.retries"
+	MetricBackoffNs       = "recovery.backoff_ns"
+	MetricFailovers       = "recovery.failovers"
+	MetricReplayedRounds  = "recovery.replayed_rounds"
+	MetricDegradedRounds  = "recovery.degraded_rounds"
+	MetricRepairedExtents = "recovery.repaired_extents"
+)
+
+// Config is the fault schedule. Rates are per-decision probabilities in
+// [0, 1]; a zero Config injects nothing. Zero-valued tuning fields
+// (penalties, factors) take the defaults documented on each.
+type Config struct {
+	Seed uint64
+
+	// Storage plane.
+	StoreFailRate float64 // transient failure per store op
+	StoreSlowRate float64 // latency spike per store op
+	SlowPenalty   int64   // base spike latency, ns (default 2ms; spikes are 1-4x)
+	TierDownAfter int64   // >0: the wrapped tier fails permanently at this virtual time (ns)
+
+	// Network plane.
+	NetLossRate       float64 // transient loss per transfer (retransmit)
+	LinkDegradeRate   float64 // per (src,dst,window) degraded-bandwidth windows
+	StragglerRate     float64 // fraction of nodes that are stragglers
+	StragglerFactor   float64 // straggler service-time multiplier (default 4)
+	DegradeFactor     float64 // degraded-window duration multiplier (default 3)
+	RetransmitPenalty int64   // fixed retransmit timeout, ns (default 50µs)
+
+	// Data/control plane.
+	CorruptRate   float64 // bit-flip per flushed round
+	AggrDeathRate float64 // aggregator death per partition
+}
+
+// Profile is the standard chaos profile used by `tapiocabench -faults` and
+// the abl-faults experiment: one knob scales every fault class, with the
+// rarer classes (stragglers, corruption) derated so moderate rates keep a
+// run recognizable.
+func Profile(seed uint64, rate float64) Config {
+	return Config{
+		Seed:            seed,
+		StoreFailRate:   rate,
+		StoreSlowRate:   rate / 2,
+		NetLossRate:     rate / 2,
+		LinkDegradeRate: rate / 2,
+		StragglerRate:   rate / 4,
+		CorruptRate:     rate / 2,
+		AggrDeathRate:   rate,
+	}
+}
+
+// Enabled reports whether the schedule can inject anything at all.
+func (c Config) Enabled() bool {
+	return c.StoreFailRate > 0 || c.StoreSlowRate > 0 || c.TierDownAfter > 0 ||
+		c.NetLossRate > 0 || c.LinkDegradeRate > 0 || c.StragglerRate > 0 ||
+		c.CorruptRate > 0 || c.AggrDeathRate > 0
+}
+
+// Injection-site salts: decisions at different sites with the same ordinals
+// must not correlate.
+const (
+	siteStoreFail uint64 = iota + 1
+	siteStoreSlow
+	siteSlowAmount
+	siteNetLoss
+	siteLinkDegrade
+	siteStraggler
+	siteCorrupt
+	siteCorruptOff
+	siteAggrDeath
+	siteDeathRound
+)
+
+// Plan is an instantiated fault schedule. All decision methods are pure
+// except TakeCorruption, which consumes its (partition, round) key so a
+// failover replay of a round does not re-corrupt it; call TakeCorruption
+// only from proc context (the engine serializes procs, so the consumed set
+// needs no lock). A nil *Plan is valid and injects nothing.
+type Plan struct {
+	cfg   Config
+	taken map[uint64]bool
+}
+
+// NewPlan instantiates cfg, filling zero-valued tuning fields with defaults.
+func NewPlan(cfg Config) *Plan {
+	if cfg.SlowPenalty == 0 {
+		cfg.SlowPenalty = 2_000_000 // 2ms
+	}
+	if cfg.StragglerFactor == 0 {
+		cfg.StragglerFactor = 4
+	}
+	if cfg.DegradeFactor == 0 {
+		cfg.DegradeFactor = 3
+	}
+	if cfg.RetransmitPenalty == 0 {
+		cfg.RetransmitPenalty = 50_000 // 50µs
+	}
+	return &Plan{cfg: cfg, taken: make(map[uint64]bool)}
+}
+
+// Config returns the (default-filled) schedule the plan was built from.
+func (pl *Plan) Config() Config {
+	if pl == nil {
+		return Config{}
+	}
+	return pl.cfg
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// hash is a splitmix64-style combine of (seed, site, ordinals).
+func (pl *Plan) hash(site uint64, vals ...uint64) uint64 {
+	h := mix(pl.cfg.Seed ^ site*0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h = mix(h ^ v*0x9E3779B97F4A7C15)
+	}
+	return h
+}
+
+func (pl *Plan) roll(rate float64, site uint64, vals ...uint64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return float64(pl.hash(site, vals...)) < rate*float64(math.MaxUint64)
+}
+
+// StoreOutcome classifies one storage op under the schedule.
+type StoreOutcome int
+
+const (
+	StoreOK        StoreOutcome = iota
+	StoreTransient              // op failed; retryable
+	StoreSlow                   // op succeeds after a latency spike
+)
+
+// Store decides the fate of store op number op against the given tier.
+func (pl *Plan) Store(tier uint64, op int64) StoreOutcome {
+	if pl == nil {
+		return StoreOK
+	}
+	if pl.roll(pl.cfg.StoreFailRate, siteStoreFail, tier, uint64(op)) {
+		return StoreTransient
+	}
+	if pl.roll(pl.cfg.StoreSlowRate, siteStoreSlow, tier, uint64(op)) {
+		return StoreSlow
+	}
+	return StoreOK
+}
+
+// SlowPenalty is the extra latency (ns) of a StoreSlow spike: 1-4x the
+// configured base, deterministic per op.
+func (pl *Plan) SlowPenalty(tier uint64, op int64) int64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.cfg.SlowPenalty * int64(1+pl.hash(siteSlowAmount, tier, uint64(op))%4)
+}
+
+// TierDown reports whether the wrapped tier is past its scheduled outage.
+func (pl *Plan) TierDown(now int64) bool {
+	return pl != nil && pl.cfg.TierDownAfter > 0 && now >= pl.cfg.TierDownAfter
+}
+
+// Straggler reports whether a node is a straggler (stable for the whole run).
+func (pl *Plan) Straggler(node int) bool {
+	if pl == nil {
+		return false
+	}
+	return pl.roll(pl.cfg.StragglerRate, siteStraggler, uint64(node))
+}
+
+// NetEffect reports which network faults hit one transfer.
+type NetEffect struct {
+	Straggler bool
+	Degraded  bool
+	Loss      bool
+}
+
+// Any reports whether any fault applied.
+func (e NetEffect) Any() bool { return e.Straggler || e.Degraded || e.Loss }
+
+// degradeWindow is the granularity of per-link degradation windows: a
+// (src, dst) pair is degraded or healthy per 100ms slice of virtual time.
+const degradeWindow = 100_000_000
+
+// Transfer applies network faults to one point-to-point transfer of
+// duration dur starting at start, keyed by the fabric's transfer ordinal.
+// Straggler endpoints multiply service time, degraded link windows stretch
+// it further, and a transient loss doubles it plus a retransmit timeout.
+func (pl *Plan) Transfer(src, dst int, start, dur, transfer int64) (int64, NetEffect) {
+	var e NetEffect
+	if pl == nil {
+		return dur, e
+	}
+	if pl.Straggler(src) || pl.Straggler(dst) {
+		dur = int64(float64(dur) * pl.cfg.StragglerFactor)
+		e.Straggler = true
+	}
+	if pl.roll(pl.cfg.LinkDegradeRate, siteLinkDegrade, uint64(src), uint64(dst), uint64(start/degradeWindow)) {
+		dur = int64(float64(dur) * pl.cfg.DegradeFactor)
+		e.Degraded = true
+	}
+	if pl.roll(pl.cfg.NetLossRate, siteNetLoss, uint64(transfer)) {
+		dur = 2*dur + pl.cfg.RetransmitPenalty
+		e.Loss = true
+	}
+	return dur, e
+}
+
+// AggregatorDeath returns the pipeline round at whose start the partition's
+// aggregator is declared dead, or -1 for no death. Deaths land in
+// [1, rounds) so at least one round runs under the original aggregator and
+// there is always a predecessor round eligible for replay.
+func (pl *Plan) AggregatorDeath(part, rounds int) int {
+	if pl == nil || rounds < 2 {
+		return -1
+	}
+	if !pl.roll(pl.cfg.AggrDeathRate, siteAggrDeath, uint64(part)) {
+		return -1
+	}
+	return 1 + int(pl.hash(siteDeathRound, uint64(part))%uint64(rounds-1))
+}
+
+// TakeCorruption reports whether the flush of (part, round) suffers a bit
+// flip, returning the deterministic byte index in [0, bytes) to damage.
+// Each (part, round) key is consumed at most once, so a failover replay of
+// the round rewrites clean bytes instead of re-flipping them. Proc context
+// only: the engine's serialization is the lock.
+func (pl *Plan) TakeCorruption(part, round int, bytes int64) (int64, bool) {
+	if pl == nil || bytes <= 0 || pl.cfg.CorruptRate <= 0 {
+		return 0, false
+	}
+	key := pl.hash(siteCorrupt, uint64(part), uint64(round))
+	if pl.taken[key] {
+		return 0, false
+	}
+	if float64(key) >= pl.cfg.CorruptRate*float64(math.MaxUint64) {
+		return 0, false
+	}
+	pl.taken[key] = true
+	return int64(pl.hash(siteCorruptOff, uint64(part), uint64(round)) % uint64(bytes)), true
+}
+
+// TierID names a storage tier for per-tier fault keying.
+func TierID(name string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	return h
+}
+
+// RetryPolicy bounds the retry loop for transient store failures. Backoff
+// is charged as virtual-time Hold, so it is deterministic and shows up in
+// traces. The zero value means "use defaults" (4 attempts, 200µs base,
+// 2x growth, 10ms cap, 100ms total budget).
+type RetryPolicy struct {
+	MaxAttempts int     // retries after the first try
+	Base        int64   // first backoff, ns
+	Factor      float64 // growth per attempt
+	Cap         int64   // per-backoff cap, ns
+	Budget      int64   // total backoff budget, ns
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+func (rp RetryPolicy) WithDefaults() RetryPolicy {
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.Base == 0 {
+		rp.Base = 200_000 // 200µs
+	}
+	if rp.Factor == 0 {
+		rp.Factor = 2
+	}
+	if rp.Cap == 0 {
+		rp.Cap = 10_000_000 // 10ms
+	}
+	if rp.Budget == 0 {
+		rp.Budget = 100_000_000 // 100ms
+	}
+	return rp
+}
+
+// Backoff is the deterministic virtual-time backoff before retry number
+// attempt (0-based): Base * Factor^attempt, capped at Cap.
+func (rp RetryPolicy) Backoff(attempt int) int64 {
+	d := float64(rp.Base) * math.Pow(rp.Factor, float64(attempt))
+	if d >= float64(rp.Cap) {
+		return rp.Cap
+	}
+	return int64(d)
+}
+
+// Recovery selects which self-healing mechanisms are armed. A nil *Recovery
+// means faults are injected but nothing recovers (losses are counted, dead
+// aggregators stay dead).
+type Recovery struct {
+	Retry         RetryPolicy            // default policy for transient store errors
+	PerTier       map[string]RetryPolicy // per-tier overrides, keyed by System.Name()
+	Failover      bool                   // re-elect + replay on aggregator death
+	Degraded      bool                   // fall back to the backing tier on ErrTierDown
+	Repair        bool                   // targeted re-read/re-write of corrupt extents
+	DetectLatency int64                  // failure-detection cost charged on failover, ns (default 250µs)
+}
+
+// DefaultRecovery arms everything with default tuning.
+func DefaultRecovery() *Recovery {
+	return &Recovery{Failover: true, Degraded: true, Repair: true}
+}
+
+// PolicyFor resolves the retry policy for a tier, falling back to the
+// default policy. Safe on nil (returns the all-defaults policy).
+func (r *Recovery) PolicyFor(tier string) RetryPolicy {
+	if r != nil {
+		if p, ok := r.PerTier[tier]; ok {
+			return p.WithDefaults()
+		}
+		return r.Retry.WithDefaults()
+	}
+	return RetryPolicy{}.WithDefaults()
+}
+
+// DetectCost is the virtual time charged to detect an aggregator failure.
+func (r *Recovery) DetectCost() int64 {
+	if r != nil && r.DetectLatency > 0 {
+		return r.DetectLatency
+	}
+	return 250_000 // 250µs
+}

@@ -141,6 +141,10 @@ type File struct {
 	arrBox     any                      // &arrScratch boxed once: no per-round interface alloc
 	horizonFn  func(contribs []any) any // per-handle combiner, built once in Open
 	extScratch []storage.Extent         // reused per-round batched store extents
+
+	// degraded, once set, replaces sys for round I/O: the fallback tier the
+	// handle switches to when a fault plan takes the primary down (recover.go).
+	degraded storage.System
 }
 
 // Open creates (on rank 0) and opens a file collectively.

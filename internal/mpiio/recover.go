@@ -1,0 +1,80 @@
+package mpiio
+
+import (
+	"errors"
+
+	"tapioca/internal/fault"
+	"tapioca/internal/storage"
+)
+
+// This file gives the MPI-IO baseline the same storage-fault hygiene a real
+// ROMIO stack has: bounded retry with virtual-time backoff on transient
+// errors and a fall-back to the tier behind a dead burst buffer. Only the
+// coalesced round flushes and round reads go through the guarded path — the
+// sieving read-modify-write stays on the plain interface, where the modeled
+// client library absorbs transients internally.
+
+// ioSys is the tier the handle's round I/O currently targets: the opened
+// system, or the degraded fallback once the primary tier went down.
+func (fh *File) ioSys() storage.System {
+	if fh.degraded != nil {
+		return fh.degraded
+	}
+	return fh.sys
+}
+
+// guarded issues one blocking round write (or read) with the recovery loop.
+// On a system without a fault face this is exactly the original blocking
+// call; with one, transients retry under the default policy, a tier outage
+// degrades when a fallback tier exists, and an exhausted budget hands the op
+// back to the self-healing plain interface so the collective still completes.
+func (fh *File) guarded(read bool, segs []storage.Seg) {
+	p := fh.c.Proc()
+	node := fh.c.Node()
+	plain := func(sys storage.System) {
+		if read {
+			sys.Read(p, node, fh.f, segs)
+		} else {
+			sys.Write(p, node, fh.f, segs)
+		}
+	}
+	pol := fault.RetryPolicy{}.WithDefaults()
+	for attempt, spent := 0, int64(0); ; {
+		sys := fh.ioSys()
+		fb := storage.FallibleOf(sys)
+		if fb == nil {
+			plain(sys)
+			return
+		}
+		var err error
+		if read {
+			_, err = fb.ReadTry(p, node, fh.f, segs)
+		} else {
+			_, err = fb.WriteTry(p, node, fh.f, segs)
+		}
+		if err == nil {
+			return
+		}
+		reg := p.Recorder().Registry()
+		if errors.Is(err, fault.ErrTierDown) {
+			if d := storage.DegradedSystemOf(sys); d != nil {
+				fh.degraded = d
+				reg.Add(fault.MetricDegradedRounds, 1)
+				continue
+			}
+			plain(sys) // no fallback tier; the plain path completes the op
+			return
+		}
+		if attempt < pol.MaxAttempts && spent < pol.Budget {
+			d := pol.Backoff(attempt)
+			attempt++
+			spent += d
+			p.Hold(d)
+			reg.Add(fault.MetricRetries, 1)
+			reg.Add(fault.MetricBackoffNs, d)
+			continue
+		}
+		plain(sys) // budget exhausted: absorb internally, keep the collective alive
+		return
+	}
+}

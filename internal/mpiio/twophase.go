@@ -439,14 +439,14 @@ func (fh *File) flush(rd roundData) {
 	lo, hi := storage.SpanAll(rd.segs)
 	if rd.bytes >= hi-lo {
 		// Fully dense: one contiguous write.
-		fh.sys.Write(p, node, fh.f, []storage.Seg{storage.Contig(lo, rd.bytes)})
+		fh.guarded(false, []storage.Seg{storage.Contig(lo, rd.bytes)})
 		return
 	}
 	if !fh.hints.DisableSieving {
 		fh.sys.WriteSieved(p, node, fh.f, rd.segs)
 		return
 	}
-	fh.sys.Write(p, node, fh.f, rd.segs)
+	fh.guarded(false, rd.segs)
 }
 
 // readRound: aggregators read their round span, then scatter pieces back to
@@ -462,7 +462,7 @@ func (fh *File) readRound(plan *schedule, round int, pieces []sendPiece, pl *dat
 		rd := plan.aggRounds[fh.myAgg][round]
 		if rd.bytes > 0 {
 			lo, hi := storage.SpanAll(rd.segs)
-			fh.sys.Read(p, c.Node(), fh.f, []storage.Seg{storage.Contig(lo, hi-lo)})
+			fh.guarded(true, []storage.Seg{storage.Contig(lo, hi-lo)})
 		}
 	}
 	// Share each aggregator's data-ready time.

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tapioca/internal/fault"
 	"tapioca/internal/obs"
 	"tapioca/internal/sim"
 	"tapioca/internal/topology"
@@ -104,6 +105,11 @@ type Fabric struct {
 	distOnce sync.Once
 	dist     *topology.DistanceCache
 
+	// faults is the optional deterministic fault plan: straggler nodes,
+	// degraded link windows and transient losses stretch transfer durations
+	// before booking. nil when fault injection is off.
+	faults *fault.Plan
+
 	transfers  int64
 	totalBytes int64
 }
@@ -147,6 +153,10 @@ func (f *Fabric) Topology() topology.Topology { return f.topo }
 
 // SetRecorder attaches a flight recorder. Call before the first transfer.
 func (f *Fabric) SetRecorder(r *obs.Recorder) { f.rec = r }
+
+// SetFaults attaches a deterministic fault plan. Call before the first
+// transfer; nil disables injection.
+func (f *Fabric) SetFaults(pl *fault.Plan) { f.faults = pl }
 
 // Distances returns the machine-wide memoized distance cache over the
 // fabric's topology. Every rank, session and cost model on the machine
@@ -310,6 +320,21 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 	// starting at the earliest instant every stage is simultaneously free
 	// (gap-filling, so staggered flows pipeline through shared stages).
 	dur := sim.TransferTime(bytes, bottleneck)
+	if f.faults != nil {
+		var eff fault.NetEffect
+		if dur, eff = f.faults.Transfer(src, dst, start, dur, f.transfers); eff.Any() {
+			reg := f.rec.Registry()
+			if eff.Straggler {
+				reg.Add(fault.MetricStragglerHits, 1)
+			}
+			if eff.Degraded {
+				reg.Add(fault.MetricDegradedLinks, 1)
+			}
+			if eff.Loss {
+				reg.Add(fault.MetricNetRetransmits, 1)
+			}
+		}
+	}
 	start, end := sim.ReserveTogether(start, dur, bytes, resources)
 	// Only park the scratch once ReserveTogether is done with the list: an
 	// earlier reset would let a reentrant Reserve overwrite live entries.

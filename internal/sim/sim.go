@@ -108,6 +108,7 @@ type Proc struct {
 
 	state      procState
 	parkReason string
+	phase      string
 	aborted    bool
 
 	resume chan struct{}
@@ -148,6 +149,16 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Recorder returns the engine's flight recorder (nil when observability is
 // off — obs methods are nil-receiver-safe, so callers need no guard).
 func (p *Proc) Recorder() *obs.Recorder { return p.eng.rec }
+
+// SetPhaseLabel names the proc's current pipeline phase for diagnostics:
+// when the simulation deadlocks, the error lists each parked proc's phase
+// alongside its park reason, turning "32 procs parked" into an actionable
+// report. Pass "" to clear. Callers should only set labels when diagnostics
+// are wanted (e.g. a recorder is attached); the fast path pays nothing.
+func (p *Proc) SetPhaseLabel(label string) { p.phase = label }
+
+// PhaseLabel returns the current phase label ("" when unset).
+func (p *Proc) PhaseLabel() string { return p.phase }
 
 // SetTraceID assigns the proc's trace track — (pid, tid) in the Chrome
 // trace's process/thread convention (compute node id, world rank) — and
@@ -196,6 +207,28 @@ type Engine struct {
 	// state: procs skip all instrumentation, and the engine's hot paths carry
 	// no recorder checks at all.
 	rec *obs.Recorder
+
+	// budget, when > 0, is the virtual-time watchdog: dispatching any entry
+	// past this time aborts the run with a *BudgetError instead of letting a
+	// livelocked simulation spin forever.
+	budget int64
+}
+
+// SetBudget arms the virtual-time watchdog: the run terminates with a
+// *BudgetError as soon as the clock would pass limit (ns). Zero disables.
+// Truly stuck simulations already surface as deadlock errors; the budget
+// catches livelock and runaway retry loops, which deadlock detection cannot.
+func (e *Engine) SetBudget(limit int64) { e.budget = limit }
+
+// BudgetError is the terminal error of a run that exceeded its virtual-time
+// budget (see SetBudget). Match with errors.As.
+type BudgetError struct {
+	Limit int64 // the configured budget, ns
+	At    int64 // the virtual time that breached it, ns
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: virtual-time budget exceeded: t=%d past limit %d", e.At, e.Limit)
 }
 
 // SetRecorder attaches a flight recorder to the engine. Call before Run;
@@ -318,6 +351,13 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 			e.wake <- struct{}{}
 			return false
 		}
+		if e.budget > 0 && next.now > e.budget {
+			if e.err == nil {
+				e.err = &BudgetError{Limit: e.budget, At: next.now}
+			}
+			e.wake <- struct{}{}
+			return false
+		}
 		if next.now > e.clock {
 			e.clock = next.now
 		}
@@ -434,6 +474,9 @@ func (e *Engine) deadlockError() error {
 			reason = "(no reason)"
 		}
 		msg += fmt.Sprintf("\n  proc %d (%s) at t=%d: %s", p.id, p.name, p.now, reason)
+		if p.phase != "" {
+			msg += fmt.Sprintf(" [phase: %s]", p.phase)
+		}
 	}
 	if rest := stuck - listed; rest > 0 {
 		msg += fmt.Sprintf("\n  ... and %d more stuck procs", rest)
@@ -480,7 +523,9 @@ func (p *Proc) handoff() {
 // Otherwise the proc enqueues itself and resumes its successor directly.
 func (p *Proc) reschedule() {
 	e := p.eng
-	if top := e.peekNext(); top == nil || procLess(p, top) {
+	// A budget breach must not take the keep-running shortcut: the slow path
+	// funnels it through dispatch, where the watchdog adjudicates.
+	if top := e.peekNext(); (top == nil || procLess(p, top)) && (e.budget == 0 || p.now <= e.budget) {
 		if p.now > e.clock {
 			e.clock = p.now
 		}

@@ -100,6 +100,10 @@ func (bb *BurstBuffer) Flush(p *sim.Proc) int64 {
 	return last
 }
 
+// Backing returns the file system behind the buffer tier — the degraded-
+// mode target when the buffer tier is down.
+func (bb *BurstBuffer) Backing() System { return bb.backing }
+
 // StagedBytes returns the bytes ingested by the buffer tier.
 func (bb *BurstBuffer) StagedBytes() int64 { return bb.staged }
 

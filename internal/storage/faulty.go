@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"tapioca/internal/fault"
+	"tapioca/internal/sim"
+)
+
+// Fallible is the error-surfacing face of a fault-injected storage system.
+// The base System interface has no error returns — the happy-path layers
+// stay oblivious — so recovery-aware callers (core, mpiio) probe for this
+// interface with FallibleOf and drive their retry/degrade loops through the
+// Try variants. Each Try op either books the I/O and returns its completion
+// (nil error), or charges the failure-detection latency and returns
+// fault.ErrTransient (retryable) or fault.ErrTierDown (degrade or lose).
+type Fallible interface {
+	System
+	WriteAsyncTry(p *sim.Proc, node int, f *File, segs []Seg) (*sim.Event, error)
+	ReadAsyncTry(p *sim.Proc, node int, f *File, segs []Seg) (*sim.Event, error)
+	WriteTry(p *sim.Proc, node int, f *File, segs []Seg) (int64, error)
+	ReadTry(p *sim.Proc, node int, f *File, segs []Seg) (int64, error)
+}
+
+// FallibleOf extracts the Fallible face of a system, or nil.
+func FallibleOf(sys System) Fallible {
+	if fb, ok := sys.(Fallible); ok {
+		return fb
+	}
+	return nil
+}
+
+// transientLatency is the virtual cost of one failed store op: the timeout
+// plus error-path software cost the client pays before seeing the failure.
+const transientLatency = 500_000 // 500µs
+
+// Faulty injects a deterministic fault plan beneath any storage system:
+// transient op failures, latency spikes, and a scheduled permanent tier
+// outage. Through the plain System interface the wrapper is self-healing
+// (transients cost latency but the op proceeds, so fault-oblivious callers
+// stay correct); through the Fallible interface the errors surface and the
+// caller owns retry, backoff and degraded-mode policy.
+//
+// All decisions are consumed in proc context — the engine's serialization
+// makes the op counter deterministic, serial or parallel grid runs alike.
+type Faulty struct {
+	backing System
+	plan    *fault.Plan
+	tierID  uint64
+	ops     int64
+	down    bool // latched tier outage (metric emitted once)
+}
+
+// NewFaulty wraps backing under the plan. A nil plan injects nothing.
+func NewFaulty(backing System, plan *fault.Plan) *Faulty {
+	return &Faulty{backing: backing, plan: plan, tierID: fault.TierID(backing.Name())}
+}
+
+// Unwrap returns the wrapped system (consumed by the tuning-hook
+// extractors, which see through fault wrappers).
+func (fy *Faulty) Unwrap() System { return fy.backing }
+
+// DegradedSystemOf returns the tier a writer should fall back to when sys
+// reports ErrTierDown: the backing store beneath a burst-buffer tier,
+// seen through any fault wrapper. nil when there is no fallback tier.
+func DegradedSystemOf(sys System) System {
+	switch s := sys.(type) {
+	case *Faulty:
+		return DegradedSystemOf(s.backing)
+	case *BurstBuffer:
+		return s.Backing()
+	}
+	return nil
+}
+
+func (fy *Faulty) Name() string                              { return fy.backing.Name() }
+func (fy *Faulty) Create(name string, opt FileOptions) *File { return fy.backing.Create(name, opt) }
+func (fy *Faulty) Lookup(name string) *File                  { return fy.backing.Lookup(name) }
+func (fy *Faulty) OptimalUnit(f *File) int64                 { return fy.backing.OptimalUnit(f) }
+
+// TierIOCost forwards the cost-model tier hook; without one beneath, the
+// generic topology formula applies (ok=false).
+func (fy *Faulty) TierIOCost(node int, bytes int64) (float64, bool) {
+	if t, ok := fy.backing.(interface {
+		TierIOCost(node int, bytes int64) (float64, bool)
+	}); ok {
+		return t.TierIOCost(node, bytes)
+	}
+	return 0, false
+}
+
+// decide consumes one op decision: nil (after any latency spike),
+// ErrTransient, or ErrTierDown.
+func (fy *Faulty) decide(p *sim.Proc) error {
+	if fy.plan.TierDown(p.Now()) {
+		if !fy.down {
+			fy.down = true
+			p.Recorder().Registry().Add(fault.MetricTierDown, 1)
+		}
+		return fault.ErrTierDown
+	}
+	op := fy.ops
+	fy.ops++
+	switch fy.plan.Store(fy.tierID, op) {
+	case fault.StoreTransient:
+		p.Hold(transientLatency)
+		p.Recorder().Registry().Add(fault.MetricStoreTransients, 1)
+		return fault.ErrTransient
+	case fault.StoreSlow:
+		p.Hold(fy.plan.SlowPenalty(fy.tierID, op))
+		p.Recorder().Registry().Add(fault.MetricSlowSpikes, 1)
+	}
+	return nil
+}
+
+// absorb runs the decision loop for the plain (no-error) interface: the
+// modeled client library retries transients internally until one sticks, so
+// fault-oblivious callers see latency, never failure. A tier outage cannot
+// be absorbed; the op falls through to the backing tier's fallback if one
+// exists, else proceeds against the (nominally down) tier so the oblivious
+// caller still completes — recovery-aware callers use the Try variants.
+func (fy *Faulty) absorb(p *sim.Proc) System {
+	for tries := 0; tries < 64; tries++ {
+		switch err := fy.decide(p); err {
+		case nil:
+			return fy.backing
+		case fault.ErrTierDown:
+			if d := DegradedSystemOf(fy.backing); d != nil {
+				return d
+			}
+			return fy.backing
+		}
+	}
+	// Pathological schedule (rate ~1): give up absorbing, let the op land.
+	return fy.backing
+}
+
+func (fy *Faulty) Write(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	return fy.absorb(p).Write(p, node, f, segs)
+}
+
+func (fy *Faulty) WriteAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	return fy.absorb(p).WriteAsync(p, node, f, segs)
+}
+
+func (fy *Faulty) WriteSieved(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	return fy.absorb(p).WriteSieved(p, node, f, segs)
+}
+
+func (fy *Faulty) Read(p *sim.Proc, node int, f *File, segs []Seg) int64 {
+	return fy.absorb(p).Read(p, node, f, segs)
+}
+
+func (fy *Faulty) ReadAsync(p *sim.Proc, node int, f *File, segs []Seg) *sim.Event {
+	return fy.absorb(p).ReadAsync(p, node, f, segs)
+}
+
+func (fy *Faulty) WriteAsyncTry(p *sim.Proc, node int, f *File, segs []Seg) (*sim.Event, error) {
+	if err := fy.decide(p); err != nil {
+		return nil, err
+	}
+	return fy.backing.WriteAsync(p, node, f, segs), nil
+}
+
+func (fy *Faulty) ReadAsyncTry(p *sim.Proc, node int, f *File, segs []Seg) (*sim.Event, error) {
+	if err := fy.decide(p); err != nil {
+		return nil, err
+	}
+	return fy.backing.ReadAsync(p, node, f, segs), nil
+}
+
+func (fy *Faulty) WriteTry(p *sim.Proc, node int, f *File, segs []Seg) (int64, error) {
+	if err := fy.decide(p); err != nil {
+		return 0, err
+	}
+	return fy.backing.Write(p, node, f, segs), nil
+}
+
+func (fy *Faulty) ReadTry(p *sim.Proc, node int, f *File, segs []Seg) (int64, error) {
+	if err := fy.decide(p); err != nil {
+		return 0, err
+	}
+	return fy.backing.Read(p, node, f, segs), nil
+}

@@ -77,6 +77,13 @@ type Options struct {
 	// run a short simulated probe and the final pick minimizes the
 	// probe-corrected prediction. Requires Platform.Probe.
 	Probes int
+	// Degraded tunes for the degraded-mode configuration: the platform's
+	// burst-buffer tier is assumed down and the search prices candidates
+	// against the fallback tier behind it (storage.DegradedSystemOf). The
+	// recovery machinery surfaces a tier outage to the caller, who re-tunes
+	// with this set to pick the direct-to-PFS configuration. No-op when the
+	// platform has no fallback tier.
+	Degraded bool
 }
 
 // Candidate is one evaluated configuration.
@@ -121,6 +128,11 @@ const probeRounds = 3
 func Autotune(p Platform, w workload.Pattern, opt Options) Result {
 	if p.RanksPerNode <= 0 {
 		p.RanksPerNode = 1
+	}
+	if opt.Degraded {
+		if d := storage.DegradedSystemOf(p.Sys); d != nil {
+			p.Sys = d
+		}
 	}
 	pr := newPredictor(p, w)
 	advisor := storage.StripeAdvisorOf(p.Sys)

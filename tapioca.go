@@ -66,6 +66,10 @@ func Strided(off, length, stride, count int64) Seg {
 // FileOptions carries file-creation tuning (Lustre striping).
 type FileOptions = storage.FileOptions
 
+// BurstBufferConfig calibrates the burst-buffer staging tier
+// (WithBurstBuffer). The zero value selects the defaults.
+type BurstBufferConfig = storage.BurstBufferConfig
+
 // Store is a pluggable backing byte store for a simulated file — the data
 // plane's durable end (see File.SetStore). NewMemStore and NewFileStore
 // provide the two implementations.
@@ -454,6 +458,15 @@ func WithProbes(n int) AutotuneOption {
 // WithCodecs(nil, LZCodec).
 func WithCodecs(codecs ...Codec) AutotuneOption {
 	return func(o *tune.Options) { o.Codecs = codecs }
+}
+
+// WithDegraded tunes for the degraded-mode configuration: the machine's
+// burst-buffer tier is assumed down, and candidates are priced against the
+// fallback tier behind it (direct-to-PFS). Use after the recovery machinery
+// reports a tier outage to pick the configuration the degraded writes should
+// run with. No-op on a machine without a buffer tier.
+func WithDegraded() AutotuneOption {
+	return func(o *tune.Options) { o.Degraded = true }
 }
 
 // Autotune picks a TAPIOCA configuration, file-creation options and
