@@ -53,10 +53,15 @@ type jsonResult struct {
 	Notes          []string  `json:"notes,omitempty"`
 	ElapsedSeconds float64   `json:"elapsed_seconds"`
 	Workers        int       `json:"workers"`
-	// Transfers counts the simulated fabric messages the figure's
-	// measurement cells booked — the quantity the cached-routing and
-	// request-coalescing work drives down per simulated byte.
+	// Transfers counts every simulated transfer the figure's measurement
+	// cells booked (including intra-node ones) — the quantity the
+	// cached-routing and request-coalescing work drives down per simulated
+	// byte.
 	Transfers int64 `json:"transfers"`
+	// FabricMessages counts only the inter-node messages among those
+	// transfers — the traffic that crosses the fabric, which intra-node
+	// pre-aggregation collapses ppn-fold (see abl-intranode).
+	FabricMessages int64 `json:"fabric_messages"`
 	// PeakHeapBytes is the maximum live heap observed while the figure ran
 	// (sampled), the footprint bound for paper-scale runs.
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
@@ -280,6 +285,7 @@ func run() int {
 	}
 	for _, s := range specs {
 		expt.ResetTransferCount()
+		expt.ResetFabricMessageCount()
 		expt.ResetPeakHeap()
 		expt.ObserveFigure(s.ID)
 		start := time.Now()
@@ -287,9 +293,10 @@ func run() int {
 		elapsed := time.Since(start).Seconds()
 		peak := expt.PeakHeapBytes()
 		transfers := expt.TransferCount()
+		fabricMsgs := expt.FabricMessageCount()
 		fmt.Print(expt.Render(res))
-		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, peak heap %.0f MiB)\n\n",
-			elapsed, expt.Parallelism(), transfers, mb(peak))
+		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, %d fabric messages, peak heap %.0f MiB)\n\n",
+			elapsed, expt.Parallelism(), transfers, fabricMsgs, mb(peak))
 		if *phases {
 			if tbl := expt.PhaseTable(s.ID); tbl != "" {
 				fmt.Println(tbl)
@@ -316,6 +323,7 @@ func run() int {
 				ElapsedSeconds: elapsed,
 				Workers:        expt.Parallelism(),
 				Transfers:      transfers,
+				FabricMessages: fabricMsgs,
 				PeakHeapBytes:  peak,
 				Verified:       verified,
 			}

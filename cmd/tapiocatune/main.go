@@ -63,6 +63,10 @@ func main() {
 		}
 		return tapioca.Theta(*nodes, mo...)
 	}
+	if *nodes < 1 || *rpn < 1 {
+		fmt.Fprintf(os.Stderr, "tapiocatune: -nodes %d and -rpn %d must both be positive\n", *nodes, *rpn)
+		os.Exit(2)
+	}
 	m := build()
 	ranks := *nodes * *rpn
 
@@ -87,12 +91,19 @@ func main() {
 	if *degraded {
 		opts = append(opts, tapioca.WithDegraded())
 	}
-	cfg, fopt, hints := tapioca.Autotune(m, w, opts...)
+	// TryAutotune plumbs -rpn through to the tuner's ranks-per-node density
+	// (tune.Platform.RanksPerNode) and reports an infeasible rank/node/rpn
+	// combination as an error instead of a panic.
+	cfg, fopt, hints, err := tapioca.TryAutotune(m, w, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	fmt.Printf("Autotuned %s on %s (%d ranks, %.2f MB/rank)\n\n",
-		w.Name, m.Name(), ranks, float64(w.TotalBytes())/float64(ranks)/(1<<20))
-	fmt.Printf("  Config       Aggregators=%d BufferSize=%dMB Placement=%s SingleBuffer=%v\n",
-		cfg.Aggregators, cfg.BufferSize>>20, cfg.Placement.Name(), cfg.SingleBuffer)
+	fmt.Printf("Autotuned %s on %s (%d ranks, %d/node, %.2f MB/rank)\n\n",
+		w.Name, m.Name(), ranks, *rpn, float64(w.TotalBytes())/float64(ranks)/(1<<20))
+	fmt.Printf("  Config       Aggregators=%d BufferSize=%dMB Placement=%s SingleBuffer=%v IntraNodeStaging=%v\n",
+		cfg.Aggregators, cfg.BufferSize>>20, cfg.Placement.Name(), cfg.SingleBuffer, cfg.IntraNodeStaging)
 	fmt.Printf("  FileOptions  StripeCount=%d StripeSize=%dMB\n",
 		fopt.StripeCount, fopt.StripeSize>>20)
 	fmt.Printf("  Hints        CBNodes=%d CBBufferSize=%dMB Strategy=%s AlignDomains=%v CyclicDomains=%v\n",

@@ -77,6 +77,17 @@ type Config struct {
 	// SingleBuffer disables double-buffering (ablation): the aggregator
 	// blocks on each flush before the next round's fence.
 	SingleBuffer bool
+	// IntraNodeStaging enables intra-node pre-aggregation on the write
+	// pipeline: ranks co-located on a node deposit their round payloads into
+	// the node leader's staging buffer (a shared-memory copy at memory
+	// bandwidth — never a fabric message), and the leader issues a single
+	// coalesced inter-node RMA per (node, aggregator, round) instead of one
+	// put per rank. Cuts fabric message count ~ranks-per-node-fold when
+	// aggregators are remote; a node already hosting its aggregator, and any
+	// node with a single partition member (ranks-per-node = 1), takes the
+	// flat path unchanged — staging there would be a wasted copy. Default
+	// off: the flat path is byte-identical with the knob down.
+	IntraNodeStaging bool
 	// ElectionOverhead is the local cost-model computation time charged per
 	// rank during Init, in nanoseconds. Zero selects the 50 µs default;
 	// ElectionDisabled (or any negative value) charges nothing.
@@ -157,6 +168,10 @@ type Writer struct {
 	// payload buffers. Phantom sessions (Init) leave it nil and move only
 	// virtual byte counts.
 	pl *dataplane.Plane
+	// stage is the rank's intra-node staging schedule: non-nil only when
+	// Config.IntraNodeStaging is set and this rank's node group actually
+	// coalesces (see staging.go). The flat pipeline never looks at it.
+	stage *stagePlan
 	// Codec scratch, reused across rounds. Only the pipeline's single
 	// in-flight store job touches these (jobs are joined before the next
 	// launch), so plain fields are race-free.
@@ -329,6 +344,9 @@ func (w *Writer) InitData(declared [][]storage.Seg, data [][]byte) error {
 
 	// Two pipelined buffers, exposed as one window of 2×BufferSize.
 	w.win = w.pc.WinCreate(2 * w.cfg.BufferSize)
+	if w.cfg.IntraNodeStaging {
+		w.stage = w.setupStaging()
+	}
 	return modeErr
 }
 

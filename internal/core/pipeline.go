@@ -185,10 +185,40 @@ func (w *Writer) runWrite() error {
 		// injection hold is deferred into the fence (FenceAfter) — one
 		// context switch per rank per round instead of two.
 		var deferredFree int64
+		var sr *stageRound
+		if w.stage != nil && w.stage.rounds[r].staged {
+			sr = &w.stage.rounds[r]
+		}
+		ownStart := idx
 		for idx < len(myPieces) && myPieces[idx].round == r {
 			pc := myPieces[idx]
+			if sr != nil && w.stage.leader {
+				// Leader: own pieces ride in the coalesced put below.
+				w.stats.BytesPut += pc.bytes
+				idx++
+				continue
+			}
 			if deferredFree > 0 {
 				p.HoldUntil(deferredFree) // yield before booking another put
+			}
+			if sr != nil {
+				// Staged member: deposit into the leader's staging buffer —
+				// a shared-memory copy at memory bandwidth, not a fabric
+				// message. The leader's coalesced put carries it onward.
+				var fill func(dst []byte)
+				if w.pl != nil {
+					lo, hi := storage.SpanAll(pp.flush[r].segs)
+					round := r
+					fill = func(dst []byte) {
+						if n := w.pl.Gather(dst, lo, hi); n != int64(len(dst)) && dataErr == nil {
+							dataErr = fmt.Errorf("core: round %d staged gather produced %d bytes, plan expects %d", round, n, len(dst))
+						}
+					}
+				}
+				deferredFree, _ = w.win.StagePut(w.stage.leaderLocal, bufID*w.cfg.BufferSize+pc.bufOff, pc.bytes, fill)
+				w.stats.BytesPut += pc.bytes
+				idx++
+				continue
 			}
 			if w.pl != nil {
 				lo, hi := storage.SpanAll(pp.flush[r].segs)
@@ -203,6 +233,39 @@ func (w *Writer) runWrite() error {
 			}
 			w.stats.BytesPut += pc.bytes
 			idx++
+		}
+		if sr != nil {
+			// Node rendezvous: members contribute their deposit-completion
+			// times to the shared-memory fence (the leader, with no deposit,
+			// contributes zero), so the leader reads the staged region only
+			// after every deposit has landed — then issues the group's single
+			// coalesced inter-node put for the round.
+			w.stage.nodeComm.FenceLocal(deferredFree)
+			deferredFree = 0
+			if w.stage.leader {
+				var fill func(dst []byte)
+				if w.pl != nil {
+					base := bufID * w.cfg.BufferSize
+					staged := w.win.LocalData()[base+sr.lo : base+sr.hi]
+					lo, hi := storage.SpanAll(pp.flush[r].segs)
+					own := myPieces[ownStart:idx]
+					groupLo := sr.lo
+					round := r
+					fill = func(dst []byte) {
+						// Members' deposits first (the leader's own subranges
+						// hold garbage there), then the leader's bytes over
+						// their slots — dst leaves here fully populated.
+						copy(dst, staged)
+						for _, opc := range own {
+							sub := dst[opc.bufOff-groupLo:][:opc.bytes]
+							if n := w.pl.Gather(sub, lo, hi); n != opc.bytes && dataErr == nil {
+								dataErr = fmt.Errorf("core: round %d leader gather produced %d bytes, plan expects %d", round, n, opc.bytes)
+							}
+						}
+					}
+				}
+				deferredFree = w.win.PutGather(w.aggLocal, bufID*w.cfg.BufferSize+sr.lo, sr.hi-sr.lo, fill)
+			}
 		}
 		if rec != nil {
 			// Aggregation phase: the puts loop plus the deferred injection

@@ -1,0 +1,110 @@
+package core
+
+import "tapioca/internal/mpi"
+
+// Intra-node pre-aggregation (Config.IntraNodeStaging): the write pipeline's
+// node-local staging hop.
+//
+// The plan builder assigns each round's buffer offsets in ascending
+// partition-local-rank order (one contiguous piece per touched member, see
+// buildPartition), and the default block rank→node mapping makes a node's
+// partition members contiguous local ranks — so a node's round contribution
+// occupies one contiguous bufOff range. That invariant is what lets the
+// node's leader cover the whole group with a single coalesced inter-node put:
+// members first deposit their pieces into the leader's window memory at the
+// exact offsets the aggregator's buffer expects (Win.StagePut — a
+// shared-memory copy at memory bandwidth), a node-communicator barrier
+// orders the deposits before the leader reads them, and the leader then
+// issues one PutGather per (node, aggregator, round) carrying the group's
+// contiguous extent batch. Payload bytes therefore take the member → leader
+// → aggregator route with no re-ordering, and the end-to-end CRC contract is
+// unchanged.
+//
+// Groups that cannot win do not stage: a singleton group (ranks-per-node =
+// 1) and the group on the aggregator's own node (its puts are already
+// intra-node) take the flat path — staging there would add a copy and save
+// no fabric message. A round whose group pieces are not contiguous (custom
+// node mappings can interleave local ranks across nodes) also falls back to
+// the flat path, per round.
+
+// stageRound is one rank's role in one round of the staged schedule.
+type stageRound struct {
+	staged bool  // this round coalesces through the node leader
+	lo, hi int64 // the group's contiguous bufOff range (leader's put extent)
+}
+
+// stagePlan is one rank's intra-node staging schedule, computed locally by
+// every group member from the (globally shared) plan, so the per-round
+// staged/flat decision is identical across the group without communication.
+type stagePlan struct {
+	nodeComm    *mpi.Comm // node-scoped sub-communicator within the partition
+	leader      bool
+	leaderLocal int // partition-local rank of my node's leader
+	rounds      []stageRound
+}
+
+// setupStaging builds this rank's staging schedule. Collective over the
+// partition communicator (every member must call it: SplitNode is a
+// collective), returning nil when this rank's node group never stages.
+func (w *Writer) setupStaging() *stagePlan {
+	pc := w.pc
+	// Every partition member splits off its node communicator, staged or
+	// not — the call is collective and the group decision comes after.
+	nodeComm := pc.SplitNode()
+	pp := &w.plan.parts[w.part]
+	myNode := pc.Node()
+	leaderLocal, groupSize := -1, 0
+	for l := 0; l < pc.Size(); l++ {
+		if pc.NodeOfRank(l) == myNode {
+			if leaderLocal < 0 {
+				leaderLocal = l
+			}
+			groupSize++
+		}
+	}
+	if groupSize < 2 || myNode == pc.NodeOfRank(w.aggLocal) {
+		// Singleton group, or the aggregator lives here: the flat path is
+		// already optimal (staging would be a wasted copy / a local put).
+		return nil
+	}
+	st := &stagePlan{
+		nodeComm:    nodeComm,
+		leader:      pc.Rank() == leaderLocal,
+		leaderLocal: leaderLocal,
+		rounds:      make([]stageRound, pp.rounds),
+	}
+	// Scan the group members' piece lists (rounds ascending) with one cursor
+	// each, accumulating per-round extent and byte totals.
+	cursors := make([][]putPiece, 0, groupSize)
+	for l := 0; l < pc.Size(); l++ {
+		if pc.NodeOfRank(l) == myNode {
+			cursors = append(cursors, w.plan.piecesOf(pp.rankLo+l))
+		}
+	}
+	any := false
+	for r := range st.rounds {
+		lo, hi, total := int64(-1), int64(0), int64(0)
+		for i, pieces := range cursors {
+			for len(pieces) > 0 && pieces[0].round == r {
+				pc0 := pieces[0]
+				if lo < 0 || pc0.bufOff < lo {
+					lo = pc0.bufOff
+				}
+				if end := pc0.bufOff + pc0.bytes; end > hi {
+					hi = end
+				}
+				total += pc0.bytes
+				pieces = pieces[1:]
+			}
+			cursors[i] = pieces
+		}
+		if total > 0 && hi-lo == total {
+			st.rounds[r] = stageRound{staged: true, lo: lo, hi: hi}
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return st
+}

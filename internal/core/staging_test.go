@@ -1,0 +1,217 @@
+package core
+
+// Randomized property suite for intra-node pre-aggregation: the same random
+// declared patterns as the data-plane suite, written with real payload bytes
+// through the staged pipeline (member deposits into the node leader's window,
+// one coalesced inter-node put per node group per round), then read back and
+// verified byte-for-byte and by CRC-64 parity against the backing store — on
+// every storage backend. The suite also pins the degenerate cases: one rank
+// per node must make staging a literal no-op, a staged store must land bytes
+// identical to a flat store, and arming a zero-rate fault plan must not
+// perturb the staged schedule.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"tapioca/internal/fault"
+	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
+	"tapioca/internal/storage"
+	"tapioca/internal/workload"
+)
+
+// stagedRun writes decl's data through one full staged (or flat) session on
+// sys/fab, reads it back with a fresh session, verifies the round trip, and
+// returns rank 0's write checksum and the store checksum over rank 0's runs.
+func stagedRun(t *testing.T, sys storage.System, fab *netsim.Fabric, ranks, rpn int,
+	decl [][][]storage.Seg, seed int64, cfg Config, fileName string) (writeCRC, storeCRC uint64) {
+	t.Helper()
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create(fileName, storage.FileOptions{StripeCount: 4, StripeSize: 16 << 10})
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		mine := decl[c.Rank()]
+		data := workload.FillData(mine, uint64(seed))
+
+		w := New(c, sys, f, cfg)
+		if err := w.InitData(mine, data); err != nil {
+			fail("rank %d InitData(write): %v", c.Rank(), err)
+			return
+		}
+		if err := w.WriteAll(); err != nil {
+			fail("rank %d WriteAll: %v", c.Rank(), err)
+			return
+		}
+		crc := w.DataChecksum()
+		c.Barrier()
+
+		rbuf := make([][]byte, len(data))
+		for i := range data {
+			rbuf[i] = make([]byte, len(data[i]))
+		}
+		r := New(c, sys, f, cfg)
+		if err := r.InitData(mine, rbuf); err != nil {
+			fail("rank %d InitData(read): %v", c.Rank(), err)
+			return
+		}
+		if err := r.ReadAll(); err != nil {
+			fail("rank %d ReadAll: %v", c.Rank(), err)
+			return
+		}
+		if err := workload.VerifyData(mine, uint64(seed), rbuf); err != nil {
+			fail("rank %d read-back: %v", c.Rank(), err)
+		}
+		if got := r.DataChecksum(); got != crc {
+			fail("rank %d checksum: wrote %#x, read %#x", c.Rank(), crc, got)
+		}
+		var runs []storage.Seg
+		for _, segs := range mine {
+			storage.Enumerate(segs, 1<<20, func(off, length int64) {
+				runs = append(runs, storage.Contig(off, length))
+			})
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Off < runs[j].Off })
+		scrc, serr := f.StoreChecksum(runs)
+		if serr != nil {
+			fail("rank %d StoreChecksum: %v", c.Rank(), serr)
+		} else if scrc != crc {
+			fail("rank %d store checksum %#x != write checksum %#x", c.Rank(), scrc, crc)
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			writeCRC, storeCRC = crc, scrc
+			mu.Unlock()
+		}
+		c.Barrier()
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeCRC, storeCRC
+}
+
+// TestStagingRoundTrip is the staged acceptance property: with intra-node
+// pre-aggregation on, a multi-rank random strided write followed by a fresh
+// read returns byte-identical data on every backend, with checksum parity
+// between the write session, the read session and the backing store — the
+// extra member → leader → aggregator hop must be invisible to the CRC
+// contract. The single-ranked gpfs backend doubles as the rpn=1 degenerate
+// case: every node group is a singleton, so the staged config must book no
+// intra-node staging copies at all.
+func TestStagingRoundTrip(t *testing.T) {
+	trials := 3
+	if testing.Short() || raceEnabledCore {
+		trials = 1
+	}
+	for _, be := range dataPlaneBackends() {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				seed := int64(1000*trial) + 93
+				rng := rand.New(rand.NewSource(seed))
+				decl := genDeclared(rng, be.ranks, be.ranks*3)
+				sys, fab := be.build()
+				cfg := Config{
+					Aggregators: 4, BufferSize: 8 << 10,
+					SingleBuffer: trial%2 == 1, IntraNodeStaging: true,
+				}
+				stagedRun(t, sys, fab, be.ranks, be.rpn, decl, seed, cfg,
+					fmt.Sprintf("staging-%d", trial))
+				if be.rpn == 1 && fab.LocalTransfers() != 0 {
+					t.Fatalf("rpn=1 staged run booked %d intra-node staging copies, want 0",
+						fab.LocalTransfers())
+				}
+				if t.Failed() {
+					t.Fatalf("trial %d (seed %d) failed", trial, seed)
+				}
+			}
+		})
+	}
+}
+
+// TestStagingStoreBytesMatchFlat writes one pattern twice — flat and staged —
+// into separate files on the same backend and requires the landed store bytes
+// to be checksum-identical: the staging hop may change the message schedule,
+// never the data. The pattern is a fine-grained rank interleave (every
+// aggregation round receives pieces from every partition member), the layout
+// where coalescing engages on every round — so the test also requires the
+// staged run to book strictly fewer fabric messages.
+func TestStagingStoreBytesMatchFlat(t *testing.T) {
+	const seed = 7171
+	be := dataPlaneBackends()[1] // lustre
+	const l, n = 512, 64
+	decl := make([][][]storage.Seg, be.ranks)
+	for r := range decl {
+		decl[r] = [][]storage.Seg{{storage.Strided(int64(r)*l, l, int64(be.ranks)*l, n)}}
+	}
+	base := Config{Aggregators: 4, BufferSize: 8 << 10}
+
+	sysF, fabF := be.build()
+	flatWrite, flatStore := stagedRun(t, sysF, fabF, be.ranks, be.rpn, decl, seed, base, "flat")
+
+	staged := base
+	staged.IntraNodeStaging = true
+	sysS, fabS := be.build()
+	stagedWrite, stagedStore := stagedRun(t, sysS, fabS, be.ranks, be.rpn, decl, seed, staged, "staged")
+
+	if fabS.LocalTransfers() == 0 {
+		t.Fatal("staged run booked no intra-node staging copies — the staged leg never engaged")
+	}
+	if stagedWrite != flatWrite || stagedStore != flatStore {
+		t.Fatalf("staged store diverged from flat: write %#x vs %#x, store %#x vs %#x",
+			stagedWrite, flatWrite, stagedStore, flatStore)
+	}
+	if fabS.FabricMessages() >= fabF.FabricMessages() {
+		t.Fatalf("staged run booked %d fabric messages, flat %d — coalescing saved nothing",
+			fabS.FabricMessages(), fabF.FabricMessages())
+	}
+}
+
+// TestStagingZeroRateFaultsIdentical arms the staged pipeline with a
+// zero-rate fault plan (the schedule exists but never fires) and requires
+// the run to stay byte-identical to the unarmed one: same store checksum and
+// same fabric message count. Fault instrumentation must be free when no
+// fault fires.
+func TestStagingZeroRateFaultsIdentical(t *testing.T) {
+	const seed = 4040
+	be := dataPlaneBackends()[0] // nullfs-backed MemStore
+	rng := rand.New(rand.NewSource(seed))
+	decl := genDeclared(rng, be.ranks, be.ranks*3)
+	cfg := Config{Aggregators: 4, BufferSize: 8 << 10, IntraNodeStaging: true}
+
+	sysA, fabA := be.build()
+	baseWrite, baseStore := stagedRun(t, sysA, fabA, be.ranks, be.rpn, decl, seed, cfg, "unarmed")
+
+	armed := cfg
+	armed.Faults = fault.NewPlan(fault.Config{Seed: 99}) // all rates zero
+	sysB, fabB := be.build()
+	fabB.SetFaults(armed.Faults)
+	armedWrite, armedStore := stagedRun(t, sysB, fabB, be.ranks, be.rpn, decl, seed, armed, "armed")
+
+	if armedWrite != baseWrite || armedStore != baseStore {
+		t.Fatalf("zero-rate fault plan changed the staged bytes: write %#x vs %#x, store %#x vs %#x",
+			armedWrite, baseWrite, armedStore, baseStore)
+	}
+	if fabB.FabricMessages() != fabA.FabricMessages() {
+		t.Fatalf("zero-rate fault plan changed the staged schedule: %d fabric messages vs %d",
+			fabB.FabricMessages(), fabA.FabricMessages())
+	}
+}

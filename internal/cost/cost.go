@@ -58,6 +58,12 @@ func TierOf(sys any) TierCost {
 	return nil
 }
 
+// DefaultLocalBandwidth is the intra-node (shared-memory) bandwidth the
+// model assumes when the caller does not override it — the same 8 GB/s the
+// network simulator uses for its LocalRate default, so predicted staging
+// copies and simulated ones move at one speed.
+const DefaultLocalBandwidth = 8e9
+
 // Model evaluates the paper's cost formulas over one topology.
 type Model struct {
 	topo     topology.Topology
@@ -66,6 +72,7 @@ type Model struct {
 	latency  float64 // seconds per hop
 	fabricBW float64
 	uplinkBW float64
+	localBW  float64 // intra-node memory bandwidth (staging copies)
 	tier     TierCost
 }
 
@@ -89,6 +96,17 @@ func WithTier(t TierCost) Option {
 	return func(m *Model) { m.tier = t }
 }
 
+// WithLocalBandwidth overrides the intra-node memory bandwidth used to price
+// staging copies (defaults to DefaultLocalBandwidth). Pass the fabric's
+// configured LocalRate so the predictor and the simulator agree.
+func WithLocalBandwidth(bw float64) Option {
+	return func(m *Model) {
+		if bw > 0 {
+			m.localBW = bw
+		}
+	}
+}
+
 // NewModel builds a cost model over the topology. Without options it owns a
 // private distance cache.
 func NewModel(topo topology.Topology, opts ...Option) *Model {
@@ -97,6 +115,7 @@ func NewModel(topo topology.Topology, opts ...Option) *Model {
 		latency:  sim.ToSeconds(topo.Latency()),
 		fabricBW: topo.Bandwidth(topology.LevelFabric),
 		uplinkBW: topo.Bandwidth(topology.LevelIOUplink),
+		localBW:  DefaultLocalBandwidth,
 	}
 	for _, o := range opts {
 		o(m)
@@ -185,10 +204,16 @@ func groupByNode(members []Member) []nodeGroup {
 }
 
 // TwoLevelCost prices electing members[candidate] under intra-node
-// pre-aggregation (Kang et al.'s direction): co-located members first merge
-// their data on the candidate's node (distance 0, fabric bandwidth), then
-// each remote node ships one aggregate message, then C2. The candidate must
-// be its node's leader for the price to be meaningful; callers restrict the
+// pre-aggregation (Kang et al.'s direction): every node's co-located members
+// first merge their data into the node leader's staging buffer — a
+// shared-memory copy at the local (memory) bandwidth, zero hops — then each
+// remote node ships one aggregate message over the fabric, then C2. This is
+// the paper's C1 with the per-member fabric terms collapsed to one per node:
+// the merge term moves at localBW, not fabricBW (a memory copy is not fabric
+// traffic), and a node whose leader is the only member merges nothing — with
+// one rank per node every group is a singleton, every merge term vanishes,
+// and TwoLevelCost degenerates to exactly C1. The candidate must be its
+// node's leader for the price to be meaningful; callers restrict the
 // electorate to leaders.
 func (m *Model) TwoLevelCost(members []Member, candidate int, ioBytes int64) float64 {
 	return m.twoLevelCost(members, groupByNode(members), candidate, ioBytes)
@@ -201,16 +226,20 @@ func (m *Model) twoLevelCost(members []Member, groups []nodeGroup, candidate int
 	var c float64
 	for _, g := range groups {
 		if g.node == candNode {
-			// Intra-node pre-aggregation: everyone but the candidate copies
-			// its data across the node's memory at fabric speed, no hops.
-			c += float64(g.bytes-members[candidate].Bytes) / m.fabricBW
+			// The candidate's own node: co-located members copy into the
+			// candidate's buffer across node memory; the candidate's own
+			// bytes never move. No fabric message.
+			c += float64(g.bytes-members[candidate].Bytes) / m.localBW
 			continue
 		}
 		if g.bytes == 0 {
 			// Nodes with no data send nothing: free, like empty members in C1.
 			continue
 		}
-		// One aggregated inter-node message per remote node.
+		// Remote node: members merge into their leader's staging buffer at
+		// memory bandwidth (the leader's bytes are already there), then one
+		// aggregated inter-node message carries the node total.
+		c += float64(g.bytes-members[g.leader].Bytes) / m.localBW
 		d := float64(m.distance(g.node, candNode))
 		c += m.latency*d + float64(g.bytes)/m.fabricBW
 	}

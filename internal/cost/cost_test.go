@@ -128,8 +128,12 @@ func TestTwoLevelCostCollapsesNodes(t *testing.T) {
 		{Node: 1, Bytes: 500},
 		{Node: 1, Bytes: 700},
 	}
-	// Intra: 300 bytes copy. Inter: ONE message for node 1's 1200 bytes.
-	want := 300/bw + (lat + 1200/bw) + m.IOCost(0, 0)
+	// Intra: member 1 merges 300 bytes into the candidate across node
+	// memory. Remote: node 1's non-leader merges 700 bytes into its leader
+	// at memory bandwidth, then ONE fabric message carries the node's 1200
+	// bytes. Staging copies move at the local (memory) bandwidth, never the
+	// fabric rate.
+	want := 300/DefaultLocalBandwidth + 700/DefaultLocalBandwidth + (lat + 1200/bw) + m.IOCost(0, 0)
 	if got := m.TwoLevelCost(members, 0, 0); !almost(got, want) {
 		t.Fatalf("two-level cost = %v, want %v", got, want)
 	}
@@ -138,5 +142,25 @@ func TestTwoLevelCostCollapsesNodes(t *testing.T) {
 	perMember := m.CandidacyCost(members, 0, 0)
 	if got := m.TwoLevelCost(members, 0, 0); got >= perMember {
 		t.Fatalf("two-level (%v) not cheaper than per-member (%v) under message latency", got, perMember)
+	}
+}
+
+// TestTwoLevelCostDegeneratesAtOneRankPerNode pins the rpn=1 contract:
+// with one member per node every node group is a singleton, every staging
+// merge term vanishes (no member has co-located data to copy), and the
+// two-level price collapses to exactly the flat C1+C2 — staging is a no-op,
+// not a wasted copy.
+func TestTwoLevelCostDegeneratesAtOneRankPerNode(t *testing.T) {
+	m, _ := flatModel(8)
+	members := make([]Member, 8)
+	for i := range members {
+		members[i] = Member{Node: i, Bytes: int64(i+1) * 1000}
+	}
+	for cand := range members {
+		flat := m.CandidacyCost(members, cand, 1<<20)
+		two := m.TwoLevelCost(members, cand, 1<<20)
+		if !almost(two, flat) {
+			t.Fatalf("candidate %d: two-level %v != flat %v at one rank per node", cand, two, flat)
+		}
 	}
 }

@@ -5,9 +5,11 @@ import (
 
 	"tapioca/internal/core"
 	"tapioca/internal/cost"
+	"tapioca/internal/fault"
 	"tapioca/internal/mpi"
 	"tapioca/internal/mpiio"
 	"tapioca/internal/netsim"
+	"tapioca/internal/par"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
 	"tapioca/internal/tune"
@@ -347,6 +349,103 @@ func AblationAutotune(full bool) Result {
 			"defaults write a 1-OST file with 1 MB stripes — the Figure 8 pathology the tuner must escape",
 		},
 	}
+}
+
+// AblationIntraNode measures what intra-node pre-aggregation buys: the same
+// Theta collective write at increasing ranks-per-node density, flat (every
+// rank puts to its aggregator over the fabric) versus staged (co-located
+// ranks deposit into a node leader at memory bandwidth and one coalesced put
+// per node-group crosses the fabric per round). The aggregation phase is
+// isolated with a null storage tier, and each cell reports the inter-node
+// fabric message count alongside bandwidth — the claim under test is the
+// ppn-fold message collapse, and the note rows carry the measured ratios.
+//
+// The ablation asserts its own claims: at ppn ≥ 8 staging must cut fabric
+// messages at least 2x, and at ppn = 1 it must change nothing (every node
+// group is a singleton, so the staged schedule degenerates to the flat one).
+//
+// Two fabric regimes per density. On a clean fabric the wormhole model
+// conserves bytes — the aggregator's ejection NIC carries the same payload
+// either way — so staging's deposit hop costs a sliver and flat wins on
+// wall-clock; the message collapse buys nothing *per se*. On a lossy fabric
+// the per-transfer retransmit penalty is a fixed cost per message, so the
+// ppn-fold collapse translates directly into fewer retransmit timeouts —
+// that regime is where coalescing must win wall-clock, and the ablation
+// asserts it does at the highest density (at moderate densities the few
+// coalesced messages make the loss draw noisy: one unlucky 8 MB retransmit
+// can erase the expected win, which is itself informative and stays visible
+// in the rows).
+func AblationIntraNode(full bool) Result {
+	nodes := pick(full, 256, 64)
+	osts := pick(full, 48, 12)
+	aggr := pick(full, 32, 16)
+	size := int64(1 << 20)
+	ppns := []int{1, 2, 4, 8, 16}
+	// Lossy-fabric regime: a small per-transfer drop probability with a
+	// timeout-driven retransmit (RTO-scale, fixed per message — the dominant
+	// real-world cost of a drop, and deliberately larger than any single
+	// transfer's serialization time so the per-message term is what the
+	// regime measures).
+	const lossRate = 0.1
+	const retransmitRTO = 500_000 // 500µs
+	res := Result{
+		ID:     "abl-intranode",
+		Title:  fmt.Sprintf("Intra-node pre-aggregation, IOR write on Theta (%d nodes, ppn sweep)", nodes),
+		XLabel: "ranks/node",
+		Labels: []string{"Flat", "Staged", "Flat/lossy", "Staged/lossy"},
+	}
+	type out struct {
+		gb   float64
+		msgs int64
+	}
+	cells := make([]out, 4*len(ppns))
+	par.Map(len(cells), func(i int) {
+		ppn, staged, lossy := ppns[i/4], i%2 == 1, i%4 >= 2
+		r := thetaRig(nodes, ppn, topology.RouteMinimal, osts)
+		// Isolate the aggregation phase: an infinitely fast storage tier
+		// exposes what the staging hop does to the network phase.
+		r.sys = storage.NewNullFS()
+		if lossy {
+			// Network-plane faults only (no storage/corruption/death classes):
+			// the deterministic plan drops a fixed fraction of transfers, each
+			// paying the retransmit timeout — a per-message cost.
+			r.fab.SetFaults(fault.NewPlan(fault.Config{
+				Seed:              11,
+				NetLossRate:       lossRate,
+				RetransmitPenalty: retransmitRTO,
+			}))
+		}
+		j := ioJob{
+			r:   r,
+			cfg: core.Config{Aggregators: aggr, BufferSize: 8 << 20, IntraNodeStaging: staged},
+			declared: func(rank, ranks int) [][]storage.Seg {
+				return [][]storage.Seg{workload.IORSegs(rank, size)}
+			},
+		}
+		gb := mustIO(j, methodTapioca)
+		cells[i] = out{gb: gb, msgs: r.fab.FabricMessages()}
+	})
+	for i, ppn := range ppns {
+		flat, staged := cells[4*i], cells[4*i+1]
+		lossyFlat, lossyStaged := cells[4*i+2], cells[4*i+3]
+		res.Rows = append(res.Rows, Row{X: float64(ppn),
+			Values: []float64{flat.gb, staged.gb, lossyFlat.gb, lossyStaged.gb}})
+		ratio := float64(flat.msgs) / float64(staged.msgs)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"ppn=%d: fabric messages %d flat vs %d staged (%.1fx); lossy fabric %.1f vs %.1f GB/s (%.2fx)",
+			ppn, flat.msgs, staged.msgs, ratio, lossyFlat.gb, lossyStaged.gb, lossyStaged.gb/lossyFlat.gb))
+		if ppn >= 8 && ratio < 2 {
+			must(fmt.Errorf("abl-intranode: staging cut fabric messages only %.2fx at ppn=%d, claim requires ≥ 2x", ratio, ppn))
+		}
+		if ppn == 1 && flat.msgs != staged.msgs {
+			must(fmt.Errorf("abl-intranode: staging changed the ppn=1 message count (%d flat vs %d staged), must be a no-op", flat.msgs, staged.msgs))
+		}
+		if ppn == ppns[len(ppns)-1] && lossyStaged.gb <= lossyFlat.gb {
+			must(fmt.Errorf("abl-intranode: staged %.1f GB/s did not beat flat %.1f GB/s on the lossy fabric at ppn=%d",
+				lossyStaged.gb, lossyFlat.gb, ppn))
+		}
+	}
+	return res
 }
 
 // AblationContention compares the per-link and endpoint-only network

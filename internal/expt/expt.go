@@ -67,6 +67,7 @@ func All() []Spec {
 		{"abl-declared", "Ablation: declared I/O vs per-call aggregation", AblationDeclared},
 		{"abl-aggrcount", "Ablation: aggregator count on Theta", AblationAggregators},
 		{"abl-autotune", "Ablation: autotuned vs default vs exhaustive sweep", AblationAutotune},
+		{"abl-intranode", "Ablation: intra-node pre-aggregation vs flat puts", AblationIntraNode},
 		{"abl-contention", "Ablation: link vs endpoint contention model", AblationContention},
 	}
 }
@@ -90,6 +91,7 @@ func FullScale() []Spec {
 		{"fig9-full", "Micro-benchmark on Mira at paper scale (1,024 nodes × 16 ranks)", pin(Fig9, "fig9-full")},
 		{"fig10-full", "Micro-benchmark on Theta at paper scale (512 nodes × 16 ranks)", pin(Fig10, "fig10-full")},
 		{"fig13-full", "HACC-IO on Theta at paper scale (1,024 nodes × 16 ranks)", pin(Fig13, "fig13-full")},
+		{"abl-intranode-full", "Intra-node pre-aggregation at paper scale (256 nodes, ppn sweep)", pin(AblationIntraNode, "abl-intranode-full")},
 	}
 }
 
@@ -119,6 +121,20 @@ func TransferCount() int64 { return transferCount.Load() }
 
 // ResetTransferCount zeroes the per-figure transfer counter.
 func ResetTransferCount() { transferCount.Store(0) }
+
+// fabricMsgCount accumulates inter-node fabric messages (transfers whose
+// source and destination nodes differ) booked by measurement cells, so
+// drivers can report how many messages actually crossed fabric links — the
+// quantity intra-node staging collapses ppn-fold. Atomic: grid cells run on
+// the worker pool.
+var fabricMsgCount atomic.Int64
+
+// FabricMessageCount returns the inter-node fabric messages booked by
+// measurement cells since the last ResetFabricMessageCount.
+func FabricMessageCount() int64 { return fabricMsgCount.Load() }
+
+// ResetFabricMessageCount zeroes the per-figure fabric message counter.
+func ResetFabricMessageCount() { fabricMsgCount.Store(0) }
 
 // peakHeap tracks the maximum live heap observed at cell boundaries. The
 // sample is taken inline as each measurement cell completes — while its
@@ -283,6 +299,7 @@ type timer struct {
 func (r *rig) run(body func(c *mpi.Comm, tm *timer)) (float64, error) {
 	defer func() {
 		transferCount.Add(r.fab.Transfers())
+		fabricMsgCount.Add(r.fab.FabricMessages())
 		sampleHeap()
 	}()
 	tm := &timer{}

@@ -166,6 +166,31 @@ func (c *Comm) Barrier() {
 	c.collective("mpi:barrier", nil, c.barrierFn)
 }
 
+// FenceLocal is a node-scoped rendezvous with leader-fence semantics: every
+// rank contributes the virtual time its local work completes (e.g. a
+// shared-memory staging deposit — pass 0 when there is none), and all ranks
+// release together at the latest contribution-or-arrival plus one software
+// overhead. It returns that common release time.
+//
+// Unlike Barrier, this is priced as a shared-memory flag rendezvous, not a
+// tree collective: for communicators produced by SplitNode the members share
+// a coherence domain, so charging ⌈log₂P⌉ rounds of fabric latency would
+// overprice the synchronization ppn-fold. The intra-node staging leader
+// fences on this before reading members' deposits.
+func (c *Comm) FenceLocal(ready int64) int64 {
+	res := c.collective("mpi:fence-local", ready, func(contribs []any, maxT int64) (any, int64) {
+		hi := maxT
+		for _, x := range contribs {
+			if t := x.(int64); t > hi {
+				hi = t
+			}
+		}
+		hi += c.s.w.cfg.Overhead
+		return hi, hi
+	})
+	return res.(int64)
+}
+
 // Bcast broadcasts root's payload to every rank and returns it.
 func (c *Comm) Bcast(root int, bytes int64, payload any) any {
 	var contrib any
@@ -406,4 +431,13 @@ func (c *Comm) Split(color, key int) *Comm {
 // Dup duplicates the communicator (a collective call).
 func (c *Comm) Dup() *Comm {
 	return c.Split(0, c.rank)
+}
+
+// SplitNode splits the communicator into node-scoped sub-communicators:
+// ranks co-located on a node form one, ordered by their rank in c (so rank 0
+// of each node communicator is the node's lowest member — the natural
+// intra-node leader). MPI_Comm_split_type(COMM_TYPE_SHARED) semantics; the
+// intra-node staging plane of two-level aggregation rides on these.
+func (c *Comm) SplitNode() *Comm {
+	return c.Split(c.Node(), c.rank)
 }

@@ -153,6 +153,44 @@ func (w *Win) PutGather(target int, offset, bytes int64, fill func(dst []byte)) 
 	return senderFree
 }
 
+// StagePut deposits bytes into a co-located leader's window memory at
+// [offset, offset+bytes) — the member-to-leader hop of intra-node
+// pre-aggregation. It is priced as a shared-memory copy (Fabric.ReserveLocal
+// at memory bandwidth: zero hops, no fabric links, no NIC), and it is not an
+// epoch operation: the leader's coalesced PutGather is what enters the
+// window epoch and carries the staged bytes to the aggregator. The caller
+// must synchronize with the leader (a node-communicator barrier) before the
+// leader reads the staged region; like PutGather, fill runs at issue time so
+// that synchronization point is the happens-before edge.
+func (w *Win) StagePut(leader int, offset, bytes int64, fill func(dst []byte)) (senderFree, arrival int64) {
+	c := w.c
+	if leader < 0 || leader >= c.Size() {
+		panic(fmt.Sprintf("mpi: StagePut to invalid rank %d", leader))
+	}
+	if c.NodeOfRank(leader) != c.Node() {
+		panic(fmt.Sprintf("mpi: StagePut to rank %d on node %d from node %d — leader must be co-located",
+			leader, c.NodeOfRank(leader), c.Node()))
+	}
+	if offset < 0 || offset+bytes > w.s.size {
+		panic(fmt.Sprintf("mpi: StagePut [%d,%d) outside window of %d bytes", offset, offset+bytes, w.s.size))
+	}
+	senderFree, arrival = c.s.w.fabric.ReserveLocal(c.p.Now(), c.Node(), bytes)
+	c.p.TraceSpan("rma", "stage", c.p.Now(), senderFree, bytes)
+	if bytes > 0 && fill != nil {
+		dst := w.s.memOf(leader)[offset : offset+bytes]
+		fill(dst)
+		if w.s.capture {
+			w.s.writes[leader] = append(w.s.writes[leader],
+				WinSpan{Offset: offset, Bytes: bytes, From: w.c.rank, Payload: append([]byte(nil), dst...)})
+		}
+		return senderFree, arrival
+	}
+	if w.s.capture {
+		w.s.writes[leader] = append(w.s.writes[leader], WinSpan{Offset: offset, Bytes: bytes, From: w.c.rank})
+	}
+	return senderFree, arrival
+}
+
 // Get transfers bytes from target's window at offset to the caller. The data
 // is usable only after the next Fence (active-target semantics), so Get
 // blocks just for issuing overhead.

@@ -14,7 +14,9 @@ import (
 	"testing"
 
 	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
+	"tapioca/internal/topology"
 	"tapioca/internal/workload"
 )
 
@@ -78,6 +80,83 @@ func TestCollectiveDataRoundTrip(t *testing.T) {
 				t.Error(f)
 			}
 		})
+	}
+}
+
+// TestCollectiveStagingRoundTrip drives the exchange phase with
+// Hints.IntraNodeStaging on: members' pieces for remote-node aggregators
+// become intra-node staging deposits and the horizon combiner books one
+// coalesced fabric message per (node, aggregator) group. The round trip must
+// stay byte-identical to the flat hints, the staged run must book strictly
+// fewer fabric messages, and (payload moving on the plane-sharing
+// collective) the landed bytes must verify against the generator.
+func TestCollectiveStagingRoundTrip(t *testing.T) {
+	const ranks, rpn = 16, 4
+	const n, rec = 64, 24
+	decl := make([][][]storage.Seg, ranks)
+	for r := 0; r < ranks; r++ {
+		base := int64(r) * n * rec
+		decl[r] = [][]storage.Seg{
+			{storage.Strided(base+0, 8, rec, n)},
+			{storage.Strided(base+8, 8, rec, n)},
+			{storage.Strided(base+16, 8, rec, n)},
+		}
+	}
+	const seed = uint64(131)
+	run := func(staged bool) int64 {
+		nodes := ranks / rpn
+		topo := topology.NewFlat(nodes)
+		fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+		sys := storage.NewNullFS()
+		var mu sync.Mutex
+		var failures []string
+		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("mpiio-staged", storage.FileOptions{StripeCount: 2, StripeSize: 4 << 10})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			fh := openOn(c, sys, f, Hints{CBNodes: 2, CBBufferSize: 2 << 10, IntraNodeStaging: staged})
+			data := workload.FillData(decl[c.Rank()], seed)
+			for op, segs := range decl[c.Rank()] {
+				if err := fh.WriteAtAllData(segs, data[op]); err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+				}
+			}
+			c.Barrier()
+			got := make([][]byte, len(data))
+			for op, segs := range decl[c.Rank()] {
+				got[op] = make([]byte, storage.TotalBytes(segs))
+				if err := fh.ReadAtAllData(segs, got[op]); err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+				}
+			}
+			if err := workload.VerifyData(decl[c.Rank()], seed, got); err != nil {
+				mu.Lock()
+				failures = append(failures, err.Error())
+				mu.Unlock()
+			}
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f)
+		}
+		if staged && fab.LocalTransfers() == 0 {
+			t.Error("staged hints booked no intra-node deposits")
+		}
+		return fab.FabricMessages()
+	}
+	flatMsgs := run(false)
+	stagedMsgs := run(true)
+	if stagedMsgs >= flatMsgs {
+		t.Fatalf("staged hints booked %d fabric messages, flat %d — coalescing saved nothing", stagedMsgs, flatMsgs)
 	}
 }
 

@@ -18,6 +18,7 @@ package mpiio
 
 import (
 	"fmt"
+	"sort"
 
 	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
@@ -92,6 +93,14 @@ type Hints struct {
 	// DisableSieving turns off write data sieving (read-modify-write for
 	// sparse rounds); sparse data is then written run-by-run.
 	DisableSieving bool
+	// IntraNodeStaging routes the aggregation exchange through a node-local
+	// staging hop: co-located ranks deposit their round pieces into a node
+	// leader's buffer at memory bandwidth and one coalesced fabric message
+	// per (node, aggregator) carries the node total, instead of one message
+	// per rank. This is the data-plane counterpart of the AggrTwoLevel
+	// election (which prices candidates assuming node-coalesced traffic).
+	// Default off: the classic ROMIO exchange sends per-rank messages.
+	IntraNodeStaging bool
 	// RecvOverhead is the aggregator-side CPU cost per received piece in
 	// the two-sided aggregation exchange (message matching + unpacking on
 	// the slow A2/KNL cores). TAPIOCA's one-sided puts bypass this — one of
@@ -137,10 +146,11 @@ type File struct {
 	myAgg  int   // index in aggrs if this rank is an aggregator, else -1
 	closed bool  // set by Close; later I/O calls error instead of running
 
-	arrScratch []aggArrival             // reused per-round arrival-horizon contribution
-	arrBox     any                      // &arrScratch boxed once: no per-round interface alloc
+	xc         exchangeContrib          // reused per-round exchange contribution (horizons + staged deposits)
+	xcBox      any                      // &xc boxed once: no per-round interface alloc
 	horizonFn  func(contribs []any) any // per-handle combiner, built once in Open
 	extScratch []storage.Extent         // reused per-round batched store extents
+	nodePeers  int                      // comm ranks on this rank's node (staging needs ≥ 2)
 
 	// degraded, once set, replaces sys for round I/O: the fallback tier the
 	// handle switches to when a fault plan takes the primary down (recover.go).
@@ -169,19 +179,71 @@ func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions,
 		}
 	}
 	fh := &File{c: c, sys: sys, f: f, hints: hints, aggrs: aggrs, myAgg: myAgg}
-	fh.arrBox = &fh.arrScratch
-	fh.horizonFn = func(contribs []any) any {
-		h := make([]int64, len(fh.aggrs))
-		for _, x := range contribs {
-			for _, aa := range *x.(*[]aggArrival) {
-				if aa.at > h[aa.agg] {
-					h[aa.agg] = aa.at
-				}
+	for r := 0; r < c.Size(); r++ {
+		if c.NodeOfRank(r) == c.Node() {
+			fh.nodePeers++
+		}
+	}
+	fh.xcBox = &fh.xc
+	fh.horizonFn = fh.combineHorizons
+	return fh
+}
+
+// combineHorizons folds every rank's per-round exchange contribution into the
+// per-aggregator arrival horizons. Flat pieces carry their fabric arrival
+// directly. Staged deposits (Hints.IntraNodeStaging) are grouped by
+// (node, aggregator): the group's coalesced fabric message is booked here, on
+// behalf of the node leader, starting once the slowest member's deposit has
+// landed — the combiner runs while every rank is parked in the collective, so
+// the bookings are race-free and (keys sorted) deterministic.
+func (fh *File) combineHorizons(contribs []any) any {
+	h := make([]int64, len(fh.aggrs))
+	type group struct{ at, bytes int64 }
+	var groups map[[2]int]*group
+	for _, x := range contribs {
+		xc := x.(*exchangeContrib)
+		for _, aa := range xc.arr {
+			if aa.at > h[aa.agg] {
+				h[aa.agg] = aa.at
 			}
 		}
-		return h
+		for _, se := range xc.staged {
+			if groups == nil {
+				groups = map[[2]int]*group{}
+			}
+			k := [2]int{se.node, se.agg}
+			g := groups[k]
+			if g == nil {
+				g = &group{}
+				groups[k] = g
+			}
+			if se.at > g.at {
+				g.at = se.at
+			}
+			g.bytes += se.bytes
+		}
 	}
-	return fh
+	if groups != nil {
+		fab := fh.c.World().Fabric()
+		keys := make([][2]int, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			g := groups[k]
+			_, arr := fab.Reserve(g.at, k[0], fh.c.NodeOfRank(fh.aggrs[k[1]]), g.bytes)
+			if arr > h[k[1]] {
+				h[k[1]] = arr
+			}
+		}
+	}
+	return h
 }
 
 // Storage returns the underlying storage file (for verification).

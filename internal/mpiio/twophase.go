@@ -350,6 +350,23 @@ type aggArrival struct {
 	at  int64
 }
 
+// stageEntry is one staged piece: a deposit into this rank's node leader,
+// waiting for the combiner to coalesce it with its node-mates into one fabric
+// message per (node, aggregator).
+type stageEntry struct {
+	agg   int
+	node  int
+	at    int64 // deposit arrival in the leader's staging buffer
+	bytes int64
+}
+
+// exchangeContrib is one rank's contribution to the round's horizon
+// collective: flat arrival horizons plus staged deposits to coalesce.
+type exchangeContrib struct {
+	arr    []aggArrival
+	staged []stageEntry
+}
+
 // writeRound: all ranks push their round pieces to the owning aggregators
 // (the alltoallv), aggregators flush their buffers, then the round barrier.
 // With the data plane on, the aggregator lands each contributing rank's
@@ -363,9 +380,24 @@ func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece, planes
 	// per-aggregator arrival horizons accumulate in a reused sparse list —
 	// its backing is safe to recycle next round because this rank only
 	// resumes after the horizon collective has consumed every contribution.
-	arrivals := fh.arrScratch[:0]
+	// With intra-node staging on, a piece bound for a remote-node aggregator
+	// becomes a memory-bandwidth deposit into this node's leader instead; the
+	// horizon combiner coalesces the node's deposits into one fabric message
+	// per (node, aggregator). Nodes hosting a single rank have nothing to
+	// coalesce and stay flat, as does traffic to an aggregator on this node.
+	arrivals := fh.xc.arr[:0]
+	staged := fh.xc.staged[:0]
+	stage := fh.hints.IntraNodeStaging && fh.nodePeers > 1
 	senderFree := p.Now()
 	for _, piece := range pieces {
+		if stage && c.NodeOfRank(fh.aggrs[piece.agg]) != c.Node() {
+			sf, arr := fab.ReserveLocal(p.Now(), c.Node(), piece.bytes)
+			if sf > senderFree {
+				senderFree = sf
+			}
+			staged = append(staged, stageEntry{agg: piece.agg, node: c.Node(), at: arr, bytes: piece.bytes})
+			continue
+		}
 		sf, arr := fab.Reserve(p.Now(), c.Node(), c.NodeOfRank(fh.aggrs[piece.agg]), piece.bytes)
 		if sf > senderFree {
 			senderFree = sf
@@ -384,7 +416,7 @@ func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece, planes
 			arrivals = append(arrivals, aggArrival{agg: piece.agg, at: arr})
 		}
 	}
-	fh.arrScratch = arrivals
+	fh.xc.arr, fh.xc.staged = arrivals, staged
 	// The injection hold rides into the horizon collective's park (JumpTo
 	// contract: the collective's entry bookkeeping is commutative and books
 	// nothing), saving a context switch per rank per round.
@@ -393,7 +425,7 @@ func (fh *File) writeRound(plan *schedule, round int, pieces []sendPiece, planes
 	// Exchange arrival horizons (the synchronization the alltoallv implies).
 	// Both the combiner closure and the contribution's interface box are
 	// built once per file handle, not per rank per round.
-	horizon := c.Collective("mpiio-horizon", fh.arrBox, 16, fh.horizonFn).([]int64)
+	horizon := c.Collective("mpiio-horizon", fh.xcBox, 16, fh.horizonFn).([]int64)
 
 	// I/O phase: aggregators process the received pieces (two-sided
 	// matching and staging-buffer assembly — CPU work TAPIOCA's one-sided

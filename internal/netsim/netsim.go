@@ -112,6 +112,14 @@ type Fabric struct {
 
 	transfers  int64
 	totalBytes int64
+
+	// Fabric-vs-node split of the transfer counters: fabricMsgs counts only
+	// inter-node messages (the traffic intra-node pre-aggregation is built
+	// to cut), while localTransfers/localBytes count the staging copies
+	// booked through ReserveLocal at memory bandwidth.
+	fabricMsgs     int64
+	localTransfers int64
+	localBytes     int64
 }
 
 // New builds a fabric over the topology with the given configuration.
@@ -184,6 +192,20 @@ func (f *Fabric) Transfers() int64 { return f.transfers }
 
 // TotalBytes returns the bytes moved across all transfers.
 func (f *Fabric) TotalBytes() int64 { return f.totalBytes }
+
+// FabricMessages returns the number of inter-node messages booked so far —
+// Reserve calls whose source and destination nodes differ. Intra-node
+// shared-memory copies (src == dst, or ReserveLocal staging copies) never
+// touch fabric links and are excluded, so this is the counter intra-node
+// pre-aggregation shrinks ppn-fold.
+func (f *Fabric) FabricMessages() int64 { return f.fabricMsgs }
+
+// LocalTransfers returns the number of staging copies booked via
+// ReserveLocal.
+func (f *Fabric) LocalTransfers() int64 { return f.localTransfers }
+
+// LocalBytes returns the bytes moved by ReserveLocal staging copies.
+func (f *Fabric) LocalBytes() int64 { return f.localBytes }
 
 func (f *Fabric) link(id int) *sim.GapResource {
 	r := f.links[id]
@@ -279,6 +301,7 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 		dur := sim.TransferTime(bytes, f.cfg.LocalRate)
 		return start + dur, start + dur
 	}
+	f.fabricMsgs++
 
 	// Collect the resources this transfer occupies. The NICs bound the
 	// bandwidth; the path's minimum link rate tightens it further.
@@ -348,6 +371,33 @@ func (f *Fabric) Reserve(now int64, src, dst int, bytes int64) (senderFree, arri
 	return senderFree, arrival
 }
 
+// ReserveLocal books an intra-node staging copy of bytes on node, starting
+// no earlier than now, and returns when it completes (the copier is busy for
+// the whole copy, so senderFree == arrival). The copy moves at the
+// configured LocalRate — memory bandwidth, never a fabric link or NIC — and
+// is counted separately from Reserve's transfer counters: it is the
+// member-to-leader hop of intra-node pre-aggregation, not a message. The
+// fault plane does not reach in here; shared-memory copies are outside the
+// network fault model.
+func (f *Fabric) ReserveLocal(now int64, node int, bytes int64) (senderFree, arrival int64) {
+	f.localTransfers++
+	f.localBytes += bytes
+	start := now + f.cfg.SoftwareOverhead
+	end := start + sim.TransferTime(bytes, f.cfg.LocalRate)
+	if f.rec.Tracing() {
+		// Staging copies share the node's NIC timeline rows (they are node
+		// activity) under their own span name, so Perfetto separates them
+		// from real tx/rx traffic at a glance.
+		rec := f.rec
+		tid := int32(node) * 2
+		rec.Span(obs.PIDNICs, tid, "net", "stage", start, end, bytes)
+		if end > 0 && f.localTransfers%utilSampleStride == 0 {
+			rec.Counter(obs.PIDNICs, tid, "stage.bytes", end, float64(f.localBytes))
+		}
+	}
+	return end, end
+}
+
 // utilSampleStride throttles rolling-utilization counter emission: every
 // Nth transfer samples the involved resources. Dense enough for a smooth
 // Perfetto track, sparse enough that counters stay a small fraction of the
@@ -387,6 +437,11 @@ func (f *Fabric) SnapshotMetrics(reg *obs.Registry, horizon int64) {
 	}
 	reg.Add("net.transfers", f.transfers)
 	reg.Add("net.bytes", f.totalBytes)
+	reg.Add("net.fabric_messages", f.fabricMsgs)
+	if f.localTransfers > 0 {
+		reg.Add("net.local.transfers", f.localTransfers)
+		reg.Add("net.local.bytes", f.localBytes)
+	}
 	if horizon <= 0 {
 		return
 	}

@@ -40,13 +40,13 @@ type predictor struct {
 	latency    float64 // per-hop seconds
 }
 
-func newPredictor(p Platform, w workload.Pattern) *predictor {
+func newPredictor(p Platform, w workload.Pattern) (*predictor, error) {
 	if w.Ranks <= 0 {
-		panic("tune: workload declares no ranks")
+		return nil, fmt.Errorf("tune: workload declares no ranks")
 	}
 	if w.Ranks > p.Topo.Nodes()*p.RanksPerNode {
-		panic(fmt.Sprintf("tune: %d ranks exceed %d nodes × %d ranks/node",
-			w.Ranks, p.Topo.Nodes(), p.RanksPerNode))
+		return nil, fmt.Errorf("tune: %d ranks exceed %d nodes × %d ranks/node",
+			w.Ranks, p.Topo.Nodes(), p.RanksPerNode)
 	}
 	dist := p.Dist
 	if dist == nil {
@@ -67,7 +67,7 @@ func newPredictor(p Platform, w workload.Pattern) *predictor {
 	for _, segs := range pr.all {
 		pr.totalBytes += storage.TotalBytes(segs)
 	}
-	return pr
+	return pr, nil
 }
 
 // alpha is the per-message control-plane cost of a fence or reduction step:
@@ -86,11 +86,14 @@ func (pr *predictor) alignUnit(fopt storage.FileOptions) int64 {
 }
 
 // aggregationSeconds is the network cost of one partition's full aggregation
-// stream into the elected member — C1 for the flat election, the intra-node
-// pre-merge variant for two-level. The I/O term C2 is deliberately excluded:
-// the flush estimator prices the storage path.
-func (pr *predictor) aggregationSeconds(pl cost.Placement, members []cost.Member, win int) float64 {
-	if pl.Name() == cost.TwoLevel().Name() {
+// stream into the elected member — C1 for the flat data plane, the intra-node
+// pre-merge variant when staging is on. The dispatch follows the data-plane
+// knob, not the election strategy: a two-level *election* without staging
+// still moves per-member fabric traffic, so only Config.IntraNodeStaging
+// earns the coalesced price. The I/O term C2 is deliberately excluded: the
+// flush estimator prices the storage path.
+func (pr *predictor) aggregationSeconds(staged bool, members []cost.Member, win int) float64 {
+	if staged {
 		return pr.model.TwoLevelCost(members, win, 0)
 	}
 	return pr.model.AggregationCost(members, win)
@@ -151,7 +154,7 @@ func (pr *predictor) predict(cfg core.Config, fopt storage.FileOptions) (double,
 			Partition: pi,
 		})
 		fence := 2 * math.Log2(float64(pe.Ranks)+1) * pr.alpha()
-		perRound := pr.aggregationSeconds(cfg.Placement, members, win)/float64(pe.Rounds) + fence
+		perRound := pr.aggregationSeconds(cfg.IntraNodeStaging, members, win)/float64(pe.Rounds) + fence
 		for r := 0; r < pe.Rounds; r++ {
 			if perRound > aggRound[r] {
 				aggRound[r] = perRound

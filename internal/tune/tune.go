@@ -124,8 +124,22 @@ const probeRounds = 3
 
 // Autotune searches the configuration space for workload w on platform p
 // and returns the predicted-fastest configuration. Deterministic: the same
-// inputs always produce the same pick.
+// inputs always produce the same pick. It panics on an infeasible platform
+// (ranks exceeding nodes × ranks-per-node); callers that want a recoverable
+// error use TryAutotune.
 func Autotune(p Platform, w workload.Pattern, opt Options) Result {
+	res, err := TryAutotune(p, w, opt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// TryAutotune is Autotune with platform validation surfaced as an error
+// instead of a panic: a workload whose rank count exceeds the platform's
+// nodes × ranks-per-node capacity is reported, not crashed on, so CLIs can
+// print the mismatch and exit cleanly.
+func TryAutotune(p Platform, w workload.Pattern, opt Options) (Result, error) {
 	if p.RanksPerNode <= 0 {
 		p.RanksPerNode = 1
 	}
@@ -134,7 +148,10 @@ func Autotune(p Platform, w workload.Pattern, opt Options) Result {
 			p.Sys = d
 		}
 	}
-	pr := newPredictor(p, w)
+	pr, err := newPredictor(p, w)
+	if err != nil {
+		return Result{}, err
+	}
 	advisor := storage.StripeAdvisorOf(p.Sys)
 
 	aggGrid := opt.Aggregators
@@ -206,7 +223,7 @@ func Autotune(p Platform, w workload.Pattern, opt Options) Result {
 		Calibration: calibration,
 		Evaluated:   len(s.cands),
 		Candidates:  s.cands,
-	}
+	}, nil
 }
 
 // search accumulates scored candidates.
@@ -243,7 +260,11 @@ func key(a int, b int64, pl cost.Placement, cd dataplane.Codec) string {
 }
 
 // evaluate scores one (aggregators, buffer, placement, codec) point; both
-// pipeline variants come out of a single prediction pass.
+// pipeline variants come out of a single prediction pass, and on platforms
+// with co-located ranks (RanksPerNode > 1) the intra-node staging variants
+// are priced alongside the flat ones. At one rank per node staging is a
+// structural no-op (every node group is a singleton), so only the flat pair
+// is emitted.
 func (s *search) evaluate(a int, b int64, pl cost.Placement, cd dataplane.Codec) {
 	if a < 1 || b < 1 {
 		return
@@ -257,17 +278,25 @@ func (s *search) evaluate(a int, b int64, pl cost.Placement, cd dataplane.Codec)
 	}
 	s.seen[k] = true
 	fopt := s.fileOptions(b, a)
-	cfg := core.Config{Aggregators: a, BufferSize: b, Placement: pl, Codec: cd}
-	double, single := s.pr.predict(cfg, fopt)
-	s.cands = append(s.cands, Candidate{Config: cfg, FileOptions: fopt, Predicted: double, Corrected: double})
-	scfg := cfg
-	scfg.SingleBuffer = true
-	s.cands = append(s.cands, Candidate{Config: scfg, FileOptions: fopt, Predicted: single, Corrected: single})
+	stagings := []bool{false}
+	if s.p.RanksPerNode > 1 {
+		stagings = append(stagings, true)
+	}
+	for _, staged := range stagings {
+		cfg := core.Config{Aggregators: a, BufferSize: b, Placement: pl, Codec: cd, IntraNodeStaging: staged}
+		double, single := s.pr.predict(cfg, fopt)
+		s.cands = append(s.cands, Candidate{Config: cfg, FileOptions: fopt, Predicted: double, Corrected: double})
+		scfg := cfg
+		scfg.SingleBuffer = true
+		s.cands = append(s.cands, Candidate{Config: scfg, FileOptions: fopt, Predicted: single, Corrected: single})
+	}
 }
 
 // rank orders candidates best-first, deterministically: corrected time, then
-// fewer aggregators, smaller buffers, double-buffered before single, no codec
-// before a named one, and placement name as the last resort.
+// fewer aggregators, smaller buffers, double-buffered before single, the flat
+// data plane before intra-node staging (ties mean the extra hop bought
+// nothing), no codec before a named one, and placement name as the last
+// resort.
 func (s *search) rank() {
 	sort.SliceStable(s.cands, func(i, j int) bool {
 		a, b := s.cands[i], s.cands[j]
@@ -282,6 +311,9 @@ func (s *search) rank() {
 		}
 		if a.Config.SingleBuffer != b.Config.SingleBuffer {
 			return !a.Config.SingleBuffer
+		}
+		if a.Config.IntraNodeStaging != b.Config.IntraNodeStaging {
+			return !a.Config.IntraNodeStaging
 		}
 		if an, bn := codecName(a.Config.Codec), codecName(b.Config.Codec); an != bn {
 			return an < bn
@@ -313,7 +345,12 @@ func (s *search) probe(w workload.Pattern, k int) {
 			perRank = 64 << 10
 		}
 		probeW := w.Truncate(perRank)
-		probePr := newPredictor(s.p, probeW)
+		// The truncated workload keeps w's rank count, which the search's own
+		// predictor already validated against the platform.
+		probePr, err := newPredictor(s.p, probeW)
+		if err != nil {
+			return
+		}
 		predicted, predictedSingle := probePr.predict(c.Config, c.FileOptions)
 		if c.Config.SingleBuffer {
 			predicted = predictedSingle

@@ -478,10 +478,23 @@ func WithDegraded() AutotuneOption {
 // on fresh identical machines.
 //
 // The workload's rank count must be a multiple of the machine's node count
-// (the rank→node mapping is block-wise, as in Run).
+// (the rank→node mapping is block-wise, as in Run). Autotune panics on an
+// infeasible workload; TryAutotune reports the mismatch as an error instead.
 func Autotune(m *Machine, w Workload, opts ...AutotuneOption) (Config, FileOptions, Hints) {
+	cfg, fopt, hints, err := TryAutotune(m, w, opts...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return cfg, fopt, hints
+}
+
+// TryAutotune is Autotune with infeasible inputs surfaced as an error instead
+// of a panic — a rank count that is not a positive multiple of the machine's
+// node count, or a workload exceeding the platform's capacity, is reported so
+// command-line front ends can print the mismatch and exit cleanly.
+func TryAutotune(m *Machine, w Workload, opts ...AutotuneOption) (Config, FileOptions, Hints, error) {
 	if w.Ranks <= 0 || w.Ranks%m.nodes != 0 {
-		panic(fmt.Sprintf("tapioca: Autotune workload has %d ranks, not a positive multiple of %d nodes", w.Ranks, m.nodes))
+		return Config{}, FileOptions{}, Hints{}, fmt.Errorf("tapioca: Autotune workload has %d ranks, not a positive multiple of %d nodes", w.Ranks, m.nodes)
 	}
 	rpn := w.Ranks / m.nodes
 	var topt tune.Options
@@ -529,6 +542,9 @@ func Autotune(m *Machine, w Workload, opts ...AutotuneOption) (Config, FileOptio
 			return t1 - t0
 		}
 	}
-	res := tune.Autotune(p, w, topt)
-	return res.Config, res.FileOptions, res.Hints
+	res, err := tune.TryAutotune(p, w, topt)
+	if err != nil {
+		return Config{}, FileOptions{}, Hints{}, err
+	}
+	return res.Config, res.FileOptions, res.Hints, nil
 }
