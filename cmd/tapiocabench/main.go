@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"tapioca/internal/expt"
 	"tapioca/internal/fault"
 	"tapioca/internal/obs"
+	"tapioca/internal/tree"
 )
 
 // jsonResult is the machine-readable record of one experiment run.
@@ -86,6 +88,16 @@ type jsonResult struct {
 	// percentiles, host-side store and codec timings under the
 	// nondeterministic "host." prefix).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// TreeLevels and TreeFanIn describe the deepest synthesized aggregation
+	// tree across the figure's cells (sessions run with Config.Tree or the
+	// -tree flag; zero when every session used a fixed data plane), and
+	// TreeLevelMessages breaks the coalesced inter-node puts down per tree
+	// level, keyed by depth ("1" is the level feeding the root). Together
+	// with FabricMessages they quantify what a reduction shape did to the
+	// fabric (see abl-tree).
+	TreeLevels        int              `json:"tree_levels,omitempty"`
+	TreeFanIn         int              `json:"tree_fanin,omitempty"`
+	TreeLevelMessages map[string]int64 `json:"tree_level_fabric_messages,omitempty"`
 	// Faults and Recovery are the fault-plane event counters ("fault." and
 	// "recovery." prefixes of the metrics snapshot): injected transients,
 	// latency spikes, retransmits, corruptions and aggregator deaths on the
@@ -113,6 +125,42 @@ func splitFaultCounters(snap *obs.Snapshot) (faults, recovery map[string]int64) 
 		}
 	}
 	return faults, recovery
+}
+
+// treeStats extracts the aggregation-tree block from a metrics snapshot: the
+// deepest tree's level count and fan-in, and the per-level coalesced message
+// counters keyed by depth.
+func treeStats(snap *obs.Snapshot) (levels, fanin int, perLevel map[string]int64) {
+	levels = int(snap.Gauges["tapioca.tree.levels"])
+	fanin = int(snap.Gauges["tapioca.tree.fanin"])
+	for name, v := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "tapioca.tree.level."); ok {
+			if perLevel == nil {
+				perLevel = map[string]int64{}
+			}
+			perLevel[strings.TrimSuffix(rest, ".messages")] = v
+		}
+	}
+	return levels, fanin, perLevel
+}
+
+// fmtLevels renders the per-level message map as "1:960 2:240", shallowest
+// level (feeding the root) first.
+func fmtLevels(perLevel map[string]int64) string {
+	keys := make([]string, 0, len(perLevel))
+	for k := range perLevel {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, _ := strconv.Atoi(keys[i])
+		b, _ := strconv.Atoi(keys[j])
+		return a < b
+	})
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, perLevel[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 type jsonRow struct {
@@ -151,6 +199,7 @@ func run() int {
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON flight recording to this file (open in Perfetto)")
 		phases   = flag.Bool("phases", false, "print a per-figure phase breakdown table (aggregation/exchange/storage/codec rank-seconds)")
 		faults   = flag.String("faults", "", "arm deterministic fault injection for every cell as \"seed,rate\" (e.g. 7,0.05)")
+		treePlan = flag.String("tree", "", "arm an aggregation-tree shape for every cell (flat, staged, group, chain, fanin:k)")
 		recovery = flag.Bool("recovery", true, "with -faults: arm the self-healing machinery (retry, failover, degraded writes, repair)")
 		short    = flag.Bool("short", false, "shrink the abl-faults chaos sweep to its CI smoke subset")
 	)
@@ -167,6 +216,14 @@ func run() int {
 	}
 	expt.SetFaultRecovery(*recovery)
 	expt.SetChaosShort(*short)
+	if *treePlan != "" {
+		sh, err := tree.ParseShape(*treePlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-tree: %v\n", err)
+			return 2
+		}
+		expt.SetTreeShape(&sh)
+	}
 
 	fullScale := *full
 	switch *scale {
@@ -295,8 +352,17 @@ func run() int {
 		transfers := expt.TransferCount()
 		fabricMsgs := expt.FabricMessageCount()
 		fmt.Print(expt.Render(res))
-		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, %d fabric messages, peak heap %.0f MiB)\n\n",
+		fmt.Printf("(wall time %.1fs, %d workers, %d transfers, %d fabric messages, peak heap %.0f MiB)\n",
 			elapsed, expt.Parallelism(), transfers, fabricMsgs, mb(peak))
+		var snap obs.Snapshot
+		if *trace != "" || *jsonPath != "" || *phases {
+			snap = expt.MetricsOf(s.ID).Snapshot()
+		}
+		if levels, fanin, perLevel := treeStats(&snap); levels > 0 {
+			fmt.Printf("(aggregation tree: %d levels, max fan-in %d, per-level fabric messages %s)\n",
+				levels, fanin, fmtLevels(perLevel))
+		}
+		fmt.Println()
 		if *phases {
 			if tbl := expt.PhaseTable(s.ID); tbl != "" {
 				fmt.Println(tbl)
@@ -332,9 +398,10 @@ func run() int {
 				rec.VerifyVerifySeconds = verifyStats.VerifySeconds
 			}
 			rec.Phases = expt.PhaseSeconds(s.ID)
-			if snap := expt.MetricsOf(s.ID).Snapshot(); !snap.Empty() {
+			if !snap.Empty() {
 				rec.Metrics = &snap
 				rec.Faults, rec.Recovery = splitFaultCounters(&snap)
+				rec.TreeLevels, rec.TreeFanIn, rec.TreeLevelMessages = treeStats(&snap)
 			}
 			for _, row := range res.Rows {
 				rec.Rows = append(rec.Rows, jsonRow{X: row.X, Values: row.Values})

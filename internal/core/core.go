@@ -36,6 +36,7 @@ import (
 	"tapioca/internal/mpi"
 	"tapioca/internal/obs"
 	"tapioca/internal/storage"
+	"tapioca/internal/tree"
 )
 
 // Aggregator placement presets, re-exported from the shared cost engine
@@ -88,6 +89,16 @@ type Config struct {
 	// flat path unchanged — staging there would be a wasted copy. Default
 	// off: the flat path is byte-identical with the knob down.
 	IntraNodeStaging bool
+	// Tree selects a synthesized aggregation-tree shape for the write
+	// pipeline (see internal/tree and treeplan.go): node-group leaders are
+	// arranged into interior reduction levels — fan-in-k relays, one relay
+	// per topology group, dimension-ordered chains — each forwarding its
+	// subtree as a single coalesced put per round. Tree shapes imply
+	// IntraNodeStaging (interior relays only pay off over node-coalesced
+	// traffic); the degenerate shapes run today's paths verbatim: flat is
+	// exactly the default pipeline, staged exactly IntraNodeStaging. Nil
+	// (the default) disables the machinery entirely.
+	Tree *tree.Shape
 	// ElectionOverhead is the local cost-model computation time charged per
 	// rank during Init, in nanoseconds. Zero selects the 50 µs default;
 	// ElectionDisabled (or any negative value) charges nothing.
@@ -138,6 +149,10 @@ func (c *Config) ApplyDefaults(ranks int) {
 	if c.Placement == nil {
 		c.Placement = PlacementTopologyAware
 	}
+	if c.Tree != nil && c.Tree.Staged() {
+		// Tree shapes ride on the intra-node staging base level.
+		c.IntraNodeStaging = true
+	}
 }
 
 func (c *Config) setDefaults(comm *mpi.Comm) {
@@ -172,6 +187,11 @@ type Writer struct {
 	// Config.IntraNodeStaging is set and this rank's node group actually
 	// coalesces (see staging.go). The flat pipeline never looks at it.
 	stage *stagePlan
+	// tp is the rank's aggregation-tree role: non-nil only when Config.Tree
+	// names a non-degenerate shape and the synthesized tree has interior
+	// levels somewhere (see treeplan.go). Degenerate shapes never allocate
+	// it, keeping their pipelines byte-identical to the flat/staged paths.
+	tp *treeRole
 	// Codec scratch, reused across rounds. Only the pipeline's single
 	// in-flight store job touches these (jobs are joined before the next
 	// launch), so plain fields are race-free.
@@ -215,6 +235,14 @@ type Stats struct {
 	ElectionCost float64
 	// Placement names the strategy that ran the election.
 	Placement string
+
+	// TreeLevels and TreeFanIn describe the synthesized aggregation tree of
+	// this rank's partition (Config.Tree sessions with interior levels only;
+	// zero otherwise). TreeLevelMessages[d] counts the coalesced inter-node
+	// sends this rank issued from tree depth d (index 0 unused).
+	TreeLevels        int
+	TreeFanIn         int
+	TreeLevelMessages []int64
 
 	// Recovery accounting (zero without Config.Faults).
 	//
@@ -346,6 +374,13 @@ func (w *Writer) InitData(declared [][]storage.Seg, data [][]byte) error {
 	w.win = w.pc.WinCreate(2 * w.cfg.BufferSize)
 	if w.cfg.IntraNodeStaging {
 		w.stage = w.setupStaging()
+	}
+	if w.cfg.Tree != nil && !w.cfg.Tree.Degenerate() {
+		w.tp = w.setupTree(*w.cfg.Tree)
+		if w.tp != nil {
+			w.stats.TreeLevels = w.tp.t.Levels
+			w.stats.TreeFanIn = w.tp.t.MaxFanIn
+		}
 	}
 	return modeErr
 }

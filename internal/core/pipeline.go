@@ -192,8 +192,10 @@ func (w *Writer) runWrite() error {
 		ownStart := idx
 		for idx < len(myPieces) && myPieces[idx].round == r {
 			pc := myPieces[idx]
-			if sr != nil && w.stage.leader {
-				// Leader: own pieces ride in the coalesced put below.
+			if (sr != nil && w.stage.leader) || w.tp.active(r) {
+				// Leader: own pieces ride in the coalesced put below — the
+				// staged inline put, or (diverted tree vertices) the interior
+				// forward of the whole subtree span.
 				w.stats.BytesPut += pc.bytes
 				idx++
 				continue
@@ -242,7 +244,7 @@ func (w *Writer) runWrite() error {
 			// coalesced inter-node put for the round.
 			w.stage.nodeComm.FenceLocal(deferredFree)
 			deferredFree = 0
-			if w.stage.leader {
+			if w.stage.leader && !w.tp.active(r) {
 				var fill func(dst []byte)
 				if w.pl != nil {
 					base := bufID * w.cfg.BufferSize
@@ -265,6 +267,11 @@ func (w *Writer) runWrite() error {
 					}
 				}
 				deferredFree = w.win.PutGather(w.aggLocal, bufID*w.cfg.BufferSize+sr.lo, sr.hi-sr.lo, fill)
+				if w.tp != nil && !w.tp.collapsed && w.tp.engaged[r] {
+					// Childless depth-1 vertex under an engaged tree: its
+					// inline put IS its level-1 send.
+					w.tp.msgs[1]++
+				}
 			}
 		}
 		if rec != nil {
@@ -276,6 +283,32 @@ func (w *Writer) runWrite() error {
 			}
 			rec.Phase(obs.PhaseAggregation, aggEnd-roundStart)
 			p.TraceSpan("tapioca", "gather", roundStart, aggEnd, w.stats.BytesPut-roundPut)
+		}
+		if w.tp != nil && w.tp.fences > 0 {
+			// Interior tree levels, deepest first: a vertex at depth d
+			// forwards its whole subtree span to its parent, and the level's
+			// fence publishes it before depth d−1 reads. The fence count is
+			// the partition's frozen budget — every member fences every
+			// level every round, engaged, collapsed, or idle (fences are
+			// partition collectives). Depth-1 relays forward last, riding
+			// the round's main fence exactly like the staged leader's put.
+			own := myPieces[ownStart:idx]
+			for d := w.tp.fences + 1; d >= 2; d-- {
+				levelStart := p.Now()
+				var sent int64
+				if w.tp.active(r) && w.tp.depth == d {
+					deferredFree, sent = w.treeForward(r, bufID, own, &dataErr)
+				}
+				w.win.FenceAfter(deferredFree)
+				deferredFree = 0
+				if rec != nil {
+					rec.Phase(obs.PhaseExchange, p.Now()-levelStart)
+					p.TraceSpan("tapioca", fmt.Sprintf("tree-level-%d", d), levelStart, p.Now(), sent)
+				}
+			}
+			if w.tp.active(r) && w.tp.depth == 1 {
+				deferredFree, _ = w.treeForward(r, bufID, own, &dataErr)
+			}
 		}
 		// Join the store job still reading the other buffer: the fence we
 		// are about to enter releases members into the round that next
@@ -401,6 +434,9 @@ func (w *Writer) runWrite() error {
 	join(1)
 	barStart := p.Now()
 	w.pc.Barrier()
+	if w.tp != nil {
+		w.stats.TreeLevelMessages = w.tp.msgs
+	}
 	if rec != nil {
 		rec.Phase(obs.PhaseExchange, p.Now()-barStart)
 		w.sessionMetrics(rec)
@@ -415,6 +451,15 @@ func (w *Writer) runWrite() error {
 func (w *Writer) sessionMetrics(rec *obs.Recorder) {
 	reg := rec.Registry()
 	reg.Add("tapioca.bytes_put", w.stats.BytesPut)
+	if w.tp != nil {
+		reg.SetMax("tapioca.tree.levels", float64(w.tp.t.Levels))
+		reg.SetMax("tapioca.tree.fanin", float64(w.tp.t.MaxFanIn))
+		for d := 1; d < len(w.tp.msgs); d++ {
+			if w.tp.msgs[d] > 0 {
+				reg.Add(fmt.Sprintf("tapioca.tree.level.%d.messages", d), w.tp.msgs[d])
+			}
+		}
+	}
 	if !w.isAgg {
 		return
 	}

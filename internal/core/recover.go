@@ -246,6 +246,13 @@ func (w *Writer) failover(p *sim.Proc, r int, pending *[2]*sim.Event, join func(
 	w.isAgg = w.pc.Rank() == newAgg
 	w.stats.AggregatorWorldRank = w.pc.WorldRankOf(newAgg)
 	w.stats.Failovers++
+	if w.tp != nil {
+		// Collapse the aggregation tree to its node-staged degenerate under
+		// the new root: interior relays would still target the old root's
+		// window. The fence budget stays frozen (fences are collective), so
+		// the remaining interior phases run as empty fences.
+		w.tp.collapsed = true
+	}
 	if w.isAgg {
 		reg.Add(fault.MetricAggrDeaths, 1)
 		reg.Add(fault.MetricFailovers, 1)

@@ -27,8 +27,11 @@ import (
 // stagedRun writes decl's data through one full staged (or flat) session on
 // sys/fab, reads it back with a fresh session, verifies the round trip, and
 // returns rank 0's write checksum and the store checksum over rank 0's runs.
+// Optional inspect hooks run on every rank after its write session completes
+// (concurrently across ranks — hooks synchronize themselves).
 func stagedRun(t *testing.T, sys storage.System, fab *netsim.Fabric, ranks, rpn int,
-	decl [][][]storage.Seg, seed int64, cfg Config, fileName string) (writeCRC, storeCRC uint64) {
+	decl [][][]storage.Seg, seed int64, cfg Config, fileName string,
+	inspect ...func(rank int, w *Writer)) (writeCRC, storeCRC uint64) {
 	t.Helper()
 	var mu sync.Mutex
 	var failures []string
@@ -56,6 +59,9 @@ func stagedRun(t *testing.T, sys storage.System, fab *netsim.Fabric, ranks, rpn 
 			return
 		}
 		crc := w.DataChecksum()
+		for _, fn := range inspect {
+			fn(c.Rank(), w)
+		}
 		c.Barrier()
 
 		rbuf := make([][]byte, len(data))

@@ -137,9 +137,27 @@ func (m *Model) distance(a, b int) int {
 	return m.topo.Distance(a, b)
 }
 
+// EdgeCost prices one hop of an aggregation level: moving bytes from node a
+// to node b. A co-located move (a == b) is a shared-memory copy at the local
+// (memory) bandwidth with zero hops; an inter-node move pays the paper's
+// λ·d(a,b) latency term plus the fabric-bandwidth transfer term. Every
+// level-structured price in this package — flat C1, the two-level staged
+// variant, and the tree pricer in internal/tree — routes through this one
+// helper, so intra-node memory-bandwidth pricing cannot drift between them.
+func (m *Model) EdgeCost(a, b int, bytes int64) float64 {
+	if a == b {
+		return float64(bytes) / m.localBW
+	}
+	d := float64(m.distance(a, b))
+	return m.latency*d + float64(bytes)/m.fabricBW
+}
+
 // AggregationCost is C1: the cost of every member except the candidate
 // itself shipping its declared data to the candidate's node (paper Fig. 3).
-// candidate indexes members; members with no data are free.
+// candidate indexes members; members with no data are free. Co-located
+// members ship across node memory, which the paper's d(i,A)=0 term makes
+// free of latency; the transfer term stays on the fabric clock for fidelity
+// with the paper's flat formula (the two-level and tree prices refine it).
 func (m *Model) AggregationCost(members []Member, candidate int) float64 {
 	candNode := members[candidate].Node
 	var c1 float64
@@ -229,7 +247,7 @@ func (m *Model) twoLevelCost(members []Member, groups []nodeGroup, candidate int
 			// The candidate's own node: co-located members copy into the
 			// candidate's buffer across node memory; the candidate's own
 			// bytes never move. No fabric message.
-			c += float64(g.bytes-members[candidate].Bytes) / m.localBW
+			c += m.EdgeCost(g.node, g.node, g.bytes-members[candidate].Bytes)
 			continue
 		}
 		if g.bytes == 0 {
@@ -239,9 +257,8 @@ func (m *Model) twoLevelCost(members []Member, groups []nodeGroup, candidate int
 		// Remote node: members merge into their leader's staging buffer at
 		// memory bandwidth (the leader's bytes are already there), then one
 		// aggregated inter-node message carries the node total.
-		c += float64(g.bytes-members[g.leader].Bytes) / m.localBW
-		d := float64(m.distance(g.node, candNode))
-		c += m.latency*d + float64(g.bytes)/m.fabricBW
+		c += m.EdgeCost(g.node, g.node, g.bytes-members[g.leader].Bytes)
+		c += m.EdgeCost(g.node, candNode, g.bytes)
 	}
 	return c + m.IOCost(candNode, ioBytes)
 }

@@ -12,6 +12,7 @@ import (
 	"tapioca/internal/par"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tree"
 	"tapioca/internal/tune"
 	"tapioca/internal/workload"
 )
@@ -445,6 +446,187 @@ func AblationIntraNode(full bool) Result {
 				lossyStaged.gb, lossyFlat.gb, ppn))
 		}
 	}
+	return res
+}
+
+// AblationTree measures what synthesized aggregation trees buy over the two
+// fixed data planes: the same Theta collective write at increasing partition
+// width (compute nodes per aggregation partition — the knob that grows the
+// reduction tree), flat versus node-staged versus the autotuner's searched
+// tree shape. The shape is not hand-picked: each row runs the real
+// tree-search dimension (tune.Options.TreeSearch) with the lossy regime's
+// expected per-message cost as the penalty, and the cells execute whatever
+// the search proposed — including at narrow widths, where the honest answer
+// is a degenerate shape (an interior relay re-serializes its subtree's bytes,
+// and below a width threshold that costs more than the messages it saves, so
+// the search correctly declines a tree and the Tree column tracks Staged).
+// The aggregation phase is isolated with a null storage tier and each cell
+// reports the inter-node fabric message count alongside bandwidth.
+//
+// Two fabric regimes. On a clean fabric the wormhole model conserves bytes,
+// so the extra relay hop costs a sliver and the tree is expected to trail
+// the fixed planes on wall-clock — that column is the honest cost of the
+// shape. The lossy regime is deliberately harsher than abl-intranode's
+// (higher drop rate, full RTO-scale retransmits): every message pays a
+// retransmit penalty in expectation, and the root's NIC serializes its
+// ingest, so flat pays the penalty per rank, staged per node — but all at
+// one NIC — while an interior level batches the root's ingest into a few
+// large relay messages and pays the per-message price in parallel across
+// relay NICs. That is the regime the tree search is told about (its message
+// penalty is the regime's expected per-drop cost), closing the loop between
+// the pricer and the fabric the cells run on. The ablation asserts its own
+// claims: the search must propose an interior shape at the widest partition,
+// an interior tree must book several-fold fewer fabric messages than flat,
+// the degenerate flat/staged shapes must reproduce the plain pipelines
+// exactly (identical wall-clock and message counts), and at the widest
+// partition the searched tree must beat both fixed planes on the lossy
+// fabric.
+func AblationTree(full bool) Result {
+	nodes := pick(full, 512, 64)
+	rpn := pick(full, 16, 8)
+	osts := pick(full, 48, 12)
+	widths := []int{16, 32, 64}
+	// Strided small-block workload (the HACC-style interleaved layout): every
+	// rank contributes one small block to every stripe, so every node group
+	// sends one small coalesced put in every aggregation round. That is the
+	// many-small-messages regime trees exist for — per-message costs dominate
+	// serialization — and it keeps the engagement uniform, so the search's
+	// per-round pricing reasons about the same schedule the cells execute.
+	// (With multi-MB contiguous blocks each rank engages a single round, the
+	// byte stream dwarfs the per-message penalty, and staged is simply
+	// correct; abl-intranode covers that regime.)
+	blk := int64(16 << 10)
+	nblocks := pick(full, 8, 16)
+	strided := workload.Pattern{
+		Name:  "strided",
+		Ranks: nodes * rpn,
+		Declared: func(rank, ranks int) [][]storage.Seg {
+			segs := make([]storage.Seg, nblocks)
+			for j := range segs {
+				segs[j] = storage.Contig((int64(j)*int64(ranks)+int64(rank))*blk, blk)
+			}
+			return [][]storage.Seg{segs}
+		},
+	}
+	// Deep-loss fabric regime: deterministic drops, each retransmitted after
+	// a full RTO — a fixed per-message cost. Its expectation (rate × RTO) is
+	// exactly the message penalty handed to the shape search, so the tuner
+	// prices shapes against the fabric the lossy cells run on.
+	const lossRate = 0.2
+	const retransmitRTO = 1_000_000 // 1ms
+	const msgPenalty = lossRate * retransmitRTO * 1e-9
+
+	res := Result{
+		ID:     "abl-tree",
+		Title:  fmt.Sprintf("Synthesized aggregation trees, strided write on Theta (%d nodes × %d ranks, width sweep)", nodes, rpn),
+		XLabel: "nodes/partition",
+		Labels: []string{"Flat", "Staged", "Tree", "Flat/lossy", "Staged/lossy", "Tree/lossy"},
+	}
+
+	// One shape search per row, through the public autotuner surface: a
+	// pinned grid point so the only open dimension is the tree shape.
+	shapes := make([]*tree.Shape, len(widths))
+	for i, width := range widths {
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		tres := tune.Autotune(tune.Platform{
+			Topo:         r.topo,
+			Dist:         r.fab.Distances(),
+			Sys:          r.sys,
+			RanksPerNode: rpn,
+		}, strided, tune.Options{
+			Aggregators:    []int{nodes / width},
+			BufferSizes:    []int64{8 << 20},
+			Placements:     []cost.Placement{core.PlacementTopologyAware},
+			NoRefine:       true,
+			TreeSearch:     true,
+			MessagePenalty: msgPenalty,
+		})
+		switch {
+		case tres.Config.Tree != nil:
+			shapes[i] = tres.Config.Tree
+		case tres.Config.IntraNodeStaging:
+			shapes[i] = &tree.Shape{Kind: tree.NodeStaged}
+		default:
+			shapes[i] = &tree.Shape{Kind: tree.Flat}
+		}
+		if width == widths[len(widths)-1] && shapes[i].Degenerate() {
+			must(fmt.Errorf("abl-tree: the shape search did not pick an interior tree at %d nodes/partition", width))
+		}
+	}
+
+	type out struct {
+		gb   float64
+		msgs int64
+	}
+	nrows := len(widths)
+	// 6 grid cells per row, plus two degeneracy probes at the widest row:
+	// tree shapes that collapse to the plain pipelines (flat, staged) must
+	// reproduce them exactly.
+	cells := make([]out, 6*nrows+2)
+	par.Map(len(cells), func(i int) {
+		row, variant, lossy := 0, 0, false
+		var shape *tree.Shape
+		switch {
+		case i < 6*nrows:
+			row, variant, lossy = i/6, i%3, i%6 >= 3
+			if variant == 2 {
+				shape = shapes[row]
+			}
+		case i == 6*nrows:
+			row, variant, shape = nrows-1, 0, &tree.Shape{Kind: tree.Flat}
+		default:
+			row, variant, shape = nrows-1, 1, &tree.Shape{Kind: tree.NodeStaged}
+		}
+		r := thetaRig(nodes, rpn, topology.RouteMinimal, osts)
+		// Isolate the aggregation phase: an infinitely fast storage tier
+		// exposes what the reduction shape does to the network phase.
+		r.sys = storage.NewNullFS()
+		if lossy {
+			r.fab.SetFaults(fault.NewPlan(fault.Config{
+				Seed:              11,
+				NetLossRate:       lossRate,
+				RetransmitPenalty: retransmitRTO,
+			}))
+		}
+		j := ioJob{
+			r: r,
+			cfg: core.Config{
+				Aggregators:      nodes / widths[row],
+				BufferSize:       8 << 20,
+				IntraNodeStaging: variant == 1,
+				Tree:             shape,
+			},
+			declared: strided.Declared,
+		}
+		gb := mustIO(j, methodTapioca)
+		cells[i] = out{gb: gb, msgs: r.fab.FabricMessages()}
+	})
+
+	for i, width := range widths {
+		flat, staged, treed := cells[6*i], cells[6*i+1], cells[6*i+2]
+		lFlat, lStaged, lTree := cells[6*i+3], cells[6*i+4], cells[6*i+5]
+		res.Rows = append(res.Rows, Row{X: float64(width),
+			Values: []float64{flat.gb, staged.gb, treed.gb, lFlat.gb, lStaged.gb, lTree.gb}})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"width=%d: searched shape %s; fabric messages %d flat / %d staged / %d tree; lossy fabric %.1f / %.1f / %.1f GB/s",
+			width, shapes[i], flat.msgs, staged.msgs, treed.msgs, lFlat.gb, lStaged.gb, lTree.gb))
+		if !shapes[i].Degenerate() && treed.msgs*4 >= flat.msgs {
+			must(fmt.Errorf("abl-tree: tree booked %d fabric messages vs %d flat at width=%d, claim requires a >4x cut",
+				treed.msgs, flat.msgs, width))
+		}
+		if width == widths[nrows-1] && (lTree.gb <= lFlat.gb || lTree.gb <= lStaged.gb) {
+			must(fmt.Errorf("abl-tree: searched tree %.1f GB/s did not beat flat %.1f / staged %.1f GB/s on the lossy fabric at width=%d",
+				lTree.gb, lFlat.gb, lStaged.gb, width))
+		}
+	}
+	dFlat, dStaged := cells[6*nrows], cells[6*nrows+1]
+	flat, staged := cells[6*(nrows-1)], cells[6*(nrows-1)+1]
+	if dFlat != flat || dStaged != staged {
+		must(fmt.Errorf("abl-tree: degenerate tree shapes diverged from the plain pipelines (flat %+v vs %+v, staged %+v vs %+v)",
+			dFlat, flat, dStaged, staged))
+	}
+	res.Notes = append(res.Notes,
+		"degenerate tree shapes (flat, staged) reproduced the plain pipelines exactly: identical wall-clock and fabric message counts")
 	return res
 }
 

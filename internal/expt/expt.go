@@ -68,6 +68,7 @@ func All() []Spec {
 		{"abl-aggrcount", "Ablation: aggregator count on Theta", AblationAggregators},
 		{"abl-autotune", "Ablation: autotuned vs default vs exhaustive sweep", AblationAutotune},
 		{"abl-intranode", "Ablation: intra-node pre-aggregation vs flat puts", AblationIntraNode},
+		{"abl-tree", "Ablation: synthesized aggregation trees vs flat/staged", AblationTree},
 		{"abl-contention", "Ablation: link vs endpoint contention model", AblationContention},
 	}
 }
@@ -92,6 +93,7 @@ func FullScale() []Spec {
 		{"fig10-full", "Micro-benchmark on Theta at paper scale (512 nodes × 16 ranks)", pin(Fig10, "fig10-full")},
 		{"fig13-full", "HACC-IO on Theta at paper scale (1,024 nodes × 16 ranks)", pin(Fig13, "fig13-full")},
 		{"abl-intranode-full", "Intra-node pre-aggregation at paper scale (256 nodes, ppn sweep)", pin(AblationIntraNode, "abl-intranode-full")},
+		{"abl-tree-full", "Synthesized aggregation trees at paper scale (512 nodes, width sweep)", pin(AblationTree, "abl-tree-full")},
 	}
 }
 

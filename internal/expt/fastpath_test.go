@@ -8,6 +8,7 @@ import (
 	"tapioca/internal/fault"
 	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
+	"tapioca/internal/tree"
 )
 
 // TestFastPathsMatchReference is the equivalence contract of the transfer
@@ -52,6 +53,17 @@ func TestFastPathsMatchReference(t *testing.T) {
 			SetFaultConfig(nil)
 			if !reflect.DeepEqual(reference, optimized) {
 				t.Fatalf("optimized run diverged from uncached/uncompacted reference:\nref: %+v\nopt: %+v", reference, optimized)
+			}
+
+			// The degenerate-tree leg: arming the flat tree shape routes every
+			// cell through the aggregation-tree config path (and the MPI-IO
+			// TreePlan hint parser), which must collapse to exactly the default
+			// pipeline — byte-identical figures.
+			SetTreeShape(&tree.Shape{Kind: tree.Flat})
+			treed := s.Run(false)
+			SetTreeShape(nil)
+			if !reflect.DeepEqual(reference, treed) {
+				t.Fatalf("degenerate flat tree shape diverged from reference:\nref: %+v\ntree: %+v", reference, treed)
 			}
 		})
 	}

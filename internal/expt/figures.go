@@ -66,7 +66,7 @@ func runIO(j ioJob, method int) (float64, error) {
 		switch method {
 		case methodTapioca:
 			f := openShared(group, j.r.sys, fileName, j.fileOpt)
-			w := core.New(group, j.r.sys, f, faultConfigFor(j.r, j.cfg))
+			w := core.New(group, j.r.sys, f, treeConfigFor(faultConfigFor(j.r, j.cfg)))
 			tm.Start(c)
 			must(w.Init(decl))
 			if j.read {
@@ -76,7 +76,7 @@ func runIO(j ioJob, method int) (float64, error) {
 			}
 			tm.Stop(c)
 		default:
-			fh := mpiio.Open(group, j.r.sys, fileName, j.fileOpt, j.hints)
+			fh := mpiio.Open(group, j.r.sys, fileName, j.fileOpt, treeHintsFor(j.hints))
 			tm.Start(c)
 			for _, segs := range decl {
 				if j.read {

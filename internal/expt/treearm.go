@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"sync/atomic"
+
+	"tapioca/internal/core"
+	"tapioca/internal/mpiio"
+	"tapioca/internal/tree"
+)
+
+// Package-level aggregation-tree state behind tapiocabench's -tree flag:
+// when a shape is armed, every measurement cell built afterwards runs its
+// TAPIOCA sessions with Config.Tree set to it and its MPI-IO sessions with
+// the equivalent Hints.TreePlan — unless the cell pins its own shape, which
+// always wins. Nil (the default) leaves every cell on the original path,
+// byte-identical to a build without the tree plane; arming the degenerate
+// flat shape must also be byte-identical, which TestFastPathsMatchReference
+// asserts.
+var treeShapeState atomic.Pointer[tree.Shape]
+
+// SetTreeShape arms (or, with nil, clears) an aggregation-tree shape for
+// subsequently built measurement cells.
+func SetTreeShape(sh *tree.Shape) { treeShapeState.Store(sh) }
+
+// TreeShape returns the armed shape, or nil.
+func TreeShape() *tree.Shape { return treeShapeState.Load() }
+
+// treeConfigFor injects the armed shape into a session config; a cell that
+// already carries a shape keeps it.
+func treeConfigFor(cfg core.Config) core.Config {
+	if cfg.Tree == nil {
+		cfg.Tree = treeShapeState.Load()
+	}
+	return cfg
+}
+
+// treeHintsFor mirrors treeConfigFor for the MPI-IO stack: the armed shape
+// rides in as a TreePlan hint unless the cell set one.
+func treeHintsFor(h mpiio.Hints) mpiio.Hints {
+	if h.TreePlan == "" {
+		if sh := treeShapeState.Load(); sh != nil {
+			h.TreePlan = sh.String()
+		}
+	}
+	return h
+}

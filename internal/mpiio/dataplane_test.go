@@ -219,3 +219,113 @@ func TestClosedFileErrors(t *testing.T) {
 func openOn(c *mpi.Comm, sys storage.System, f *storage.File, hints Hints) *File {
 	return Open(c, sys, f.Name, f.Opt, hints)
 }
+
+// TestCollectiveTreePlanRoundTrip drives the exchange with Hints.TreePlan:
+// the coalesced node messages route through the shape's interior relays in
+// the horizon combiner. The round trip must stay byte-correct, the tree must
+// book exactly as many fabric messages as plain staging (every staged node
+// still sends once per round — only the hops change), the degenerate
+// "staged" plan must reproduce the plain staged schedule identically, and an
+// unparsable plan must surface as an error from the first collective call.
+func TestCollectiveTreePlanRoundTrip(t *testing.T) {
+	const ranks, rpn = 16, 2
+	const n, rec = 64, 24
+	decl := make([][][]storage.Seg, ranks)
+	for r := 0; r < ranks; r++ {
+		base := int64(r) * n * rec
+		decl[r] = [][]storage.Seg{
+			{storage.Strided(base+0, 8, rec, n)},
+			{storage.Strided(base+8, 8, rec, n)},
+			{storage.Strided(base+16, 8, rec, n)},
+		}
+	}
+	const seed = uint64(977)
+	run := func(hints Hints) int64 {
+		nodes := ranks / rpn
+		topo := topology.NewFlat(nodes)
+		fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+		sys := storage.NewNullFS()
+		var mu sync.Mutex
+		var failures []string
+		_, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+			var f *storage.File
+			if c.Rank() == 0 {
+				f = sys.Create("mpiio-tree", storage.FileOptions{StripeCount: 2, StripeSize: 4 << 10})
+			}
+			f = c.Bcast(0, 8, f).(*storage.File)
+			fh := openOn(c, sys, f, hints)
+			data := workload.FillData(decl[c.Rank()], seed)
+			for op, segs := range decl[c.Rank()] {
+				if err := fh.WriteAtAllData(segs, data[op]); err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+				}
+			}
+			c.Barrier()
+			got := make([][]byte, len(data))
+			for op, segs := range decl[c.Rank()] {
+				got[op] = make([]byte, storage.TotalBytes(segs))
+				if err := fh.ReadAtAllData(segs, got[op]); err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+				}
+			}
+			if err := workload.VerifyData(decl[c.Rank()], seed, got); err != nil {
+				mu.Lock()
+				failures = append(failures, err.Error())
+				mu.Unlock()
+			}
+			c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f)
+		}
+		return fab.FabricMessages()
+	}
+
+	base := Hints{CBNodes: 2, CBBufferSize: 2 << 10}
+	staged := base
+	staged.IntraNodeStaging = true
+	treed := base
+	treed.TreePlan = "fanin:2"
+	degen := base
+	degen.TreePlan = "staged"
+
+	stagedMsgs := run(staged)
+	treeMsgs := run(treed)
+	degenMsgs := run(degen)
+	if treeMsgs != stagedMsgs {
+		t.Fatalf("tree plan booked %d fabric messages, staged %d — relays must not change the message count",
+			treeMsgs, stagedMsgs)
+	}
+	if degenMsgs != stagedMsgs {
+		t.Fatalf("degenerate staged plan booked %d fabric messages, plain staging %d — must be identical",
+			degenMsgs, stagedMsgs)
+	}
+
+	// Unparsable plans error on the first collective, on every rank.
+	bad := base
+	bad.TreePlan = "ring"
+	topo := topology.NewFlat(ranks / rpn)
+	fab := netsim.New(topo, netsim.Config{Contention: netsim.ContentionLinks})
+	sys := storage.NewNullFS()
+	if _, err := mpi.Run(mpi.Config{Ranks: ranks, RanksPerNode: rpn, Fabric: fab}, func(c *mpi.Comm) {
+		var f *storage.File
+		if c.Rank() == 0 {
+			f = sys.Create("mpiio-bad", storage.FileOptions{})
+		}
+		f = c.Bcast(0, 8, f).(*storage.File)
+		fh := openOn(c, sys, f, bad)
+		if err := fh.WriteAtAll(decl[c.Rank()][0]); err == nil || !strings.Contains(err.Error(), "tree plan") {
+			panic("unparsable tree plan accepted")
+		}
+		c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,8 +22,10 @@ import (
 
 	"tapioca/internal/cost"
 	"tapioca/internal/mpi"
+	"tapioca/internal/netsim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tree"
 )
 
 // Aggregator placement strategies for collective buffering, re-exported from
@@ -101,6 +103,14 @@ type Hints struct {
 	// election (which prices candidates assuming node-coalesced traffic).
 	// Default off: the classic ROMIO exchange sends per-rank messages.
 	IntraNodeStaging bool
+	// TreePlan routes the coalesced node messages through a multi-level
+	// reduction tree instead of straight to the aggregator, in internal/tree
+	// shape syntax ("fanin:4", "group", "chain", ...). A non-flat plan
+	// implies IntraNodeStaging (trees ride on the staging base level); the
+	// flat and staged degenerate shapes reproduce the plain exchanges
+	// exactly. Default "": no tree. An unparsable plan is reported by the
+	// first collective call.
+	TreePlan string
 	// RecvOverhead is the aggregator-side CPU cost per received piece in
 	// the two-sided aggregation exchange (message matching + unpacking on
 	// the slow A2/KNL cores). TAPIOCA's one-sided puts bypass this — one of
@@ -151,6 +161,8 @@ type File struct {
 	horizonFn  func(contribs []any) any // per-handle combiner, built once in Open
 	extScratch []storage.Extent         // reused per-round batched store extents
 	nodePeers  int                      // comm ranks on this rank's node (staging needs ≥ 2)
+	treeShape  *tree.Shape              // parsed Hints.TreePlan when non-degenerate
+	treeErr    error                    // deferred Hints.TreePlan parse error
 
 	// degraded, once set, replaces sys for round I/O: the fallback tier the
 	// handle switches to when a fault plan takes the primary down (recover.go).
@@ -159,6 +171,20 @@ type File struct {
 
 // Open creates (on rank 0) and opens a file collectively.
 func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions, hints Hints) *File {
+	var treeShape *tree.Shape
+	var treeErr error
+	if hints.TreePlan != "" {
+		if sh, err := tree.ParseShape(hints.TreePlan); err != nil {
+			treeErr = fmt.Errorf("mpiio: tree plan: %w", err)
+		} else if sh.Staged() {
+			// Trees ride on the staging base level; the staged degenerate is
+			// then exactly the plain staged exchange.
+			hints.IntraNodeStaging = true
+			if !sh.Degenerate() {
+				treeShape = &sh
+			}
+		}
+	}
 	hints.setDefaults(c)
 	res := c.Bcast(0, 64, func() any {
 		if c.Rank() != 0 {
@@ -178,7 +204,8 @@ func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions,
 			myAgg = i
 		}
 	}
-	fh := &File{c: c, sys: sys, f: f, hints: hints, aggrs: aggrs, myAgg: myAgg}
+	fh := &File{c: c, sys: sys, f: f, hints: hints, aggrs: aggrs, myAgg: myAgg,
+		treeShape: treeShape, treeErr: treeErr}
 	for r := 0; r < c.Size(); r++ {
 		if c.NodeOfRank(r) == c.Node() {
 			fh.nodePeers++
@@ -189,17 +216,22 @@ func Open(c *mpi.Comm, sys storage.System, name string, opt storage.FileOptions,
 	return fh
 }
 
+// stageGroup is one coalesced (node, aggregator) message in the making: the
+// slowest member deposit and the node's total payload for that aggregator.
+type stageGroup struct{ at, bytes int64 }
+
 // combineHorizons folds every rank's per-round exchange contribution into the
 // per-aggregator arrival horizons. Flat pieces carry their fabric arrival
 // directly. Staged deposits (Hints.IntraNodeStaging) are grouped by
 // (node, aggregator): the group's coalesced fabric message is booked here, on
 // behalf of the node leader, starting once the slowest member's deposit has
 // landed — the combiner runs while every rank is parked in the collective, so
-// the bookings are race-free and (keys sorted) deterministic.
+// the bookings are race-free and (keys sorted) deterministic. With a tree
+// plan, the coalesced messages route hop-by-hop through the shape's interior
+// relays instead of straight to the aggregator node.
 func (fh *File) combineHorizons(contribs []any) any {
 	h := make([]int64, len(fh.aggrs))
-	type group struct{ at, bytes int64 }
-	var groups map[[2]int]*group
+	var groups map[[2]int]*stageGroup
 	for _, x := range contribs {
 		xc := x.(*exchangeContrib)
 		for _, aa := range xc.arr {
@@ -209,12 +241,12 @@ func (fh *File) combineHorizons(contribs []any) any {
 		}
 		for _, se := range xc.staged {
 			if groups == nil {
-				groups = map[[2]int]*group{}
+				groups = map[[2]int]*stageGroup{}
 			}
 			k := [2]int{se.node, se.agg}
 			g := groups[k]
 			if g == nil {
-				g = &group{}
+				g = &stageGroup{}
 				groups[k] = g
 			}
 			if se.at > g.at {
@@ -235,6 +267,10 @@ func (fh *File) combineHorizons(contribs []any) any {
 			}
 			return keys[i][1] < keys[j][1]
 		})
+		if fh.treeShape != nil {
+			fh.treeHorizons(fab, groups, keys, h)
+			return h
+		}
 		for _, k := range keys {
 			g := groups[k]
 			_, arr := fab.Reserve(g.at, k[0], fh.c.NodeOfRank(fh.aggrs[k[1]]), g.bytes)
@@ -244,6 +280,69 @@ func (fh *File) combineHorizons(contribs []any) any {
 		}
 	}
 	return h
+}
+
+// treeHorizons books the staged node messages along the tree plan's relay
+// hops instead of straight to each aggregator. Per aggregator, the staged
+// nodes (node-sorted, with a zero-byte leader standing in for the aggregator
+// node as root) form one reduction tree; the combiner walks it deepest level
+// first, each vertex forwarding its whole subtree's bytes to its parent once
+// its own deposit and every child's forward have landed. Message count per
+// round is unchanged — every staged node still sends exactly once — only the
+// hops and the payload sizes follow the tree. A structurally degenerate tree
+// (fewer than two levels) books the plain direct message, byte-identically.
+// keys is the node-sorted group-key order, so every fabric booking below is
+// deterministic.
+func (fh *File) treeHorizons(fab *netsim.Fabric, groups map[[2]int]*stageGroup, keys [][2]int, h []int64) {
+	grouper := tree.GrouperOf(fab.Topology())
+	for agg := range fh.aggrs {
+		aggNode := fh.c.NodeOfRank(fh.aggrs[agg])
+		var leaders []tree.Leader
+		var ready []int64
+		root := -1
+		for _, k := range keys {
+			if k[1] != agg {
+				continue
+			}
+			if root < 0 && k[0] > aggNode {
+				root = len(leaders)
+				leaders = append(leaders, tree.Leader{Node: aggNode})
+				ready = append(ready, 0)
+			}
+			leaders = append(leaders, tree.Leader{Node: k[0], Bytes: groups[k].bytes})
+			ready = append(ready, groups[k].at)
+		}
+		if len(leaders) == 0 {
+			continue
+		}
+		if root < 0 {
+			root = len(leaders)
+			leaders = append(leaders, tree.Leader{Node: aggNode})
+			ready = append(ready, 0)
+		}
+		t := tree.Build(*fh.treeShape, leaders, root, grouper)
+		sub := make([]int64, len(leaders))
+		for v, l := range leaders {
+			for a := v; a >= 0; a = t.Parent[a] {
+				sub[a] += l.Bytes
+			}
+		}
+		for d := t.Levels; d >= 1; d-- {
+			for v := range leaders {
+				if t.Depth[v] != d || sub[v] == 0 {
+					continue
+				}
+				p := t.Parent[v]
+				_, arr := fab.Reserve(ready[v], leaders[v].Node, leaders[p].Node, sub[v])
+				if arr > ready[p] {
+					ready[p] = arr
+				}
+			}
+		}
+		if ready[root] > h[agg] {
+			h[agg] = ready[root]
+		}
+	}
 }
 
 // Storage returns the underlying storage file (for verification).

@@ -133,6 +133,12 @@ func (t *Torus5D) IONodeOf(node int) int { return node / t.PsetSize }
 // PsetOf is an alias for IONodeOf with BG/Q terminology.
 func (t *Torus5D) PsetOf(node int) int { return node / t.PsetSize }
 
+// GroupOf exposes the Pset as the torus's locality group (tree.Grouper):
+// node ids are row-major over the 5-d coordinates, so a Pset is a compact
+// dimension-ordered sub-box — the natural clustering unit for staged
+// reduction chains, mirroring Dragonfly.GroupOf.
+func (t *Torus5D) GroupOf(node int) int { return node / t.PsetSize }
+
 // BridgeNodes returns the two bridge nodes of a Pset: the first node and the
 // node half a Pset later, spreading them spatially inside the sub-box.
 func (t *Torus5D) BridgeNodes(pset int) [2]int {

@@ -10,6 +10,7 @@ import (
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tree"
 	"tapioca/internal/workload"
 )
 
@@ -38,6 +39,7 @@ type predictor struct {
 	nodes      []int // rank → compute node (the runtime's block mapping)
 	read       bool
 	latency    float64 // per-hop seconds
+	msgPenalty float64 // seconds per inter-node message; >0 only under TreeSearch
 }
 
 func newPredictor(p Platform, w workload.Pattern) (*predictor, error) {
@@ -92,11 +94,114 @@ func (pr *predictor) alignUnit(fopt storage.FileOptions) int64 {
 // still moves per-member fabric traffic, so only Config.IntraNodeStaging
 // earns the coalesced price. The I/O term C2 is deliberately excluded: the
 // flush estimator prices the storage path.
-func (pr *predictor) aggregationSeconds(staged bool, members []cost.Member, win int) float64 {
-	if staged {
-		return pr.model.TwoLevelCost(members, win, 0)
+//
+// When cfg carries a tree shape — or a per-message penalty is active
+// (TreeSearch pricing) — the partition is priced through the shape pricer,
+// with the penalty scaled to the full session (tree.Price counts one message
+// per sender for the whole byte stream; the live pipeline sends that many per
+// round). Plain configs are mapped to the degenerate shape they execute as,
+// so flat, staged and tree candidates all pay the penalty on equal terms.
+// The returned level count is the number of interior reduction levels — each
+// one costs an extra fence per round, which the caller charges alongside the
+// base fence.
+func (pr *predictor) aggregationSeconds(cfg core.Config, members []cost.Member, win, rounds int) (secs float64, interiorLevels int) {
+	sh := cfg.Tree
+	if sh == nil && pr.msgPenalty > 0 {
+		k := tree.Flat
+		if cfg.IntraNodeStaging {
+			k = tree.NodeStaged
+		}
+		sh = &tree.Shape{Kind: k}
 	}
-	return pr.model.AggregationCost(members, win)
+	if sh != nil {
+		t, leaders, ok := pr.buildTree(*sh, members, win)
+		if ok && !sh.Degenerate() && t.Levels < 2 {
+			// Structurally degenerate on this partition: the runtime falls
+			// back to the staged pipeline (ApplyDefaults forced staging on),
+			// so price exactly that.
+			ns := tree.Shape{Kind: tree.NodeStaged}
+			t, leaders, ok = pr.buildTree(ns, members, win)
+		}
+		if ok {
+			secs = tree.Price(pr.model, t, leaders, members, win, tree.PriceOptions{
+				PerMessageSeconds: pr.msgPenalty * float64(rounds),
+			})
+			if t.Levels > 1 {
+				interiorLevels = t.Levels - 1
+			}
+			return secs, interiorLevels
+		}
+		// Duplicate node runs: the runtime disables the tree; fall through.
+	}
+	if cfg.IntraNodeStaging {
+		return pr.model.TwoLevelCost(members, win, 0), 0
+	}
+	return pr.model.AggregationCost(members, win), 0
+}
+
+// buildTree assembles the reduction tree cfg.Tree would produce over one
+// partition's members — same leader run-length encoding and topology grouper
+// the runtime uses — and reports ok=false when the shape cannot form
+// (duplicate node runs disable trees at setup, exactly as in the runtime).
+func (pr *predictor) buildTree(sh tree.Shape, members []cost.Member, win int) (*tree.Tree, []tree.Leader, bool) {
+	leaders, starts := tree.Leaders(members)
+	seen := make(map[int]bool, len(leaders))
+	for _, l := range leaders {
+		if seen[l.Node] {
+			return nil, nil, false
+		}
+		seen[l.Node] = true
+	}
+	return tree.Build(sh, leaders, tree.RootLeader(starts, win), tree.GrouperOf(pr.p.Topo)), leaders, true
+}
+
+// searchShape runs the aggregation-tree shape search for one grid point. The
+// partitions and elections come from the same plan/election path predict
+// uses, so the searched shape is priced against exactly the partitions the
+// live session would build. Per-message and fence charges are scaled by the
+// deepest partition's round count: tree.Price books them once per session,
+// the pipeline pays them every round. Reports ok=false when the search comes
+// back degenerate (flat or staged already wins) — the plain candidates cover
+// that point.
+func (pr *predictor) searchShape(cfg core.Config, fopt storage.FileOptions) (tree.Shape, bool) {
+	cfg.ApplyDefaults(len(pr.all))
+	est := core.EstimatePlan(pr.all, cfg, pr.alignUnit(fopt))
+	var parts []tree.Partition
+	maxRounds, maxRanks := 0, 0
+	for pi := range est.Parts {
+		pe := &est.Parts[pi]
+		if pe.Bytes == 0 || pe.Rounds == 0 {
+			continue
+		}
+		members := make([]cost.Member, pe.Ranks)
+		for i := range members {
+			members[i] = cost.Member{Node: pr.nodes[pe.FirstRank+i], Bytes: pe.MemberBytes[i]}
+		}
+		win := cfg.Placement.Elect(&cost.Election{
+			Model:     pr.model,
+			Members:   members,
+			IOBytes:   pe.Bytes,
+			Partition: pi,
+		})
+		parts = append(parts, tree.Partition{Members: members, Root: win})
+		if pe.Rounds > maxRounds {
+			maxRounds = pe.Rounds
+		}
+		if pe.Ranks > maxRanks {
+			maxRanks = pe.Ranks
+		}
+	}
+	if len(parts) == 0 {
+		return tree.Shape{}, false
+	}
+	fence := 2 * math.Log2(float64(maxRanks)+1) * pr.alpha()
+	res := tree.Search(pr.model, parts, tree.GrouperOf(pr.p.Topo), tree.SearchOptions{
+		Price: tree.PriceOptions{
+			PerMessageSeconds: pr.msgPenalty * float64(maxRounds),
+			FenceSeconds:      fence * float64(maxRounds),
+		},
+	})
+	return res.Shape, !res.Shape.Degenerate()
 }
 
 // flushSeconds is one aggregator's single-stream time for one round's flush.
@@ -154,7 +259,8 @@ func (pr *predictor) predict(cfg core.Config, fopt storage.FileOptions) (double,
 			Partition: pi,
 		})
 		fence := 2 * math.Log2(float64(pe.Ranks)+1) * pr.alpha()
-		perRound := pr.aggregationSeconds(cfg.IntraNodeStaging, members, win)/float64(pe.Rounds) + fence
+		aggSecs, interior := pr.aggregationSeconds(cfg, members, win, pe.Rounds)
+		perRound := aggSecs/float64(pe.Rounds) + fence*float64(1+interior)
 		for r := 0; r < pe.Rounds; r++ {
 			if perRound > aggRound[r] {
 				aggRound[r] = perRound

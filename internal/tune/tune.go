@@ -27,6 +27,7 @@ import (
 	"tapioca/internal/par"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tree"
 	"tapioca/internal/workload"
 )
 
@@ -84,6 +85,20 @@ type Options struct {
 	// with this set to pick the direct-to-PFS configuration. No-op when the
 	// platform has no fallback tier.
 	Degraded bool
+	// TreeSearch adds the aggregation-tree dimension: every grid point also
+	// runs the multi-level reduction-shape search (internal/tree) over the
+	// partitions the candidate would build, and a searched-tree candidate is
+	// emitted whenever the winning shape is non-degenerate. While active,
+	// every candidate — flat, staged and tree alike — is priced with a
+	// per-message charge (MessagePenalty, or the control-plane α when unset)
+	// so shapes compete on equal terms. Off by default: the paper's
+	// two-phase baseline stays untouched unless a caller opts in.
+	TreeSearch bool
+	// MessagePenalty is the expected extra seconds a receiver spends per
+	// incoming fabric message when TreeSearch prices shapes — on a lossy
+	// fabric, loss rate × retransmit penalty. Zero selects the control-plane
+	// α (software overhead plus route latency). Ignored without TreeSearch.
+	MessagePenalty float64
 }
 
 // Candidate is one evaluated configuration.
@@ -152,6 +167,12 @@ func TryAutotune(p Platform, w workload.Pattern, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if opt.TreeSearch {
+		pr.msgPenalty = opt.MessagePenalty
+		if pr.msgPenalty <= 0 {
+			pr.msgPenalty = pr.alpha()
+		}
+	}
 	advisor := storage.StripeAdvisorOf(p.Sys)
 
 	aggGrid := opt.Aggregators
@@ -171,7 +192,7 @@ func TryAutotune(p Platform, w workload.Pattern, opt Options) (Result, error) {
 		codecs = []dataplane.Codec{nil}
 	}
 
-	s := &search{p: p, pr: pr, advisor: advisor, seen: map[string]bool{}}
+	s := &search{p: p, pr: pr, advisor: advisor, seen: map[string]bool{}, treeSearch: opt.TreeSearch}
 	for _, a := range aggGrid {
 		for _, b := range bufGrid {
 			for _, pl := range placements {
@@ -215,10 +236,14 @@ func TryAutotune(p Platform, w workload.Pattern, opt Options) (Result, error) {
 	if best.Predicted > 0 {
 		calibration = best.Corrected / best.Predicted
 	}
+	hints := mpiio.TunedHints(best.Config.Aggregators, best.Config.BufferSize, best.Config.Placement)
+	if best.Config.Tree != nil {
+		hints.TreePlan = best.Config.Tree.String()
+	}
 	return Result{
 		Config:      best.Config,
 		FileOptions: best.FileOptions,
-		Hints:       mpiio.TunedHints(best.Config.Aggregators, best.Config.BufferSize, best.Config.Placement),
+		Hints:       hints,
 		Predicted:   best.Corrected,
 		Calibration: calibration,
 		Evaluated:   len(s.cands),
@@ -228,11 +253,12 @@ func TryAutotune(p Platform, w workload.Pattern, opt Options) (Result, error) {
 
 // search accumulates scored candidates.
 type search struct {
-	p       Platform
-	pr      *predictor
-	advisor storage.StripeAdvisor
-	cands   []Candidate
-	seen    map[string]bool
+	p          Platform
+	pr         *predictor
+	advisor    storage.StripeAdvisor
+	cands      []Candidate
+	seen       map[string]bool
+	treeSearch bool
 }
 
 // fileOptions derives the candidate's file-creation options: the storage
@@ -290,6 +316,23 @@ func (s *search) evaluate(a int, b int64, pl cost.Placement, cd dataplane.Codec)
 		scfg.SingleBuffer = true
 		s.cands = append(s.cands, Candidate{Config: scfg, FileOptions: fopt, Predicted: single, Corrected: single})
 	}
+	// The tree dimension: search reduction shapes over this point's real
+	// partitions and elections; a non-degenerate winner becomes one more
+	// candidate pair (degenerate winners are already covered by the plain
+	// candidates above). Interior shapes need co-located ranks for their
+	// staging base, same gate as the staged variants.
+	if s.treeSearch && s.p.RanksPerNode > 1 {
+		base := core.Config{Aggregators: a, BufferSize: b, Placement: pl, Codec: cd}
+		if shape, ok := s.pr.searchShape(base, fopt); ok {
+			sh := shape
+			base.Tree = &sh
+			double, single := s.pr.predict(base, fopt)
+			s.cands = append(s.cands, Candidate{Config: base, FileOptions: fopt, Predicted: double, Corrected: double})
+			scfg := base
+			scfg.SingleBuffer = true
+			s.cands = append(s.cands, Candidate{Config: scfg, FileOptions: fopt, Predicted: single, Corrected: single})
+		}
+	}
 }
 
 // rank orders candidates best-first, deterministically: corrected time, then
@@ -315,11 +358,27 @@ func (s *search) rank() {
 		if a.Config.IntraNodeStaging != b.Config.IntraNodeStaging {
 			return !a.Config.IntraNodeStaging
 		}
+		if (a.Config.Tree == nil) != (b.Config.Tree == nil) {
+			// A tied tree bought nothing over the plain pipeline.
+			return a.Config.Tree == nil
+		}
+		if an, bn := treeName(a.Config.Tree), treeName(b.Config.Tree); an != bn {
+			return an < bn
+		}
 		if an, bn := codecName(a.Config.Codec), codecName(b.Config.Codec); an != bn {
 			return an < bn
 		}
 		return a.Config.Placement.Name() < b.Config.Placement.Name()
 	})
+}
+
+// treeName labels a candidate's aggregation-tree shape in rank tie-breaks;
+// nil (the plain pipeline) sorts before every shaped candidate.
+func treeName(sh *tree.Shape) string {
+	if sh == nil {
+		return ""
+	}
+	return sh.String()
 }
 
 // probe runs the closed loop over the current top-k candidates: each runs a
@@ -351,6 +410,7 @@ func (s *search) probe(w workload.Pattern, k int) {
 		if err != nil {
 			return
 		}
+		probePr.msgPenalty = s.pr.msgPenalty
 		predicted, predictedSingle := probePr.predict(c.Config, c.FileOptions)
 		if c.Config.SingleBuffer {
 			predicted = predictedSingle

@@ -301,3 +301,68 @@ func TestDefaultAggregatorGrid(t *testing.T) {
 		}
 	}
 }
+
+// TestTreeSearchDimension covers the aggregation-tree dimension end to end:
+// off by default (no candidate carries a shape), deterministic when on, and
+// decisive under a heavy per-message penalty — a modeled lossy fabric must
+// hand the pick to a multi-level shape, and the winner's shape must flow into
+// the baseline hints as a TreePlan.
+func TestTreeSearchDimension(t *testing.T) {
+	p := thetaPlatform(64, 4, 8)
+	p.Probe = nil
+	w := workload.IOR(256, 1<<19)
+	grid := Options{Aggregators: []int{4}, BufferSizes: []int64{4 << 20}, NoRefine: true}
+
+	off := Autotune(p, w, grid)
+	for _, c := range off.Candidates {
+		if c.Config.Tree != nil {
+			t.Fatalf("TreeSearch off, yet candidate %+v carries a tree shape", c.Config)
+		}
+	}
+	if off.Hints.TreePlan != "" {
+		t.Fatalf("TreeSearch off, yet hints carry tree plan %q", off.Hints.TreePlan)
+	}
+
+	on := grid
+	on.TreeSearch = true
+	on.MessagePenalty = 2e-4 // ~loss rate × retransmit penalty of a sick fabric
+	a := Autotune(p, w, on)
+	b := Autotune(p, w, on)
+	// Config holds the shape by pointer; compare values, then the rest.
+	if treeName(a.Config.Tree) != treeName(b.Config.Tree) || a.Predicted != b.Predicted {
+		t.Fatalf("tree search non-deterministic: %+v vs %+v", a.Config, b.Config)
+	}
+	ac, bc := a.Config, b.Config
+	ac.Tree, bc.Tree = nil, nil
+	if ac != bc {
+		t.Fatalf("tree search non-deterministic: %+v vs %+v", a.Config, b.Config)
+	}
+	var treed int
+	for _, c := range a.Candidates {
+		if c.Config.Tree != nil {
+			treed++
+			if c.Config.Tree.Degenerate() {
+				t.Fatalf("degenerate shape %s emitted as a tree candidate", c.Config.Tree)
+			}
+		}
+	}
+	if treed == 0 {
+		t.Fatal("TreeSearch on emitted no tree-shaped candidates")
+	}
+	if a.Config.Tree == nil {
+		t.Fatalf("a %.0fµs-per-message fabric still picked the plain pipeline (%+v)",
+			on.MessagePenalty*1e6, a.Config)
+	}
+	if want := a.Config.Tree.String(); a.Hints.TreePlan != want {
+		t.Fatalf("winner shape %q not mirrored into hints (got %q)", want, a.Hints.TreePlan)
+	}
+
+	// Penalty-free tree search still ranks shapes (with the control-plane α)
+	// but must never beat flat on a clean fabric by the model's own terms.
+	clean := grid
+	clean.TreeSearch = true
+	res := Autotune(p, w, clean)
+	if res.Config.Tree != nil && res.Candidates[0].Corrected == res.Candidates[1].Corrected {
+		t.Fatalf("tie broken toward a tree: %+v", res.Config)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"tapioca/internal/sim"
 	"tapioca/internal/storage"
 	"tapioca/internal/topology"
+	"tapioca/internal/tree"
 	"tapioca/internal/tune"
 	"tapioca/internal/workload"
 )
@@ -85,6 +86,25 @@ func NewFileStore(path string) (*storage.FileStore, error) { return storage.NewF
 
 // Config tunes a TAPIOCA session (see internal/core.Config).
 type Config = core.Config
+
+// TreeShape selects a synthesized aggregation-tree shape for Config.Tree and
+// parses from/prints to the Hints.TreePlan wire form (see internal/tree).
+// The degenerate kinds reproduce the fixed pipelines exactly: TreeFlat is
+// the default two-phase data plane, TreeNodeStaged is intra-node staging.
+type TreeShape = tree.Shape
+
+// Tree shape kinds for TreeShape.Kind.
+const (
+	TreeFlat       = tree.Flat
+	TreeNodeStaged = tree.NodeStaged
+	TreeGroup      = tree.GroupTree
+	TreeChain      = tree.Chain
+	TreeFanIn      = tree.FanIn
+)
+
+// ParseTreeShape parses a TreePlan string ("flat", "staged", "group",
+// "chain", "fanin:k").
+func ParseTreeShape(s string) (TreeShape, error) { return tree.ParseShape(s) }
 
 // Codec is a pluggable per-round reduction (compression) stage for the
 // flush path (see internal/dataplane.Codec). Set Config.Codec to enable it;
@@ -458,6 +478,24 @@ func WithProbes(n int) AutotuneOption {
 // WithCodecs(nil, LZCodec).
 func WithCodecs(codecs ...Codec) AutotuneOption {
 	return func(o *tune.Options) { o.Codecs = codecs }
+}
+
+// WithTreeSearch adds the aggregation-tree shape as a searched dimension:
+// every grid point additionally runs the internal/tree shape search (flat,
+// node-staged, topology groups, dimension chains, fan-in-k with greedy
+// refinement) over the partitions the plan would build, and non-degenerate
+// winners join the candidate set as Config.Tree sessions. All candidates —
+// flat, staged and treed — are priced with the same per-message charge, so
+// the comparison is on equal terms; with the charge at zero the search never
+// unseats today's picks. msgPenalty is the expected extra seconds a receiver
+// spends per incoming fabric message (a lossy fabric's drop rate × retransmit
+// timeout, say); pass 0 to use the model's control-plane α. The winning
+// shape also rides into the returned Hints as TreePlan.
+func WithTreeSearch(msgPenalty float64) AutotuneOption {
+	return func(o *tune.Options) {
+		o.TreeSearch = true
+		o.MessagePenalty = msgPenalty
+	}
 }
 
 // WithDegraded tunes for the degraded-mode configuration: the machine's
